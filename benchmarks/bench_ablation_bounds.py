@@ -1,0 +1,25 @@
+"""Ablation: upper-bound index strategies (DESIGN.md Section 3).
+
+Compares the engine under its bound strategies: ``sim`` (default,
+simulation-restricted counts), ``hop`` (label-path depth-bounded),
+``exact`` (unbounded label counts) and ``global`` (one bound per query
+node).  Tighter bounds terminate earlier (lower MR) at slightly higher
+initialisation cost.
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+STRATEGIES = ["sim", "hop", "global"]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def bench_bound_ablation(benchmark, strategy):
+    options = {}
+    if strategy != "sim":
+        options = {"bound_strategy": strategy, "presimulate": False}
+    record = run_figure_case(
+        benchmark, "TopKDAG", "citation", (4, 6), cyclic=False, k=10, **options
+    )
+    assert record.match_ratio is None or record.match_ratio <= 1.0 + 1e-9

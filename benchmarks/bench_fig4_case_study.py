@@ -1,0 +1,29 @@
+"""Figure 4: the YouTube case-study patterns Q1 (cyclic) and Q2 (DAG).
+
+Top-2 relevant matches vs top-2 diversified matches: the diversified set
+should trade some relevance for coverage, exactly as the shadowed node in
+the paper's figure does.
+"""
+
+import pytest
+
+from repro.bench.harness import run_algorithm
+from repro.bench.workloads import bench_graph
+from repro.workloads.paper_queries import youtube_q1, youtube_q2
+
+
+@pytest.mark.parametrize("name,factory", [("Q1", youtube_q1), ("Q2", youtube_q2)])
+def bench_fig4(benchmark, name, factory):
+    graph = bench_graph("youtube")
+    pattern = factory()
+    baseline = run_algorithm("Match", pattern, graph, 2)
+    if not baseline.matches:
+        pytest.skip(f"{name} has no matches at bench scale")
+    record = benchmark.pedantic(
+        lambda: run_algorithm("TopKDH", pattern, graph, 2, 0.5),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["relevant_top2"] = str(baseline.matches)
+    benchmark.extra_info["diversified_top2"] = str(record.matches)
+    assert len(record.matches) <= 2

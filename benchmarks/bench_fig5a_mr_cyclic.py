@@ -1,0 +1,20 @@
+"""Figure 5(a): match ratio vs |Q| for cyclic patterns (YouTube).
+
+The paper reports MR[TopK] ≈ 45 % and MR[TopKnopt] ≈ 54 % on average,
+with Match pinned at 1 by construction.  The reproduced shape to check:
+``MR[TopK] <= MR[TopKnopt] <= 1``.
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+SHAPES = [(4, 8), (6, 12)]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+@pytest.mark.parametrize("algorithm", ["TopK", "TopKnopt"])
+def bench_fig5a(benchmark, algorithm, shape):
+    record = run_figure_case(benchmark, algorithm, "youtube", shape, cyclic=True, k=10)
+    assert record.match_ratio is not None and record.match_ratio <= 1.0 + 1e-9
+    assert len(record.matches) <= 10

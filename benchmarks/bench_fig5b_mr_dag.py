@@ -1,0 +1,18 @@
+"""Figure 5(b): match ratio vs |Q| for DAG patterns (Citation).
+
+Paper: MR[TopKDAG] ≈ 40 % on average, TopKDAGnopt ~18 % worse.  Shape to
+check: ``MR[TopKDAG] <= MR[TopKDAGnopt] <= 1``.
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+SHAPES = [(4, 6), (8, 12)]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+@pytest.mark.parametrize("algorithm", ["TopKDAG", "TopKDAGnopt"])
+def bench_fig5b(benchmark, algorithm, shape):
+    record = run_figure_case(benchmark, algorithm, "citation", shape, cyclic=False, k=10)
+    assert record.match_ratio is not None and record.match_ratio <= 1.0 + 1e-9

@@ -1,0 +1,19 @@
+"""Figure 5(c): match ratio vs k for cyclic patterns (Amazon).
+
+Paper: MR grows from ~42 % (k=5) to ~69 % (k=30) for TopK; TopKnopt is
+consistently worse.  Shape to check: MR non-decreasing-ish in k and
+TopK <= TopKnopt at equal k.
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+KS = [5, 15, 30]
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("algorithm", ["TopK", "TopKnopt"])
+def bench_fig5c(benchmark, algorithm, k):
+    record = run_figure_case(benchmark, algorithm, "amazon", (4, 8), cyclic=True, k=k)
+    assert record.match_ratio is not None and record.match_ratio <= 1.0 + 1e-9

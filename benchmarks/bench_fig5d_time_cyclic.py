@@ -1,0 +1,18 @@
+"""Figure 5(d): runtime vs |Q| for cyclic patterns (YouTube).
+
+Paper: TopK ≈ 52 % and TopKnopt ≈ 64 % of Match's time; all grow with
+|Q|, Match the steepest.
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+SHAPES = [(4, 8), (6, 12)]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+@pytest.mark.parametrize("algorithm", ["Match", "TopKnopt", "TopK"])
+def bench_fig5d(benchmark, algorithm, shape):
+    record = run_figure_case(benchmark, algorithm, "youtube", shape, cyclic=True, k=10)
+    assert record.matches or record.total_matches == 0

@@ -1,0 +1,18 @@
+"""Figure 5(e): runtime vs |Q| for DAG patterns (Citation).
+
+Paper: TopKDAG ≈ 36 % of Match's time (the biggest win — no fixpoint),
+TopKDAGnopt ≈ 44 %.
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+SHAPES = [(4, 6), (8, 12)]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+@pytest.mark.parametrize("algorithm", ["Match", "TopKDAGnopt", "TopKDAG"])
+def bench_fig5e(benchmark, algorithm, shape):
+    record = run_figure_case(benchmark, algorithm, "citation", shape, cyclic=False, k=10)
+    assert record.matches or record.total_matches == 0

@@ -1,0 +1,18 @@
+"""Figure 5(f): runtime vs k (Amazon, cyclic patterns).
+
+Paper: Match is insensitive to k; TopK/TopKnopt degrade as k grows but
+stay below Match for practical k.
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+KS = [5, 15, 30]
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("algorithm", ["Match", "TopKnopt", "TopK"])
+def bench_fig5f(benchmark, algorithm, k):
+    record = run_figure_case(benchmark, algorithm, "amazon", (4, 8), cyclic=True, k=k)
+    assert record.matches or record.total_matches == 0

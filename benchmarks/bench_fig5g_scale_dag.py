@@ -1,0 +1,22 @@
+"""Figure 5(g): runtime vs |G| for DAG patterns (synthetic).
+
+Paper sweeps |G| from (1M,2M) to (2.8M,5.6M); we sweep the same relative
+factors over the bench base size.  Shape: all algorithms ~linear in |G|,
+TopKDAG < TopKDAGnopt < Match.
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+FACTORS = [1.0, 2.0]
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+@pytest.mark.parametrize("algorithm", ["Match", "TopKDAGnopt", "TopKDAG"])
+def bench_fig5g(benchmark, algorithm, factor):
+    record = run_figure_case(
+        benchmark, algorithm, "synthetic-dag", (4, 6), cyclic=False, k=10,
+        scale_factor=factor,
+    )
+    assert record.matches or record.total_matches == 0

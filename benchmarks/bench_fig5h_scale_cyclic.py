@@ -1,0 +1,20 @@
+"""Figure 5(h): runtime vs |G| for cyclic patterns (synthetic).
+
+Paper: TopK ≈ 49 %, TopKnopt ≈ 56 % of Match's cost across the sweep.
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+FACTORS = [1.0, 2.0]
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+@pytest.mark.parametrize("algorithm", ["Match", "TopKnopt", "TopK"])
+def bench_fig5h(benchmark, algorithm, factor):
+    record = run_figure_case(
+        benchmark, algorithm, "synthetic-cyclic", (4, 8), cyclic=True, k=10,
+        scale_factor=factor,
+    )
+    assert record.matches or record.total_matches == 0

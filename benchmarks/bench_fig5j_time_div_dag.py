@@ -1,0 +1,18 @@
+"""Figure 5(j): runtime vs |Q| — TopKDiv vs TopKDAGDH (Citation).
+
+Paper: the early-terminating heuristic takes ~42 % of TopKDiv's time on
+DAG patterns, but TopKDiv is less sensitive to |Q|.
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+SHAPES = [(4, 3), (6, 5)]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+@pytest.mark.parametrize("algorithm", ["TopKDiv", "TopKDAGDH"])
+def bench_fig5j(benchmark, algorithm, shape):
+    record = run_figure_case(benchmark, algorithm, "citation", shape, cyclic=False, k=10, lam=0.5)
+    assert record.matches or record.total_matches == 0

@@ -1,0 +1,14 @@
+"""Figure 5(k): runtime vs |Q| — TopKDiv vs TopKDH (YouTube, cyclic)."""
+
+import pytest
+
+from conftest import run_figure_case
+
+SHAPES = [(4, 8), (6, 12)]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+@pytest.mark.parametrize("algorithm", ["TopKDiv", "TopKDH"])
+def bench_fig5k(benchmark, algorithm, shape):
+    record = run_figure_case(benchmark, algorithm, "youtube", shape, cyclic=True, k=10, lam=0.5)
+    assert record.matches or record.total_matches == 0

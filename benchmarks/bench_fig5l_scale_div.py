@@ -1,0 +1,21 @@
+"""Figure 5(l): runtime vs |G| — TopKDiv vs TopKDH (synthetic).
+
+Paper: both scale ~linearly; TopKDiv grows faster (it always computes the
+whole of M(Q,G)), TopKDH stays flatter thanks to early termination.
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+FACTORS = [1.0, 2.0]
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+@pytest.mark.parametrize("algorithm", ["TopKDiv", "TopKDH"])
+def bench_fig5l(benchmark, algorithm, factor):
+    record = run_figure_case(
+        benchmark, algorithm, "synthetic-cyclic", (4, 8), cyclic=True, k=10,
+        lam=0.5, scale_factor=factor,
+    )
+    assert record.matches or record.total_matches == 0

@@ -1,0 +1,18 @@
+"""λ-sensitivity (Section 6, Exp-3 in-text): runtime vs λ.
+
+Paper: neither TopKDiv nor TopKDH is sensitive to λ (TopKDiv slightly
+faster at λ=0 where it degenerates to Match-like behaviour).
+"""
+
+import pytest
+
+from conftest import run_figure_case
+
+LAMBDAS = [0.1, 0.5, 0.9]
+
+
+@pytest.mark.parametrize("lam", LAMBDAS)
+@pytest.mark.parametrize("algorithm", ["TopKDiv", "TopKDH"])
+def bench_lambda(benchmark, algorithm, lam):
+    record = run_figure_case(benchmark, algorithm, "amazon", (4, 8), cyclic=True, k=10, lam=lam)
+    assert record.matches or record.total_matches == 0

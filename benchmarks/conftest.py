@@ -1,0 +1,60 @@
+"""Shared helpers for the figure-by-figure benchmark suite.
+
+Every ``bench_fig5*.py`` file reproduces one figure of the paper's
+Section 6 at benchmark scale (see ``repro.bench.workloads.BENCH_SCALE``;
+set ``REPRO_BENCH_SCALE=1.0`` for the full surrogate sizes).  Graphs and
+extracted patterns are cached per process, so the suite pays generation
+once.  ``benchmarks/run_all.py`` regenerates the *full* series as text
+tables for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import RunRecord, run_algorithm
+from repro.bench.workloads import bench_graph, bench_pattern, total_matches
+from repro.errors import DatasetError
+
+ROUNDS = 2
+
+
+def run_figure_case(
+    benchmark,
+    algorithm: str,
+    dataset: str,
+    shape: tuple[int, int],
+    cyclic: bool,
+    k: int = 10,
+    lam: float = 0.5,
+    seed: int = 0,
+    scale_factor: float = 1.0,
+    **options,
+) -> RunRecord:
+    """Benchmark one (algorithm, workload) cell and annotate MR / F(S)."""
+    try:
+        graph = bench_graph(dataset, scale_factor)
+        pattern = bench_pattern(dataset, shape[0], shape[1], cyclic, seed, scale_factor)
+    except DatasetError as exc:
+        pytest.skip(f"workload unavailable at bench scale: {exc}")
+    mu = total_matches(dataset, (shape[0], shape[1], cyclic, seed), scale_factor)
+    if mu == 0:
+        pytest.skip("pattern has no matches at bench scale")
+
+    record = benchmark.pedantic(
+        lambda: run_algorithm(
+            algorithm, pattern, graph, k, lam, total_matches=mu, **options
+        ),
+        rounds=ROUNDS,
+        iterations=1,
+    )
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["shape"] = str(shape)
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["Mu"] = mu
+    if record.match_ratio is not None:
+        benchmark.extra_info["MR"] = round(record.match_ratio, 3)
+    if record.objective_value is not None:
+        benchmark.extra_info["F"] = round(record.objective_value, 3)
+    return record

@@ -1,0 +1,150 @@
+"""Regenerate every figure of the paper's evaluation as text tables.
+
+Usage::
+
+    python benchmarks/run_all.py            # bench-scale sweeps (~minutes)
+    REPRO_BENCH_SCALE=1.0 python benchmarks/run_all.py   # full surrogates
+
+The output is what EXPERIMENTS.md records: per figure, the swept
+parameter, the series the paper plots, and the reproduced values.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import exact_objective, run_algorithm
+from repro.bench.reporting import format_table
+from repro.bench.workloads import BENCH_SCALE, bench_graph, bench_pattern, total_matches
+from repro.errors import DatasetError
+from repro.workloads.paper_queries import youtube_q1, youtube_q2
+
+
+def _cell(record, metric):
+    if metric == "time":
+        return round(record.elapsed_seconds, 3)
+    if metric == "mr":
+        return "-" if record.match_ratio is None else round(record.match_ratio, 2)
+    raise ValueError(metric)
+
+
+def sweep(
+    title: str,
+    dataset: str,
+    algorithms: list[str],
+    shapes=None,
+    ks=None,
+    lams=None,
+    factors=None,
+    cyclic=True,
+    metric="time",
+    k: int = 10,
+    lam: float = 0.5,
+) -> None:
+    print(f"\n## {title}\n")
+    if shapes is not None:
+        axis, values = "|Q|", shapes
+    elif ks is not None:
+        axis, values = "k", ks
+    elif lams is not None:
+        axis, values = "lambda", lams
+    else:
+        axis, values = "|G| factor", factors
+
+    rows = []
+    for value in values:
+        shape = value if shapes is not None else (4, 8 if cyclic else 6)
+        this_k = value if ks is not None else k
+        this_lam = value if lams is not None else lam
+        factor = value if factors is not None else 1.0
+        try:
+            graph = bench_graph(dataset, factor)
+            pattern = bench_pattern(dataset, shape[0], shape[1], cyclic, 0, factor)
+        except DatasetError as exc:
+            rows.append([value] + [f"skip ({str(exc)[:30]})" for _ in algorithms])
+            continue
+        mu = total_matches(dataset, (shape[0], shape[1], cyclic, 0), factor)
+        row = [value]
+        for algorithm in algorithms:
+            record = run_algorithm(
+                algorithm, pattern, graph, this_k, this_lam, total_matches=mu
+            )
+            row.append(_cell(record, metric))
+        rows.append(row)
+    unit = "seconds" if metric == "time" else "MR"
+    print(format_table([axis] + [f"{a} ({unit})" for a in algorithms], rows))
+
+
+def figure_5i() -> None:
+    print("\n## Fig 5(i): F(S) TopKDiv vs TopKDH (Amazon, lam=0.5, k=10)\n")
+    rows = []
+    for shape in [(4, 8), (5, 10), (6, 12)]:
+        try:
+            graph = bench_graph("amazon")
+            pattern = bench_pattern("amazon", shape[0], shape[1], True, 0)
+        except DatasetError:
+            rows.append([shape, "skip", "skip", "-"])
+            continue
+        div = run_algorithm("TopKDiv", pattern, graph, 10, 0.5)
+        heur = run_algorithm("TopKDH", pattern, graph, 10, 0.5)
+        f_div = exact_objective(pattern, graph, div.matches, 10, 0.5)
+        f_heur = exact_objective(pattern, graph, heur.matches, 10, 0.5)
+        ratio = f_heur / f_div if f_div else float("nan")
+        rows.append([shape, round(f_div, 3), round(f_heur, 3), round(ratio, 2)])
+    print(format_table(["|Q|", "F(TopKDiv)", "F(TopKDH)", "ratio"], rows))
+
+
+def figure_4() -> None:
+    print("\n## Fig 4: case study (YouTube Q1/Q2, k=2)\n")
+    rows = []
+    graph = bench_graph("youtube")
+    for name, factory in [("Q1 (cyclic)", youtube_q1), ("Q2 (DAG)", youtube_q2)]:
+        pattern = factory()
+        relevant = run_algorithm("Match", pattern, graph, 2)
+        diversified = run_algorithm("TopKDH", pattern, graph, 2, 0.5)
+        rows.append(
+            [
+                name,
+                relevant.total_matches,
+                str(relevant.matches),
+                str(diversified.matches),
+            ]
+        )
+    print(format_table(["pattern", "|Mu|", "top-2 relevant", "top-2 diversified"], rows))
+
+
+def main() -> int:
+    print(f"# Evaluation sweep at REPRO_BENCH_SCALE={BENCH_SCALE}")
+    cyc_shapes = [(4, 8), (5, 10), (6, 12)]
+    dag_shapes = [(4, 6), (6, 9), (8, 12)]
+    sweep("Fig 5(a): MR vs |Q| (YouTube, cyclic)", "youtube", ["TopK", "TopKnopt"],
+          shapes=cyc_shapes, metric="mr")
+    sweep("Fig 5(b): MR vs |Q| (Citation, DAG)", "citation", ["TopKDAG", "TopKDAGnopt"],
+          shapes=dag_shapes, cyclic=False, metric="mr")
+    sweep("Fig 5(c): MR vs k (Amazon, cyclic)", "amazon", ["TopK", "TopKnopt"],
+          ks=[5, 10, 15, 20, 25, 30], metric="mr")
+    sweep("Fig 5(d): time vs |Q| (YouTube, cyclic)", "youtube", ["Match", "TopKnopt", "TopK"],
+          shapes=cyc_shapes)
+    sweep("Fig 5(e): time vs |Q| (Citation, DAG)", "citation", ["Match", "TopKDAGnopt", "TopKDAG"],
+          shapes=dag_shapes, cyclic=False)
+    sweep("Fig 5(f): time vs k (Amazon, cyclic)", "amazon", ["Match", "TopKnopt", "TopK"],
+          ks=[5, 10, 15, 20, 25, 30])
+    sweep("Fig 5(g): time vs |G| (synthetic, DAG)", "synthetic-dag",
+          ["Match", "TopKDAGnopt", "TopKDAG"], factors=[1.0, 1.4, 1.8, 2.2, 2.6], cyclic=False)
+    sweep("Fig 5(h): time vs |G| (synthetic, cyclic)", "synthetic-cyclic",
+          ["Match", "TopKnopt", "TopK"], factors=[1.0, 1.4, 1.8, 2.2, 2.6])
+    figure_5i()
+    sweep("Fig 5(j): time vs |Q| (Citation, diversified)", "citation", ["TopKDiv", "TopKDAGDH"],
+          shapes=[(4, 3), (5, 4), (6, 5)], cyclic=False)
+    sweep("Fig 5(k): time vs |Q| (YouTube, diversified)", "youtube", ["TopKDiv", "TopKDH"],
+          shapes=cyc_shapes)
+    sweep("Fig 5(l): time vs |G| (synthetic, diversified)", "synthetic-cyclic",
+          ["TopKDiv", "TopKDH"], factors=[1.0, 1.4, 1.8, 2.2, 2.6])
+    sweep("lambda sensitivity (Amazon)", "amazon", ["TopKDiv", "TopKDH"],
+          lams=[0.0, 0.25, 0.5, 0.75, 1.0])
+    figure_4()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Expert finding on the citation surrogate with generalised ranking.
+
+Run with::
+
+    python examples/expert_finding.py
+
+The paper motivates top-k matching with expert recommendation (Section 1)
+and generalises the ranking functions in Section 3.4.  This example finds
+influential database papers whose citation neighbourhood spans several
+areas, comparing three relevance functions on the same pattern:
+
+* the default ``δr`` (relevant-set cardinality — "social impact"),
+* preferential attachment (``|R(u)| · |R*(u, v)|``),
+* the Jaccard coefficient against the full match set.
+"""
+
+from repro import api
+from repro.datasets.citation import citation_graph
+from repro.ranking.generalized import JaccardCoefficient, PreferentialAttachment
+from repro.workloads.pattern_gen import random_dag_pattern
+
+
+def main() -> None:
+    graph = citation_graph(scale=0.5)
+    print(f"Citation surrogate (a DAG): |V| = {graph.num_nodes}, |E| = {graph.num_edges}")
+
+    # Extract a realistic 4-node citation pattern anchored on a DB paper.
+    pattern = random_dag_pattern(graph, 4, 5, seed=11, min_matches=20)
+    labels = pattern.labels()
+    print(f"pattern labels: {labels} (output: {labels[pattern.output_node]})")
+
+    print("\nTop-5 by relevant-set cardinality (the paper's δr):")
+    default = api.top_k_matches(pattern, graph, k=5)
+    for v in default.matches:
+        print(
+            f"  {graph.attr(v, 'title')} ({graph.attr(v, 'venue')}, "
+            f"{graph.attr(v, 'year')}) — reaches {default.scores[v]:.0f} matches"
+        )
+
+    print("\nTop-5 by preferential attachment:")
+    pa = api.top_k_matches(pattern, graph, k=5, relevance_fn=PreferentialAttachment())
+    for v in pa.matches:
+        print(f"  {graph.attr(v, 'title')} — score {pa.scores[v]:.0f}")
+
+    print("\nTop-5 by Jaccard coefficient vs the match set:")
+    jc = api.top_k_matches(pattern, graph, k=5, relevance_fn=JaccardCoefficient())
+    for v in jc.matches:
+        print(f"  {graph.attr(v, 'title')} — score {jc.scores[v]:.3f}")
+
+    overlap = set(default.matches) & set(pa.matches)
+    print(f"\noverlap between δr and preferential attachment top-5: {len(overlap)}/5")
+
+    print("\nDiversified top-5 (λ = 0.5):")
+    diverse = api.diversified_matches(pattern, graph, k=5, lam=0.5)
+    for v in diverse.matches:
+        print(f"  {graph.attr(v, 'title')} ({graph.attr(v, 'venue')})")
+    print(f"F(S) = {diverse.objective_value:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""The high-level public API of the library.
+
+Most downstream users need only four calls:
+
+>>> from repro import api
+>>> result = api.find_matches(pattern, graph)          # M(Q, G)   # doctest: +SKIP
+>>> top = api.top_k_matches(pattern, graph, k=10)      # topKP     # doctest: +SKIP
+>>> div = api.diversified_matches(pattern, graph, k=10, lam=0.5)   # doctest: +SKIP
+>>> base = api.baseline_matches(pattern, graph, k=10)  # Match     # doctest: +SKIP
+
+``top_k_matches`` routes to ``TopKDAG`` for DAG patterns and ``TopK``
+otherwise, exactly the split the paper draws.  ``diversified_matches``
+picks the early-terminating heuristic by default (``method="heuristic"``)
+and the 2-approximation with ``method="approx"``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MatchingError
+from repro.diversify.approx import top_k_diversified_approx
+from repro.diversify.heuristic import top_k_diversified_heuristic
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern
+from repro.ranking.context import RankingContext
+from repro.ranking.diversification import DiversificationObjective
+from repro.ranking.relevance import RelevanceFunction
+from repro.simulation.match import SimulationResult, maximal_simulation
+from repro.topk.cyclic import top_k
+from repro.topk.dag import top_k_dag
+from repro.topk.match_all import match_baseline
+from repro.topk.result import TopKResult
+
+
+def find_matches(pattern: Pattern, graph: Graph) -> SimulationResult:
+    """Compute the full match relation ``M(Q, G)`` by graph simulation."""
+    pattern.validate(require_output=False)
+    return maximal_simulation(pattern, graph)
+
+
+def output_matches(pattern: Pattern, graph: Graph) -> set[int]:
+    """``Mu(Q, G, uo)`` — all matches of the designated output node."""
+    pattern.validate()
+    return find_matches(pattern, graph).output_matches()
+
+
+def top_k_matches(
+    pattern: Pattern,
+    graph: Graph,
+    k: int,
+    optimized: bool = True,
+    relevance_fn: RelevanceFunction | None = None,
+    **engine_options,
+) -> TopKResult:
+    """topKP with early termination: ``TopKDAG`` or ``TopK`` as appropriate."""
+    if pattern.is_dag():
+        return top_k_dag(
+            pattern, graph, k, optimized=optimized, relevance_fn=relevance_fn, **engine_options
+        )
+    return top_k(
+        pattern, graph, k, optimized=optimized, relevance_fn=relevance_fn, **engine_options
+    )
+
+
+def baseline_matches(
+    pattern: Pattern,
+    graph: Graph,
+    k: int,
+    relevance_fn: RelevanceFunction | None = None,
+) -> TopKResult:
+    """The ``Match`` baseline: compute everything, then rank."""
+    return match_baseline(pattern, graph, k, relevance_fn=relevance_fn)
+
+
+def diversified_matches(
+    pattern: Pattern,
+    graph: Graph,
+    k: int,
+    lam: float = 0.5,
+    method: str = "heuristic",
+    objective: DiversificationObjective | None = None,
+    **options,
+) -> TopKResult:
+    """topKDP: diversified top-k matches of the output node.
+
+    ``method="heuristic"`` runs the early-terminating ``TopKDH`` /
+    ``TopKDAGDH``; ``method="approx"`` runs the 2-approximation
+    ``TopKDiv``.
+    """
+    if method == "heuristic":
+        return top_k_diversified_heuristic(
+            pattern, graph, k, lam=lam, objective=objective, **options
+        )
+    if method == "approx":
+        return top_k_diversified_approx(
+            pattern, graph, k, lam=lam, objective=objective, **options
+        )
+    raise MatchingError(f"unknown diversification method {method!r}")
+
+
+def ranking_context(pattern: Pattern, graph: Graph) -> RankingContext:
+    """A fully evaluated :class:`RankingContext` (relevant sets, ``C_uo``)."""
+    pattern.validate()
+    return RankingContext(pattern, graph)
+
+
+def top_k_matches_multi(
+    pattern: Pattern,
+    graph: Graph,
+    k: int,
+    optimized: bool = True,
+    **engine_options,
+) -> dict[int, TopKResult]:
+    """topKP for patterns with *multiple* output nodes (Section 2.2).
+
+    Runs the early-terminating engine once per designated output node and
+    returns ``{output_node: TopKResult}``.  Each run shares the graph-level
+    index caches, so the fan-out costs little beyond the per-node ranking.
+    """
+    from repro.topk.cyclic import top_k as _top_k
+
+    if not pattern.output_nodes:
+        raise MatchingError("pattern has no designated output nodes")
+    results: dict[int, TopKResult] = {}
+    for node in pattern.output_nodes:
+        results[node] = _top_k(
+            pattern, graph, k, optimized=optimized, output_node=node, **engine_options
+        )
+    return results

@@ -1,0 +1,27 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6)."""
+
+from repro.bench.harness import ALGORITHMS, RunRecord, averaged, exact_objective, run_algorithm
+from repro.bench.reporting import format_table, record_rows, series_table
+from repro.bench.workloads import (
+    BENCH_MIN_MATCHES,
+    BENCH_SCALE,
+    bench_graph,
+    bench_pattern,
+    total_matches,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BENCH_MIN_MATCHES",
+    "BENCH_SCALE",
+    "RunRecord",
+    "averaged",
+    "bench_graph",
+    "bench_pattern",
+    "exact_objective",
+    "format_table",
+    "record_rows",
+    "run_algorithm",
+    "series_table",
+    "total_matches",
+]

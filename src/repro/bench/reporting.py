@@ -1,0 +1,70 @@
+"""Plain-text reporting for experiment series (paper-style tables).
+
+Each figure of Section 6 is a set of series over a swept parameter; the
+functions here render them as aligned text tables, which is what
+``benchmarks/run_all.py`` writes into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.bench.harness import RunRecord
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    materialised = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in materialised:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def series_table(
+    sweep_name: str,
+    sweep_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    value_name: str = "value",
+) -> str:
+    """A table with the swept parameter as first column, one column per series."""
+    headers = [sweep_name] + [f"{name} ({value_name})" for name in series]
+    rows = []
+    for i, x in enumerate(sweep_values):
+        rows.append([x] + [values[i] for values in series.values()])
+    return format_table(headers, rows)
+
+
+def record_rows(records: Iterable[RunRecord]) -> str:
+    """A table of raw run records (debugging / appendix output)."""
+    headers = ["algorithm", "|Q|", "k", "lam", "time(s)", "inspected", "|Mu|", "MR", "early", "F(S)"]
+    rows = []
+    for r in records:
+        rows.append(
+            [
+                r.algorithm,
+                r.pattern_shape,
+                r.k,
+                "-" if r.lam is None else f"{r.lam:.2f}",
+                r.elapsed_seconds,
+                r.inspected_matches,
+                "-" if r.total_matches is None else r.total_matches,
+                "-" if r.match_ratio is None else f"{r.match_ratio:.2f}",
+                "yes" if r.terminated_early else "no",
+                "-" if r.objective_value is None else f"{r.objective_value:.3f}",
+            ]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,79 @@
+"""Cached benchmark workloads (graphs + extracted pattern suites).
+
+Pattern extraction validates candidates against the live graph (it runs
+real simulations), which is the expensive part of benchmark setup.  The
+caches here make every benchmark file share one generation pass per
+process.
+
+``BENCH_SCALE`` trades fidelity for runtime: 1.0 reproduces the default
+surrogate sizes (6k nodes), the default 0.35 keeps the whole pytest
+benchmark suite in the minutes range.  The figure *shapes* are stable
+across scales (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.datasets import load_dataset
+from repro.datasets.synthetic import synthetic_graph
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern
+from repro.topk.match_all import match_baseline
+from repro.workloads.pattern_gen import random_cyclic_pattern, random_dag_pattern
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+BENCH_MIN_MATCHES = max(30, int(40 * BENCH_SCALE))
+SYNTH_BASE_NODES = int(4000 * BENCH_SCALE)
+SYNTH_BASE_EDGES = int(18000 * BENCH_SCALE)
+
+
+@lru_cache(maxsize=None)
+def bench_graph(name: str, scale_factor: float = 1.0) -> Graph:
+    """A dataset surrogate at benchmark scale (cached per process)."""
+    if name == "synthetic-cyclic":
+        return synthetic_graph(
+            int(SYNTH_BASE_NODES * scale_factor),
+            int(SYNTH_BASE_EDGES * scale_factor),
+            seed=5,
+            cyclic=True,
+        )
+    if name == "synthetic-dag":
+        return synthetic_graph(
+            int(SYNTH_BASE_NODES * scale_factor),
+            int(SYNTH_BASE_EDGES * scale_factor),
+            seed=5,
+            cyclic=False,
+        )
+    return load_dataset(name, scale=BENCH_SCALE * scale_factor)
+
+
+@lru_cache(maxsize=None)
+def bench_pattern(
+    dataset: str,
+    num_nodes: int,
+    num_edges: int,
+    cyclic: bool,
+    seed: int = 0,
+    scale_factor: float = 1.0,
+) -> Pattern:
+    """An extracted pattern of the given shape (cached per process)."""
+    graph = bench_graph(dataset, scale_factor)
+    if cyclic:
+        return random_cyclic_pattern(
+            graph, num_nodes, num_edges, seed=seed, min_matches=BENCH_MIN_MATCHES
+        )
+    return random_dag_pattern(
+        graph, num_nodes, num_edges, seed=seed, min_matches=BENCH_MIN_MATCHES
+    )
+
+
+@lru_cache(maxsize=None)
+def total_matches(dataset: str, pattern_key: tuple, scale_factor: float = 1.0) -> int:
+    """``|Mu|`` for a cached pattern — the MR denominator (cached)."""
+    num_nodes, num_edges, cyclic, seed = pattern_key
+    graph = bench_graph(dataset, scale_factor)
+    pattern = bench_pattern(dataset, num_nodes, num_edges, cyclic, seed, scale_factor)
+    baseline = match_baseline(pattern, graph, 1)
+    return baseline.stats.total_matches or 0

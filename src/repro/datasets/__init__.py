@@ -1,0 +1,62 @@
+"""Dataset generators: the paper's synthetic model and real-graph surrogates."""
+
+from repro.datasets.amazon import amazon_graph
+from repro.datasets.citation import citation_graph
+from repro.datasets.examples import Figure1, example7_pattern, figure1
+from repro.datasets.labels import (
+    AMAZON_GROUPS,
+    CITATION_AREAS,
+    SYNTHETIC_LABELS,
+    YOUTUBE_CATEGORIES,
+    zipf_weights,
+)
+from repro.datasets.synthetic import (
+    preferential_attachment_digraph,
+    synthetic_graph,
+    synthetic_series,
+)
+from repro.datasets.youtube import youtube_graph
+from repro.errors import DatasetError
+from repro.graph.digraph import Graph
+
+_REGISTRY = {
+    "amazon": amazon_graph,
+    "citation": citation_graph,
+    "youtube": youtube_graph,
+}
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None) -> Graph:
+    """Load a named dataset surrogate (``amazon``, ``citation``, ``youtube``).
+
+    ``seed`` overrides the dataset's default seed (each dataset has a
+    fixed one so experiments are reproducible by default).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    if seed is None:
+        return factory(scale=scale)
+    return factory(scale=scale, seed=seed)
+
+
+__all__ = [
+    "AMAZON_GROUPS",
+    "CITATION_AREAS",
+    "Figure1",
+    "SYNTHETIC_LABELS",
+    "YOUTUBE_CATEGORIES",
+    "amazon_graph",
+    "citation_graph",
+    "example7_pattern",
+    "figure1",
+    "load_dataset",
+    "preferential_attachment_digraph",
+    "synthetic_graph",
+    "synthetic_series",
+    "youtube_graph",
+    "zipf_weights",
+]

@@ -1,0 +1,111 @@
+"""The running example of the paper (Figure 1) as a reusable fixture.
+
+The collaboration network ``G`` and pattern ``Q`` of Figure 1 anchor every
+worked example in the paper (Examples 1–10).  The edge set below was
+reconstructed from those examples and reproduces all of their published
+numbers exactly:
+
+* ``M(Q, G)`` has 15 pairs; ``Mu(Q, G, PM) = {PM1..PM4}`` (Example 3);
+* the relevant-set table of Example 4 (``δr`` = 4 / 8 / 6 / 6);
+* the distances of Example 5 (``10/11``, ``1/4``, ``1``, ``δd(PM3,PM4)=0``);
+* the λ regimes of Example 6 (thresholds ``4/33`` and ``0.5``);
+* the traces of Examples 7–10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern, pattern_from_edges
+
+
+@dataclass(frozen=True)
+class Figure1:
+    """The Figure 1 fixture: graph, pattern and named node handles."""
+
+    graph: Graph
+    pattern: Pattern
+    nodes: dict[str, int]
+    query_nodes: dict[str, int]
+
+    def node(self, name: str) -> int:
+        """Graph node id by its paper name (e.g. ``"PM2"``)."""
+        return self.nodes[name]
+
+    def names(self, ids) -> set[str]:
+        """Convert a collection of graph node ids back to paper names."""
+        reverse = {v: k for k, v in self.nodes.items()}
+        return {reverse[i] for i in ids}
+
+
+def figure1() -> Figure1:
+    """Build the Figure 1 collaboration network and pattern ``Q``.
+
+    Pattern ``Q``: PM is the output node; PM supervises a DB and a PRG; the
+    DB and PRG supervise each other (directly or indirectly — a pattern
+    cycle); both supervise an ST.
+    """
+    graph = Graph()
+    names = [
+        "PM1", "PM2", "PM3", "PM4",
+        "DB1", "DB2", "DB3",
+        "PRG1", "PRG2", "PRG3", "PRG4",
+        "ST1", "ST2", "ST3", "ST4",
+        "BA1", "UD1", "UD2",
+    ]
+    ids: dict[str, int] = {}
+    for name in names:
+        label = "".join(ch for ch in name if not ch.isdigit())
+        ids[name] = graph.add_node(label, title=name)
+
+    def edge(a: str, b: str) -> None:
+        graph.add_edge(ids[a], ids[b])
+
+    # PM1's team: DB1 <-> PRG1 cycle, PRG1 -> ST1, DB1 -> ST2.
+    edge("PM1", "DB1")
+    edge("PM1", "PRG1")
+    edge("DB1", "PRG1")
+    edge("PRG1", "DB1")
+    edge("PRG1", "ST1")
+    edge("DB1", "ST2")
+    # PM2's (and PM3/PM4's) team: the 4-cycle DB2 -> PRG2 -> DB3 -> PRG3 -> DB2.
+    edge("PM2", "DB2")
+    edge("PM2", "PRG3")
+    edge("PM2", "PRG4")
+    edge("PM3", "DB2")
+    edge("PM3", "PRG3")
+    edge("PM4", "DB2")
+    edge("PM4", "PRG3")
+    edge("DB2", "PRG2")
+    edge("PRG2", "DB3")
+    edge("DB3", "PRG3")
+    edge("PRG3", "DB2")
+    edge("DB2", "ST3")
+    edge("PRG2", "ST3")
+    edge("DB3", "ST4")
+    edge("PRG3", "ST4")
+    # PRG4 supervises through the shared cycle and its own tester.
+    edge("PRG4", "DB2")
+    edge("PRG4", "ST2")
+    # Non-matching personnel (business analyst, UI developers).
+    edge("PM1", "BA1")
+    edge("BA1", "UD1")
+    edge("BA1", "UD2")
+
+    pattern = pattern_from_edges(
+        labels=["PM", "DB", "PRG", "ST"],
+        edges=[(0, 1), (0, 2), (1, 2), (2, 1), (1, 3), (2, 3)],
+        output=0,
+    )
+    query_nodes = {"PM": 0, "DB": 1, "PRG": 2, "ST": 3}
+    return Figure1(graph=graph.freeze(), pattern=pattern, nodes=ids, query_nodes=query_nodes)
+
+
+def example7_pattern() -> Pattern:
+    """The DAG pattern ``Q1`` of Example 7: PM -> DB, PM -> PRG, PRG -> DB."""
+    return pattern_from_edges(
+        labels=["PM", "DB", "PRG"],
+        edges=[(0, 1), (0, 2), (2, 1)],
+        output=0,
+    )

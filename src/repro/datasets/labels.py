@@ -1,0 +1,71 @@
+"""Label vocabularies for the dataset surrogates.
+
+The paper's synthetic generator draws labels from an alphabet of 15
+(Section 6, "(2) Synthetic data"); the real-graph surrogates use label
+vocabularies mirroring the attributes the paper describes for each
+dataset (product groups, research areas, video categories).
+"""
+
+from __future__ import annotations
+
+SYNTHETIC_LABELS: tuple[str, ...] = tuple(f"L{i}" for i in range(15))
+"""The 15-label alphabet of the paper's synthetic graphs."""
+
+AMAZON_GROUPS: tuple[str, ...] = (
+    "Book",
+    "Music",
+    "DVD",
+    "Video",
+    "Software",
+    "Electronics",
+    "Toy",
+    "Game",
+    "Kitchen",
+    "Outdoor",
+)
+"""Product groups — the Amazon surrogate's matching labels."""
+
+CITATION_AREAS: tuple[str, ...] = (
+    "DB",
+    "AI",
+    "ML",
+    "OS",
+    "SE",
+    "PL",
+    "NW",
+    "IR",
+    "TH",
+    "GR",
+    "HCI",
+    "SEC",
+)
+"""Research areas — the Citation surrogate's matching labels."""
+
+YOUTUBE_CATEGORIES: tuple[str, ...] = (
+    "music",
+    "entertainment",
+    "comedy",
+    "film",
+    "sports",
+    "news",
+    "gaming",
+    "howto",
+    "travel",
+    "education",
+    "science",
+    "people",
+    "animals",
+    "autos",
+    "nonprofit",
+)
+"""Video categories — the YouTube surrogate's matching labels."""
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> list[float]:
+    """Zipf-like weights ``1 / rank^exponent`` used for skewed label draws.
+
+    Real label/category frequencies are heavily skewed; the surrogates use
+    this to mirror that (which matters: candidate-set sizes drive both the
+    match ratio and the effectiveness of the bound index).
+    """
+    return [1.0 / (rank**exponent) for rank in range(1, count + 1)]

@@ -1,0 +1,241 @@
+"""Synthetic graph generation following the linkage model of [12].
+
+Section 6, "(2) Synthetic data": graphs ``G = (V, E, L)`` controlled by
+``|V|`` and ``|E|``, labels from an alphabet of 15, and *"an edge was
+attached to the high degree nodes with higher probability"* — i.e.
+preferential attachment.
+
+:func:`preferential_attachment_digraph` is the shared core behind both
+the synthetic graphs and the real-dataset surrogates.  It is seeded and
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import DatasetError
+from repro.graph.digraph import Graph
+from repro.datasets.labels import SYNTHETIC_LABELS, zipf_weights
+
+
+def preferential_attachment_digraph(
+    num_nodes: int,
+    num_edges: int,
+    labels: Sequence[str],
+    seed: int = 0,
+    label_exponent: float = 1.0,
+    forward_only: bool = False,
+    mutual_prob: float = 0.12,
+    locality_window: int | None = None,
+    intra_block_share: float = 0.3,
+    hub_fraction: float = 0.0,
+    hub_share: float = 0.0,
+    graph: Graph | None = None,
+) -> Graph:
+    """Generate a directed preferential-attachment graph.
+
+    Parameters
+    ----------
+    num_nodes, num_edges:
+        Target sizes; the edge count is met exactly unless the graph is
+        too small to host that many distinct edges.
+    labels:
+        Label alphabet; assignments are Zipf-skewed by ``label_exponent``.
+    forward_only:
+        When True every edge goes from a newer node to an older one, so
+        the result is a DAG (the Citation surrogate's regime).
+    mutual_prob:
+        Probability of also inserting the reverse edge (creates the
+        2-cycles and larger SCCs that cyclic patterns need).  Ignored in
+        ``forward_only`` mode.
+    locality_window:
+        When set, nodes are partitioned into disjoint community blocks of
+        this size (by id, which correlates with arrival time), and
+        cycle-forming (reverse) edges are only allowed *within* a block;
+        cross-block edges are oriented newer→older.  SCC size is thus
+        capped by the window, giving a community-like SCC distribution
+        instead of one giant SCC.  (A single giant SCC makes every
+        match's relevant set nearly identical, which would degenerate the
+        paper's top-k experiments — reciprocation in real graphs is
+        likewise concentrated inside communities.)
+    hub_fraction, hub_share:
+        A ``hub_fraction`` share of nodes are designated super-spreaders
+        (survey papers, blockbuster products, viral videos) and receive
+        ``hub_share`` of the densification edges as *sources*.  This makes
+        out-reach heavy-tailed, which is what separates top-k relevance
+        from the field (the paper's "social impact" is heavy-tailed in
+        real social graphs).
+    graph:
+        Optionally an existing (empty) graph to populate — used by the
+        surrogates to attach attributes afterwards.
+    """
+    if num_nodes < 2:
+        raise DatasetError(f"need at least 2 nodes; got {num_nodes}")
+    max_edges = num_nodes * (num_nodes - 1)
+    if forward_only:
+        max_edges //= 2
+    if num_edges > max_edges:
+        raise DatasetError(f"{num_edges} edges impossible on {num_nodes} nodes")
+
+    rng = random.Random(seed)
+    g = graph if graph is not None else Graph()
+    weights = zipf_weights(len(labels), label_exponent)
+    label_choices = rng.choices(range(len(labels)), weights=weights, k=num_nodes)
+    for i in range(num_nodes):
+        g.add_node(labels[label_choices[i]])
+
+    # Degree-proportional pool ("attach to high-degree nodes with higher
+    # probability"): every node enters once on creation, then once per
+    # incident edge, so draws are (degree+1)-proportional.  Sources are
+    # drawn from the same pool, which makes *out*-degree heavy-tailed as
+    # well — real reach ("social impact") distributions are heavy-tailed,
+    # and that skew is what gives top-k relevance its separation.
+    pool: list[int] = list(range(num_nodes))
+    edges_added = 0
+    attempts = 0
+    max_attempts = num_edges * 30
+
+    def try_add(src: int, dst: int) -> bool:
+        nonlocal edges_added
+        if src == dst or g.has_edge(src, dst):
+            return False
+        g.add_edge(src, dst)
+        pool.append(dst)
+        pool.append(src)
+        edges_added += 1
+        return True
+
+    def local(a: int, b: int) -> bool:
+        # Same community block: ids share the id // window bucket.  Blocks
+        # are disjoint, so cycles cannot chain across blocks and SCC size
+        # is capped by the window.
+        return locality_window is None or a // locality_window == b // locality_window
+
+    # Growth phase: every node brings in one edge, guaranteeing the graph
+    # has no large isolated fringe.  Cross-block edges are oriented
+    # newer→older so only within-block edges can close cycles.
+    for node in range(1, num_nodes):
+        if edges_added >= num_edges:
+            break
+        target = pool[rng.randrange(len(pool))]
+        if target == node:
+            continue
+        if forward_only:
+            if target >= node:
+                target = rng.randrange(node)
+            try_add(node, target)
+        elif not local(node, target):
+            src, dst = (node, target) if node > target else (target, node)
+            try_add(src, dst)
+        else:
+            if not try_add(node, target):
+                continue
+            if rng.random() < mutual_prob and edges_added < num_edges:
+                try_add(target, node)
+
+    # Densification phase: fill up to the exact edge budget with both
+    # endpoints drawn degree-preferentially.  Non-local pairs are oriented
+    # newer→older so only local edges can close cycles.
+    hubs: list[int] = []
+    if hub_fraction > 0 and hub_share > 0:
+        # Hubs live in the newer half so they have plenty of older targets
+        # (a survey cites what predates it).
+        hub_count = max(1, int(num_nodes * hub_fraction))
+        hubs = rng.sample(range(num_nodes // 2, num_nodes), min(hub_count, num_nodes - num_nodes // 2))
+    while edges_added < num_edges and attempts < max_attempts:
+        attempts += 1
+        if locality_window is not None and not forward_only and rng.random() < intra_block_share:
+            # Community edge: both endpoints in one block, so SCCs of
+            # community scale can form.
+            src = pool[rng.randrange(len(pool))]
+            low = (src // locality_window) * locality_window
+            high = min(low + locality_window, num_nodes)
+            dst = rng.randrange(low, high)
+            if src != dst and try_add(src, dst):
+                if rng.random() < mutual_prob and edges_added < num_edges:
+                    try_add(dst, src)
+            continue
+        if hubs and rng.random() < hub_share:
+            src = hubs[rng.randrange(len(hubs))]
+            dst = pool[rng.randrange(len(pool))]
+            if (forward_only or not local(src, dst)) and dst >= src:
+                # Keep acyclicity: a hub's long-range edges go to older
+                # nodes only (cycles stay inside the locality window).
+                dst = rng.randrange(src)
+            if src != dst:
+                try_add(src, dst)
+            continue
+        src = pool[rng.randrange(len(pool))]
+        dst = pool[rng.randrange(len(pool))]
+        if src == dst:
+            continue
+        if forward_only or not local(src, dst):
+            if src < dst:
+                src, dst = dst, src
+            try_add(src, dst)
+        else:
+            if try_add(src, dst) and rng.random() < mutual_prob and edges_added < num_edges:
+                try_add(dst, src)
+    if edges_added < num_edges:
+        # Deterministic sweep as a last resort (tiny dense graphs).
+        for src in range(num_nodes):
+            for dst in range(num_nodes):
+                if edges_added >= num_edges:
+                    break
+                if (forward_only or not local(src, dst)) and src <= dst:
+                    continue
+                try_add(src, dst)
+            if edges_added >= num_edges:
+                break
+    return g
+
+
+def synthetic_graph(
+    num_nodes: int,
+    num_edges: int,
+    num_labels: int = 15,
+    seed: int = 0,
+    cyclic: bool = True,
+) -> Graph:
+    """The paper's synthetic graph: linkage model + 15-label alphabet.
+
+    ``cyclic=False`` produces a DAG (used by the Fig. 5(g) sweep, which
+    pairs DAG patterns with synthetic graphs).
+    """
+    if not (1 <= num_labels <= len(SYNTHETIC_LABELS)):
+        raise DatasetError(f"num_labels must be in [1, {len(SYNTHETIC_LABELS)}]")
+    labels = SYNTHETIC_LABELS[:num_labels]
+    graph = preferential_attachment_digraph(
+        num_nodes,
+        num_edges,
+        labels,
+        seed=seed,
+        forward_only=not cyclic,
+        mutual_prob=0.35 if cyclic else 0.0,
+        locality_window=150 if cyclic else None,
+        hub_fraction=0.01,
+        hub_share=0.25,
+    )
+    return graph.freeze()
+
+
+def synthetic_series(
+    base_nodes: int,
+    base_edges: int,
+    factors: Sequence[float],
+    seed: int = 0,
+    cyclic: bool = True,
+) -> list[tuple[float, Graph]]:
+    """The scalability sweep of Figs. 5(g), 5(h), 5(l).
+
+    The paper varies ``|G|`` from (1M, 2M) to (2.8M, 5.6M) — factors 1.0
+    to 2.8 over a base size.  Returns ``(factor, graph)`` pairs.
+    """
+    series = []
+    for factor in factors:
+        nodes = int(base_nodes * factor)
+        edges = int(base_edges * factor)
+        series.append((factor, synthetic_graph(nodes, edges, seed=seed, cyclic=cyclic)))
+    return series

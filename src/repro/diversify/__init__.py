@@ -1,0 +1,13 @@
+"""Diversified top-k matching: TopKDiv, TopKDH and the exact oracle."""
+
+from repro.diversify.approx import top_k_diversified_approx
+from repro.diversify.exact import optimal_diversified
+from repro.diversify.heuristic import top_k_diversified_heuristic
+from repro.diversify.maxdisp import greedy_max_dispersion
+
+__all__ = [
+    "greedy_max_dispersion",
+    "optimal_diversified",
+    "top_k_diversified_approx",
+    "top_k_diversified_heuristic",
+]

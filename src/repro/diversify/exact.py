@@ -1,0 +1,49 @@
+"""Brute-force optimal diversified top-k (test oracle).
+
+Enumerates every k-subset of ``Mu(Q, G, uo)`` and maximises ``F`` exactly.
+Exponential — usable only on small instances, which is precisely its job:
+the property-based tests verify ``TopKDiv``'s 2-approximation guarantee
+(Theorem 5(2)) against this oracle, and the NP-hardness of topKDP
+(Theorem 5(1)) is why nothing faster can replace it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import MatchingError
+from repro.ranking.context import RankingContext
+from repro.ranking.diversification import DiversificationObjective
+
+
+def optimal_diversified(
+    context: RankingContext,
+    k: int,
+    lam: float = 0.5,
+    objective: DiversificationObjective | None = None,
+    max_matches: int = 25,
+) -> tuple[list[int], float]:
+    """The exact optimum ``(S*, F(S*))`` by exhaustive enumeration.
+
+    Raises :class:`MatchingError` when ``|Mu| > max_matches`` — a guard
+    against accidentally exponential runs.
+    """
+    matches = context.matches
+    if len(matches) > max_matches:
+        raise MatchingError(
+            f"brute force over {len(matches)} matches refused (limit {max_matches})"
+        )
+    obj = objective if objective is not None else DiversificationObjective(lam=lam, k=k)
+    obj.prepare(context)
+
+    if k >= len(matches):
+        return list(matches), obj.score_matches(context, list(matches))
+
+    best_set: list[int] = []
+    best_score = float("-inf")
+    for subset in combinations(matches, k):
+        score = obj.score_matches(context, list(subset))
+        if score > best_score:
+            best_score = score
+            best_set = list(subset)
+    return best_set, best_score

@@ -1,0 +1,71 @@
+"""Greedy 2-approximation for Maximum Dispersion (MAXDISP).
+
+Hassin, Rubinstein & Tamir (Operations Research Letters 1997): to pick a
+k-node subgraph of a weighted complete graph maximising the sum of node
+and edge weights, repeatedly take the pair maximising the combined weight
+``w(v1) + w(v2) + w(v1, v2)`` and remove it; ``⌊k/2⌋`` rounds give a
+2-approximation.
+
+Section 5.1 of the paper reduces topKDP to MAXDISP: nodes are the matches
+of ``uo`` weighted by scaled relevance, edges by scaled distance, so that
+the induced-subgraph weight of a k-set equals ``F(S)``.  ``TopKDiv``
+simulates this greedy — implemented here over an abstract pair objective
+so both the paper's ``F'`` and test instances can drive it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def greedy_max_dispersion(
+    items: Sequence[T],
+    k: int,
+    pair_weight: Callable[[T, T], float],
+    single_weight: Callable[[T], float] | None = None,
+) -> list[T]:
+    """Greedy MAXDISP selection of ``k`` items.
+
+    ``pair_weight(a, b)`` is the full objective contribution of a chosen
+    pair.  For odd ``k`` the final element maximises ``single_weight`` plus
+    its pair weights to the already-selected items (the paper's "greedily
+    select v maximising F(S ∪ {v})" step).
+
+    Returns all items when ``k >= len(items)``.
+    """
+    pool = list(items)
+    if k >= len(pool):
+        return pool
+    selected: list[T] = []
+
+    rounds = k // 2
+    for _ in range(rounds):
+        best_pair: tuple[int, int] | None = None
+        best_score = float("-inf")
+        for i in range(len(pool)):
+            for j in range(i + 1, len(pool)):
+                score = pair_weight(pool[i], pool[j])
+                if score > best_score:
+                    best_score = score
+                    best_pair = (i, j)
+        if best_pair is None:
+            break
+        i, j = best_pair
+        # Pop the larger index first so the smaller one stays valid.
+        selected.append(pool.pop(j))
+        selected.append(pool.pop(i))
+
+    if len(selected) < k and pool:
+        best_item_index = 0
+        best_score = float("-inf")
+        for index, item in enumerate(pool):
+            score = single_weight(item) if single_weight is not None else 0.0
+            score += sum(pair_weight(item, chosen) for chosen in selected)
+            if score > best_score:
+                best_score = score
+                best_item_index = index
+        selected.append(pool.pop(best_item_index))
+
+    return selected

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised on invalid data-graph construction or access."""
+
+
+class PatternError(ReproError):
+    """Raised on invalid pattern graphs (e.g. missing output node)."""
+
+
+class MatchingError(ReproError):
+    """Raised when a matching routine receives inconsistent inputs."""
+
+
+class RankingError(ReproError):
+    """Raised on invalid ranking-function configuration (e.g. bad lambda)."""
+
+
+class DatasetError(ReproError):
+    """Raised on invalid dataset-generator parameters."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the experiment harness on malformed experiment specs."""

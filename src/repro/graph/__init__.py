@@ -1,0 +1,34 @@
+"""Directed labelled graphs and the algorithms the matcher stands on."""
+
+from repro.graph.algorithms import (
+    Condensation,
+    bfs_distance,
+    condensation,
+    descendants,
+    is_dag,
+    reachable_from,
+    strongly_connected_components,
+    topological_order,
+    topological_ranks,
+)
+from repro.graph.digraph import Graph
+from repro.graph.labels import LabelTable
+from repro.graph.statistics import GraphStats, degree_histogram, graph_stats, label_counts
+
+__all__ = [
+    "Condensation",
+    "Graph",
+    "GraphStats",
+    "LabelTable",
+    "bfs_distance",
+    "condensation",
+    "degree_histogram",
+    "descendants",
+    "graph_stats",
+    "is_dag",
+    "label_counts",
+    "reachable_from",
+    "strongly_connected_components",
+    "topological_order",
+    "topological_ranks",
+]

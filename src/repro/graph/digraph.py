@@ -1,0 +1,264 @@
+"""Directed, node-labelled data graphs ``G = (V, E, L)`` (paper Section 2.1).
+
+The graph store is the substrate every matching algorithm in this library
+runs on.  Nodes are dense integers ``0..n-1``; each node carries an interned
+label (its matching key) and an optional attribute dictionary (used by the
+predicate patterns of the case studies, e.g. ``C="music"; R>2``).
+
+Design notes
+------------
+* Adjacency is stored as forward and reverse lists so that both the
+  simulation fixpoint (which walks predecessors) and relevant-set
+  propagation (which walks successors) are O(degree).
+* Duplicate edges are rejected: the paper's ``E ⊆ V × V`` is a set.
+* ``freeze()`` converts adjacency lists to tuples and builds the
+  label -> nodes index; all matching code paths work on frozen or
+  unfrozen graphs alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import GraphError
+from repro.graph.labels import LabelTable
+
+
+class Graph:
+    """A directed graph with labelled, attributed nodes.
+
+    >>> g = Graph()
+    >>> pm = g.add_node("PM")
+    >>> db = g.add_node("DB", salary=100)
+    >>> g.add_edge(pm, db)
+    >>> g.num_nodes, g.num_edges
+    (2, 1)
+    >>> g.label(db)
+    'DB'
+    >>> g.attr(db, "salary")
+    100
+    """
+
+    __slots__ = (
+        "labels",
+        "_label_of",
+        "_out",
+        "_in",
+        "_edge_set",
+        "_attrs",
+        "_num_edges",
+        "_label_index",
+        "_frozen",
+        "derived",
+    )
+
+    def __init__(self, label_table: LabelTable | None = None) -> None:
+        self.labels: LabelTable = label_table if label_table is not None else LabelTable()
+        self._label_of: list[int] = []
+        self._out: list[list[int]] = []
+        self._in: list[list[int]] = []
+        self._edge_set: set[tuple[int, int]] = set()
+        self._attrs: dict[int, dict[str, Any]] = {}
+        self._num_edges = 0
+        self._label_index: dict[int, list[int]] | None = None
+        self._frozen = False
+        #: Cache for derived per-graph structures (e.g. descendant-count
+        #: indexes).  Invalidated on mutation.
+        self.derived: dict[Any, Any] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, label: str, **attrs: Any) -> int:
+        """Add a node with ``label`` and optional attributes; return its id."""
+        self._check_mutable()
+        node = len(self._label_of)
+        self._label_of.append(self.labels.intern(label))
+        self._out.append([])
+        self._in.append([])
+        if attrs:
+            self._attrs[node] = dict(attrs)
+        return node
+
+    def add_nodes(self, labels: Iterable[str]) -> list[int]:
+        """Bulk-add nodes with the given labels; return their ids."""
+        return [self.add_node(label) for label in labels]
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Add the directed edge ``(src, dst)``.
+
+        Raises :class:`GraphError` on unknown endpoints, self-checks
+        duplicates silently (``E`` is a set, re-adding is a no-op).
+        """
+        self._check_mutable()
+        n = len(self._label_of)
+        if not (0 <= src < n and 0 <= dst < n):
+            raise GraphError(f"edge ({src}, {dst}) references unknown node (n={n})")
+        if (src, dst) in self._edge_set:
+            return
+        self._edge_set.add((src, dst))
+        self._out[src].append(dst)
+        self._in[dst].append(src)
+        self._num_edges += 1
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Bulk-add directed edges."""
+        for src, dst in edges:
+            self.add_edge(src, dst)
+
+    def set_attrs(self, node: int, **attrs: Any) -> None:
+        """Set (merge) attributes on ``node``."""
+        self._check_node(node)
+        self._attrs.setdefault(node, {}).update(attrs)
+
+    def freeze(self) -> "Graph":
+        """Make the graph immutable and build the label index; returns self."""
+        if not self._frozen:
+            self._out = [tuple(adj) for adj in self._out]  # type: ignore[misc]
+            self._in = [tuple(adj) for adj in self._in]  # type: ignore[misc]
+            self._build_label_index()
+            self._frozen = True
+        return self
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._label_of)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """``|G| = |V| + |E|`` as the paper measures graph size."""
+        return self.num_nodes + self._num_edges
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def nodes(self) -> range:
+        """All node ids."""
+        return range(len(self._label_of))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all directed edges in insertion order per source."""
+        for src, adj in enumerate(self._out):
+            for dst in adj:
+                yield (src, dst)
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return (src, dst) in self._edge_set
+
+    def successors(self, node: int) -> Sequence[int]:
+        """Children of ``node`` (the nodes it points to)."""
+        return self._out[node]
+
+    def predecessors(self, node: int) -> Sequence[int]:
+        """Parents of ``node`` (the nodes pointing to it)."""
+        return self._in[node]
+
+    def out_degree(self, node: int) -> int:
+        return len(self._out[node])
+
+    def in_degree(self, node: int) -> int:
+        return len(self._in[node])
+
+    def label_id(self, node: int) -> int:
+        """The interned label id of ``node``."""
+        return self._label_of[node]
+
+    def label(self, node: int) -> str:
+        """The label string of ``node``."""
+        return self.labels.name(self._label_of[node])
+
+    def attrs(self, node: int) -> Mapping[str, Any]:
+        """The attribute mapping of ``node`` (empty if none set)."""
+        self._check_node(node)
+        return self._attrs.get(node, {})
+
+    def attr(self, node: int, key: str, default: Any = None) -> Any:
+        """A single attribute of ``node``."""
+        self._check_node(node)
+        return self._attrs.get(node, {}).get(key, default)
+
+    def nodes_with_label(self, label: str) -> list[int]:
+        """All nodes carrying ``label`` (uses the index once built)."""
+        label_id = self.labels.get(label)
+        if label_id is None:
+            return []
+        return self.nodes_with_label_id(label_id)
+
+    def nodes_with_label_id(self, label_id: int) -> list[int]:
+        """All nodes carrying the interned label ``label_id``."""
+        if self._label_index is None:
+            self._build_label_index()
+        assert self._label_index is not None
+        return list(self._label_index.get(label_id, ()))
+
+    def label_histogram(self) -> dict[str, int]:
+        """Label -> node count."""
+        histogram: dict[str, int] = {}
+        for label_id in self._label_of:
+            name = self.labels.name(label_id)
+            histogram[name] = histogram.get(name, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[int]) -> tuple["Graph", dict[int, int]]:
+        """Induced subgraph on ``nodes``.
+
+        Returns the new graph and a mapping from old node ids to new ids.
+        Attributes are copied.
+        """
+        keep = sorted(set(nodes))
+        mapping = {old: new for new, old in enumerate(keep)}
+        sub = Graph(self.labels)
+        for old in keep:
+            new = sub.add_node(self.label(old))
+            if old in self._attrs:
+                sub.set_attrs(new, **self._attrs[old])
+        for old in keep:
+            for dst in self._out[old]:
+                if dst in mapping:
+                    sub.add_edge(mapping[old], mapping[dst])
+        return sub, mapping
+
+    def reversed(self) -> "Graph":
+        """A new graph with every edge direction flipped."""
+        rev = Graph(self.labels)
+        for node in self.nodes():
+            new = rev.add_node(self.label(node))
+            if node in self._attrs:
+                rev.set_attrs(new, **self._attrs[node])
+        for src, dst in self.edges():
+            rev.add_edge(dst, src)
+        return rev
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _build_label_index(self) -> None:
+        index: dict[int, list[int]] = {}
+        for node, label_id in enumerate(self._label_of):
+            index.setdefault(label_id, []).append(node)
+        self._label_index = index
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise GraphError("graph is frozen; create a new Graph to mutate")
+        self._label_index = None  # invalidated by mutation
+        if self.derived:
+            self.derived.clear()
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < len(self._label_of)):
+            raise GraphError(f"unknown node {node}")
+
+    def __repr__(self) -> str:
+        return f"Graph(|V|={self.num_nodes}, |E|={self.num_edges})"

@@ -1,0 +1,47 @@
+"""Interoperability with :mod:`networkx`.
+
+networkx is *not* used by any matching algorithm in this library (pure
+adjacency-list code is an order of magnitude faster at experiment scale);
+it is used by the test-suite to cross-validate SCC/condensation/simulation
+results and offered here as a convenience for downstream users.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph.digraph import Graph
+
+
+def to_networkx(graph: Graph) -> "Any":
+    """Convert to a ``networkx.DiGraph`` with ``label`` node attributes."""
+    import networkx as nx
+
+    nx_graph = nx.DiGraph()
+    for node in graph.nodes():
+        nx_graph.add_node(node, label=graph.label(node), **dict(graph.attrs(node)))
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+def from_networkx(nx_graph: "Any", label_attr: str = "label", default_label: str = "_") -> Graph:
+    """Convert from a ``networkx.DiGraph``.
+
+    Node identifiers are remapped to dense integers in sorted order when
+    sortable, insertion order otherwise.  The node attribute ``label_attr``
+    becomes the matching label; all other attributes are preserved.
+    """
+    nodes = list(nx_graph.nodes())
+    try:
+        nodes.sort()
+    except TypeError:
+        pass
+    mapping: dict[Any, int] = {}
+    graph = Graph()
+    for node in nodes:
+        data = dict(nx_graph.nodes[node])
+        label = data.pop(label_attr, default_label)
+        mapping[node] = graph.add_node(str(label), **data)
+    for src, dst in nx_graph.edges():
+        graph.add_edge(mapping[src], mapping[dst])
+    return graph

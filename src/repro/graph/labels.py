@@ -1,0 +1,70 @@
+"""Label interning for data graphs.
+
+Node labels in the paper are drawn from an alphabet ``Σ`` (Section 2.1).
+Graphs at experiment scale carry hundreds of thousands of nodes, so labels
+are interned to small integers once and compared by id everywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import GraphError
+
+
+class LabelTable:
+    """A bidirectional mapping between label strings and dense integer ids.
+
+    Ids are assigned in first-seen order starting at 0, which makes the
+    table deterministic for seeded generators.
+
+    >>> table = LabelTable()
+    >>> table.intern("PM")
+    0
+    >>> table.intern("DB")
+    1
+    >>> table.intern("PM")
+    0
+    >>> table.name(1)
+    'DB'
+    """
+
+    __slots__ = ("_by_name", "_names")
+
+    def __init__(self, labels: Iterable[str] = ()) -> None:
+        self._by_name: dict[str, int] = {}
+        self._names: list[str] = []
+        for label in labels:
+            self.intern(label)
+
+    def intern(self, label: str) -> int:
+        """Return the id for ``label``, allocating one if unseen."""
+        label_id = self._by_name.get(label)
+        if label_id is None:
+            label_id = len(self._names)
+            self._by_name[label] = label_id
+            self._names.append(label)
+        return label_id
+
+    def get(self, label: str) -> int | None:
+        """Return the id for ``label`` or ``None`` if it was never interned."""
+        return self._by_name.get(label)
+
+    def name(self, label_id: int) -> str:
+        """Return the label string for ``label_id``."""
+        try:
+            return self._names[label_id]
+        except IndexError:
+            raise GraphError(f"unknown label id {label_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._by_name
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __repr__(self) -> str:
+        return f"LabelTable({len(self)} labels)"

@@ -1,0 +1,80 @@
+"""Descriptive statistics over data graphs.
+
+Used by the dataset generators' self-checks and by the experiment harness
+to report workload characteristics (the paper reports |V|, |E| and label
+alphabets for each dataset in Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.algorithms import strongly_connected_components
+from repro.graph.digraph import Graph
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of a degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+
+    @staticmethod
+    def of(values: list[int]) -> "DegreeStats":
+        if not values:
+            return DegreeStats(0, 0, 0.0)
+        return DegreeStats(min(values), max(values), sum(values) / len(values))
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """A snapshot of the structural statistics of a graph."""
+
+    num_nodes: int
+    num_edges: int
+    num_labels: int
+    out_degree: DegreeStats
+    in_degree: DegreeStats
+    num_sccs: int
+    largest_scc: int
+
+    @property
+    def density(self) -> float:
+        """Edges per node (the paper's graphs run ~2–3 edges/node)."""
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    out_degrees = [graph.out_degree(v) for v in graph.nodes()]
+    in_degrees = [graph.in_degree(v) for v in graph.nodes()]
+    components = strongly_connected_components(graph)
+    largest = max((len(c) for c in components), default=0)
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_labels=len(set(graph.label_id(v) for v in graph.nodes())),
+        out_degree=DegreeStats.of(out_degrees),
+        in_degree=DegreeStats.of(in_degrees),
+        num_sccs=len(components),
+        largest_scc=largest,
+    )
+
+
+def degree_histogram(graph: Graph, direction: str = "out") -> dict[int, int]:
+    """Histogram degree -> node count; ``direction`` is ``"out"`` or ``"in"``."""
+    degree_of = graph.out_degree if direction == "out" else graph.in_degree
+    histogram: dict[int, int] = {}
+    for node in graph.nodes():
+        d = degree_of(node)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def label_counts(graph: Graph) -> dict[str, int]:
+    """Label -> node count (delegates to the graph's own histogram)."""
+    return graph.label_histogram()

@@ -1,0 +1,5 @@
+"""Indexes supporting early termination (descendant label counts)."""
+
+from repro.index.label_index import BOUND_STRATEGIES, BoundIndex
+
+__all__ = ["BOUND_STRATEGIES", "BoundIndex"]

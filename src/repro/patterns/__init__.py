@@ -1,0 +1,31 @@
+"""Pattern graphs with output nodes and attribute predicates."""
+
+from repro.patterns.builder import PatternBuilder
+from repro.patterns.pattern import Pattern, PatternAnalysis, pattern_from_edges
+from repro.patterns.predicates import (
+    AllOf,
+    AnyOf,
+    AttrCompare,
+    AttrIn,
+    Negate,
+    Predicate,
+    all_of,
+    any_of,
+    parse_conditions,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "AttrCompare",
+    "AttrIn",
+    "Negate",
+    "Pattern",
+    "PatternAnalysis",
+    "PatternBuilder",
+    "Predicate",
+    "all_of",
+    "any_of",
+    "parse_conditions",
+    "pattern_from_edges",
+]

@@ -1,0 +1,382 @@
+"""Pattern graphs ``Q = (Vp, Ep, fv, uo)`` (paper Sections 2.1–2.2).
+
+A pattern is a small directed graph whose nodes carry a *search condition*:
+a label (mandatory matching key, ``fv``) and optionally an attribute
+predicate (the multi-predicate extension of Section 2.2 used by the case
+studies).  One or more nodes are designated *output nodes*; the classic
+formulation of the paper uses exactly one, written ``uo`` and drawn ``*``.
+
+The class also exposes the structural facts the top-k algorithms need:
+DAG-ness, the SCC condensation ``Q_SCC``, topological ranks ``r(u)``, and
+which query nodes the output node can reach.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import PatternError
+from repro.graph.algorithms import (
+    Condensation,
+    condensation,
+    reachable_from,
+    topological_ranks,
+)
+from repro.patterns.predicates import Predicate
+
+
+class Pattern:
+    """A directed pattern graph with designated output node(s).
+
+    >>> q = Pattern()
+    >>> pm = q.add_node("PM")
+    >>> db = q.add_node("DB")
+    >>> q.add_edge(pm, db)
+    >>> q.set_output(pm)
+    >>> q.output_node == pm
+    True
+    """
+
+    __slots__ = (
+        "_labels",
+        "_predicates",
+        "_out",
+        "_in",
+        "_edge_set",
+        "_outputs",
+        "_num_edges",
+        "_analysis",
+    )
+
+    def __init__(self) -> None:
+        self._labels: list[str] = []
+        self._predicates: list[Predicate | None] = []
+        self._out: list[list[int]] = []
+        self._in: list[list[int]] = []
+        self._edge_set: set[tuple[int, int]] = set()
+        self._outputs: list[int] = []
+        self._num_edges = 0
+        self._analysis: "PatternAnalysis | None" = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        label: str,
+        predicate: Predicate | None = None,
+        output: bool = False,
+    ) -> int:
+        """Add a query node with ``label`` (``fv``) and optional predicate."""
+        node = len(self._labels)
+        self._labels.append(label)
+        self._predicates.append(predicate)
+        self._out.append([])
+        self._in.append([])
+        if output:
+            self._outputs.append(node)
+        self._analysis = None
+        return node
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Add the query edge ``(src, dst)``; duplicates are rejected."""
+        n = len(self._labels)
+        if not (0 <= src < n and 0 <= dst < n):
+            raise PatternError(f"edge ({src}, {dst}) references unknown query node")
+        if (src, dst) in self._edge_set:
+            raise PatternError(f"duplicate pattern edge ({src}, {dst})")
+        self._edge_set.add((src, dst))
+        self._out[src].append(dst)
+        self._in[dst].append(src)
+        self._num_edges += 1
+        self._analysis = None
+
+    def set_output(self, *nodes: int) -> None:
+        """Designate ``nodes`` as the output node(s) ``uo`` (replaces prior)."""
+        for node in nodes:
+            if not (0 <= node < len(self._labels)):
+                raise PatternError(f"unknown query node {node}")
+        self._outputs = list(dict.fromkeys(nodes))
+        self._analysis = None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """``|Q| = |Vp| + |Ep|`` as the paper measures pattern size."""
+        return len(self._labels) + self._num_edges
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(|Vp|, |Ep|)`` — the notation used throughout Section 6."""
+        return (len(self._labels), self._num_edges)
+
+    @property
+    def output_node(self) -> int:
+        """The single designated output node ``uo``.
+
+        Raises :class:`PatternError` when zero or several outputs are set;
+        use :attr:`output_nodes` for the multi-output extension.
+        """
+        if len(self._outputs) != 1:
+            raise PatternError(
+                f"pattern has {len(self._outputs)} output nodes; expected exactly 1"
+            )
+        return self._outputs[0]
+
+    @property
+    def output_nodes(self) -> tuple[int, ...]:
+        return tuple(self._outputs)
+
+    def nodes(self) -> range:
+        return range(len(self._labels))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for src, adj in enumerate(self._out):
+            for dst in adj:
+                yield (src, dst)
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return (src, dst) in self._edge_set
+
+    def successors(self, node: int) -> Sequence[int]:
+        return self._out[node]
+
+    def predecessors(self, node: int) -> Sequence[int]:
+        return self._in[node]
+
+    def out_degree(self, node: int) -> int:
+        return len(self._out[node])
+
+    def label(self, node: int) -> str:
+        """The search label ``fv(node)``."""
+        return self._labels[node]
+
+    def predicate(self, node: int) -> Predicate | None:
+        """The attribute predicate on ``node``, if any."""
+        return self._predicates[node]
+
+    def labels(self) -> list[str]:
+        """Labels of all query nodes, indexed by node id."""
+        return list(self._labels)
+
+    # ------------------------------------------------------------------
+    # structural analysis (cached)
+    # ------------------------------------------------------------------
+    @property
+    def analysis(self) -> "PatternAnalysis":
+        """Cached structural analysis (ranks, SCCs, reachability)."""
+        if self._analysis is None:
+            self._analysis = PatternAnalysis(self)
+        return self._analysis
+
+    def is_dag(self) -> bool:
+        """True when the pattern has no directed cycle."""
+        return self.analysis.is_dag
+
+    def validate(self, require_output: bool = True) -> None:
+        """Raise :class:`PatternError` on structural problems.
+
+        Checks: non-empty, output node designated (unless disabled).
+        """
+        if self.num_nodes == 0:
+            raise PatternError("pattern has no query nodes")
+        if require_output and not self._outputs:
+            raise PatternError("pattern has no designated output node")
+
+    def __repr__(self) -> str:
+        outputs = ",".join(str(o) for o in self._outputs)
+        return f"Pattern(|Vp|={self.num_nodes}, |Ep|={self.num_edges}, uo=[{outputs}])"
+
+
+class PatternAnalysis:
+    """Structural facts about a pattern the algorithms consume.
+
+    Attributes
+    ----------
+    ranks:
+        The paper's topological rank ``r(u)`` per query node, computed on
+        the condensation ``Q_SCC`` (Section 4).
+    cond:
+        The condensation itself (components in reverse topological order).
+    is_dag:
+        True when every SCC is trivial and there is no self-loop.
+    self_loops:
+        Query nodes with a self-loop (their SCC counts as nontrivial).
+    """
+
+    __slots__ = (
+        "pattern",
+        "ranks",
+        "cond",
+        "is_dag",
+        "self_loops",
+        "_reach_cache",
+        "_depth_cache",
+    )
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.pattern = pattern
+        self.ranks, self.cond = topological_ranks(pattern.num_nodes, pattern.successors)
+        self.self_loops = {u for u in pattern.nodes() if pattern.has_edge(u, u)}
+        self.is_dag = not self.self_loops and all(
+            len(c) == 1 for c in self.cond.components
+        )
+        self._reach_cache: dict[int, frozenset[int]] = {}
+        self._depth_cache: dict[int, dict[int, int | None]] = {}
+
+    def nontrivial_components(self) -> list[int]:
+        """Indices of condensation components with >1 node or a self-loop."""
+        return [
+            comp
+            for comp in range(self.cond.num_components)
+            if not self.cond.is_trivial(comp, self.self_loops)
+        ]
+
+    def component_of(self, node: int) -> int:
+        return self.cond.comp_of[node]
+
+    def reachable_from(self, node: int, include_self: bool = False) -> frozenset[int]:
+        """Query nodes reachable from ``node`` via ≥ 1 edge.
+
+        ``include_self`` forces ``node`` into the result; otherwise it is
+        included only when it lies on a cycle (consistent with relevant
+        sets, where a match in a pair-cycle reaches itself).
+        """
+        cached = self._reach_cache.get(node)
+        if cached is None:
+            direct = set()
+            for child in self.pattern.successors(node):
+                direct |= reachable_from(
+                    self.pattern.num_nodes, [child], self.pattern.successors
+                )
+            cached = frozenset(direct)
+            self._reach_cache[node] = cached
+        if include_self:
+            return cached | {node}
+        return cached
+
+    def max_path_lengths_from(self, node: int) -> dict[int, int | None]:
+        """Longest path length from ``node`` to each reachable query node.
+
+        ``None`` means unbounded: some path from ``node`` to the target
+        passes through a pattern cycle, so matching graph paths can be
+        arbitrarily long.  These depths bound the relevant-set radius per
+        query node and feed the ``hop`` bound index.
+        """
+        cached = self._depth_cache.get(node)
+        if cached is not None:
+            return cached
+        pattern = self.pattern
+        reach = self.reachable_from(node, include_self=True)
+
+        # A target is "tainted" (unbounded) when node ⇝ C ⇝ target for a
+        # nontrivial component C that node can reach.
+        tainted: set[int] = set()
+        for comp in self.nontrivial_components():
+            members = self.cond.components[comp]
+            if not any(m in reach for m in members):
+                continue
+            from repro.graph.algorithms import reachable_from as _reach
+
+            downstream = _reach(pattern.num_nodes, members, pattern.successors)
+            tainted |= downstream & set(reach)
+
+        result: dict[int, int | None] = {}
+        for target in reach:
+            if target in tainted:
+                result[target] = None
+
+        # Untainted targets lie in an acyclic region: longest-path DP.
+        order: list[int] = []
+        seen: set[int] = set()
+
+        def visit(u: int) -> None:
+            stack = [(u, 0)]
+            while stack:
+                current, pos = stack.pop()
+                if pos == 0:
+                    if current in seen:
+                        continue
+                    seen.add(current)
+                children = [
+                    c for c in pattern.successors(current) if c in reach and c not in tainted
+                ]
+                if pos < len(children):
+                    stack.append((current, pos + 1))
+                    stack.append((children[pos], 0))
+                else:
+                    order.append(current)
+
+        visit(node)
+        # Longest path from ``node`` to each untainted target: DP in
+        # topological order (reversed post-order: parents before children).
+        dist: dict[int, int] = {node: 0}
+        for u in reversed(order):
+            if u not in dist:
+                continue
+            for child in pattern.successors(u):
+                if child in reach and child not in tainted:
+                    candidate = dist[u] + 1
+                    if candidate > dist.get(child, -1):
+                        dist[child] = candidate
+        for target in reach:
+            if target not in tainted:
+                result[target] = dist.get(target, 1)
+        self._depth_cache[node] = result
+        return result
+
+    def max_depth_from(self, node: int) -> int | None:
+        """Longest path length from ``node``; ``None`` when unbounded (cycle).
+
+        Used to bound relevant-set radius for DAG patterns.
+        """
+        if not self.is_dag:
+            reach = self.reachable_from(node, include_self=True)
+            for comp in self.nontrivial_components():
+                if any(member in reach for member in self.cond.components[comp]):
+                    return None
+        depth: dict[int, int] = {}
+
+        def longest(u: int) -> int:
+            if u in depth:
+                return depth[u]
+            best = 0
+            for child in self.pattern.successors(u):
+                best = max(best, 1 + longest(child))
+            depth[u] = best
+            return best
+
+        return longest(node)
+
+
+def pattern_from_edges(
+    labels: Iterable[str],
+    edges: Iterable[tuple[int, int]],
+    output: int | Sequence[int] = 0,
+) -> Pattern:
+    """Build a pattern from parallel label / edge collections.
+
+    >>> q = pattern_from_edges(["PM", "DB"], [(0, 1)], output=0)
+    >>> q.shape
+    (2, 1)
+    """
+    pattern = Pattern()
+    for label in labels:
+        pattern.add_node(label)
+    for src, dst in edges:
+        pattern.add_edge(src, dst)
+    if isinstance(output, int):
+        pattern.set_output(output)
+    else:
+        pattern.set_output(*output)
+    return pattern

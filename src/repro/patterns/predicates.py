@@ -1,0 +1,176 @@
+"""Attribute predicates for pattern nodes.
+
+Section 2.2 notes that patterns extend to "multiple predicates on nodes";
+the case-study patterns of Section 6 (Fig. 4) use exactly that, e.g.
+``C="music"; R>2; V>5000`` on YouTube videos.  A predicate constrains the
+*attributes* of a data node in addition to the label equality check.
+
+Predicates are small immutable objects with a ``matches(graph, node)``
+method; they compose with :class:`AllOf` / :class:`AnyOf` / :class:`Negate`.
+A tiny parser (:func:`parse_conditions`) accepts the paper's inline syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Protocol, Sequence, runtime_checkable
+
+from repro.errors import PatternError
+from repro.graph.digraph import Graph
+
+
+@runtime_checkable
+class Predicate(Protocol):
+    """Anything with a ``matches(graph, node) -> bool`` method."""
+
+    def matches(self, graph: Graph, node: int) -> bool: ...
+
+
+@dataclass(frozen=True)
+class AttrCompare:
+    """Compare a node attribute against a constant.
+
+    ``op`` is one of ``== != > >= < <=``.  A node missing the attribute
+    never matches (the paper's search conditions are conjunctive filters).
+    """
+
+    attr: str
+    op: str
+    value: Any
+
+    _OPS = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise PatternError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, graph: Graph, node: int) -> bool:
+        actual = graph.attr(node, self.attr)
+        if actual is None:
+            return False
+        try:
+            return self._OPS[self.op](actual, self.value)
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return f"{self.attr}{self.op}{self.value!r}"
+
+
+@dataclass(frozen=True)
+class AttrIn:
+    """True when the node attribute is one of the given values."""
+
+    attr: str
+    values: tuple
+
+    def matches(self, graph: Graph, node: int) -> bool:
+        return graph.attr(node, self.attr) in self.values
+
+    def __str__(self) -> str:
+        return f"{self.attr} in {self.values!r}"
+
+
+@dataclass(frozen=True)
+class AllOf:
+    """Conjunction of predicates (empty conjunction is vacuously true)."""
+
+    parts: tuple
+
+    def matches(self, graph: Graph, node: int) -> bool:
+        return all(part.matches(graph, node) for part in self.parts)
+
+    def __str__(self) -> str:
+        return "; ".join(str(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class AnyOf:
+    """Disjunction of predicates (empty disjunction is false)."""
+
+    parts: tuple
+
+    def matches(self, graph: Graph, node: int) -> bool:
+        return any(part.matches(graph, node) for part in self.parts)
+
+    def __str__(self) -> str:
+        return " or ".join(str(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Negate:
+    """Negation of a predicate."""
+
+    inner: Predicate
+
+    def matches(self, graph: Graph, node: int) -> bool:
+        return not self.inner.matches(graph, node)
+
+    def __str__(self) -> str:
+        return f"not({self.inner})"
+
+
+def all_of(*parts: Predicate) -> AllOf:
+    """Convenience constructor for :class:`AllOf`."""
+    return AllOf(tuple(parts))
+
+
+def any_of(*parts: Predicate) -> AnyOf:
+    """Convenience constructor for :class:`AnyOf`."""
+    return AnyOf(tuple(parts))
+
+
+_CONDITION_RE = re.compile(
+    r"""^\s*(?P<attr>[A-Za-z_][A-Za-z0-9_]*)\s*
+        (?P<op>==|!=|>=|<=|=|>|<)\s*
+        (?P<value>.+?)\s*$""",
+    re.VERBOSE,
+)
+
+
+def _parse_value(text: str) -> Any:
+    """Parse a literal: quoted string, int, float, or bare word."""
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_conditions(spec: str) -> AllOf:
+    """Parse the paper's inline condition syntax into a conjunction.
+
+    >>> pred = parse_conditions('C="music"; R>2; V>=5000')
+    >>> len(pred.parts)
+    3
+
+    Conditions are separated by ``;`` or ``,``; ``=`` is accepted as an
+    alias for ``==`` (matching the figures in the paper).
+    """
+    parts: list[AttrCompare] = []
+    for chunk in re.split(r"[;,]", spec):
+        if not chunk.strip():
+            continue
+        matched = _CONDITION_RE.match(chunk)
+        if not matched:
+            raise PatternError(f"cannot parse condition {chunk!r}")
+        op = matched.group("op")
+        if op == "=":
+            op = "=="
+        parts.append(AttrCompare(matched.group("attr"), op, _parse_value(matched.group("value"))))
+    return AllOf(tuple(parts))

@@ -1,0 +1,53 @@
+"""Relevance, distance and diversification functions (paper Section 3)."""
+
+from repro.ranking.context import RankingContext
+from repro.ranking.distance import (
+    DistanceFunction,
+    JaccardDistance,
+    distance_sum,
+    jaccard_distance,
+    pairwise_distances,
+)
+from repro.ranking.diversification import (
+    DiversificationObjective,
+    check_lambda,
+    diversification_score,
+)
+from repro.ranking.generalized import (
+    CommonNeighbours,
+    DistanceBasedDiversity,
+    JaccardCoefficient,
+    NeighbourhoodDiversity,
+    PreferentialAttachment,
+    label_descendant_relevant_set,
+)
+from repro.ranking.relevance import (
+    CardinalityRelevance,
+    NormalisedRelevance,
+    RelevanceFunction,
+    relevance_of_set,
+    top_k_by_relevance,
+)
+
+__all__ = [
+    "CardinalityRelevance",
+    "CommonNeighbours",
+    "DistanceBasedDiversity",
+    "DistanceFunction",
+    "DiversificationObjective",
+    "JaccardCoefficient",
+    "JaccardDistance",
+    "NeighbourhoodDiversity",
+    "NormalisedRelevance",
+    "PreferentialAttachment",
+    "RankingContext",
+    "RelevanceFunction",
+    "check_lambda",
+    "distance_sum",
+    "diversification_score",
+    "jaccard_distance",
+    "label_descendant_relevant_set",
+    "pairwise_distances",
+    "relevance_of_set",
+    "top_k_by_relevance",
+]

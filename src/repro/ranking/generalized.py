@@ -1,0 +1,164 @@
+"""The generalised ranking functions of the paper's Section 3.4 table.
+
+Relevance (monotone functions of the relevant set):
+
+* **Preferential attachment** [24]: ``|R(u)| · |R*(u, v)|`` where ``R(u)``
+  is the set of query nodes ``u`` reaches.
+* **Common neighbours** [22]: ``|M(Q, G, R(u)) ∩ R*(u, v)|``.
+* **Jaccard coefficient** [28]: ``|M ∩ R*| / |M ∪ R*|``.
+
+Distance metrics:
+
+* **Neighbourhood diversity** [23]: ``1 - |R*(v1) ∩ R*(v2)| / |V|``.
+* **Distance-based diversity** [36]: ``1 - 1/d(v1, v2)`` with graph
+  distance ``d`` (1 when the matches cannot reach one another).
+
+All of them plug into the same engines as the simple ``δr`` / ``δd``
+(Propositions 4 and 6): relevance functions provide monotone lower/upper
+bounds, distances are metrics over relevant sets.
+
+When the full simulation is unavailable (early-termination mode), the
+match set ``M(Q, G, R(u))`` is over-approximated by the corresponding
+candidate union — bounds stay sound, only looser.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet
+
+from repro.graph.algorithms import bfs_distance, descendants
+from repro.ranking.context import RankingContext
+from repro.ranking.distance import DistanceFunction
+from repro.ranking.relevance import RelevanceFunction
+
+
+def _descendant_candidate_union(ctx: RankingContext) -> frozenset[int]:
+    """Union of ``can(u')`` over the query nodes ``uo`` reaches (⊇ matches)."""
+    collected: set[int] = set()
+    for u in ctx.reachable_query_nodes:
+        collected.update(ctx.candidates.lists[u])
+    return frozenset(collected)
+
+
+class PreferentialAttachment(RelevanceFunction):
+    """``|R(u)| · |R*(u, v)|`` — attachment mass of the match's reach."""
+
+    name = "preferential-attachment"
+
+    def value(self, ctx: RankingContext, v: int, rset: AbstractSet[int]) -> float:
+        return float(len(ctx.reachable_query_nodes) * len(rset))
+
+    def upper(self, ctx: RankingContext, v: int, size_bound: int) -> float:
+        return float(len(ctx.reachable_query_nodes) * size_bound)
+
+
+class CommonNeighbours(RelevanceFunction):
+    """``|M(Q, G, R(u)) ∩ R*(u, v)|`` — shared reach with the match set.
+
+    With the simulation relevant sets ``R*(u,v) ⊆ M(Q,G,R(u))`` this equals
+    ``|R*|``; it differs for user-supplied generalised relevant sets (e.g.
+    :func:`label_descendant_relevant_set`).
+    """
+
+    name = "common-neighbours"
+
+    def _reference_set(self, ctx: RankingContext) -> frozenset[int]:
+        if ctx.simulation.total:
+            return ctx.descendant_matches
+        return _descendant_candidate_union(ctx)
+
+    def value(self, ctx: RankingContext, v: int, rset: AbstractSet[int]) -> float:
+        return float(len(self._reference_set(ctx) & rset))
+
+    def upper(self, ctx: RankingContext, v: int, size_bound: int) -> float:
+        return float(min(size_bound, len(self._reference_set(ctx))))
+
+
+class JaccardCoefficient(RelevanceFunction):
+    """``|M ∩ R*| / |M ∪ R*|`` — normalised shared reach.
+
+    Monotone as long as ``R* ⊆ M`` (true for simulation relevant sets),
+    which is the regime the paper's generalisation requires.
+    """
+
+    name = "jaccard-coefficient"
+
+    def value(self, ctx: RankingContext, v: int, rset: AbstractSet[int]) -> float:
+        reference = (
+            ctx.descendant_matches
+            if ctx.simulation.total
+            else _descendant_candidate_union(ctx)
+        )
+        if not reference and not rset:
+            return 0.0
+        intersection = len(reference & rset)
+        union = len(reference) + len(rset) - intersection
+        return intersection / union if union else 0.0
+
+    def upper(self, ctx: RankingContext, v: int, size_bound: int) -> float:
+        if ctx.simulation.total:
+            m = len(ctx.descendant_matches)
+            if m == 0:
+                return 0.0
+            return min(1.0, size_bound / m)
+        return 1.0  # trivial but sound before the match set is known
+
+
+class NeighbourhoodDiversity(DistanceFunction):
+    """``1 - |R*(v1) ∩ R*(v2)| / |V|`` (Li & Yu [23])."""
+
+    name = "neighbourhood-diversity"
+
+    def distance(
+        self,
+        ctx: RankingContext,
+        v1: int,
+        rset1: AbstractSet[int],
+        v2: int,
+        rset2: AbstractSet[int],
+    ) -> float:
+        n = ctx.graph.num_nodes
+        if n == 0:
+            return 0.0
+        return 1.0 - len(rset1 & rset2) / n
+
+
+class DistanceBasedDiversity(DistanceFunction):
+    """``1 - 1/d(v1, v2)``; 1 when unreachable, 0 for the same node [36].
+
+    ``d`` is the length of the shortest directed path in either direction
+    (making the function symmetric, as a metric requires).
+    """
+
+    name = "distance-based-diversity"
+
+    def distance(
+        self,
+        ctx: RankingContext,
+        v1: int,
+        rset1: AbstractSet[int],
+        v2: int,
+        rset2: AbstractSet[int],
+    ) -> float:
+        if v1 == v2:
+            return 0.0
+        forward = bfs_distance(ctx.graph, v1, v2)
+        backward = bfs_distance(ctx.graph, v2, v1)
+        candidates = [d for d in (forward, backward) if d is not None]
+        if not candidates:
+            return 1.0
+        return 1.0 - 1.0 / min(candidates)
+
+
+def label_descendant_relevant_set(ctx: RankingContext, v: int) -> frozenset[int]:
+    """A *generalised* relevant set ``R*(u, v)`` (Section 3.4).
+
+    All descendants of ``v`` in ``G`` whose label equals the label of some
+    query node ``uo`` reaches — "descendants of v relevant to u or its
+    descendants" without requiring them to be matches.  Superset of the
+    simulation relevant set ``R(u, v)``.
+    """
+    wanted = {ctx.pattern.label(u) for u in ctx.reachable_query_nodes}
+    return frozenset(
+        node for node in descendants(ctx.graph, v) if ctx.graph.label(node) in wanted
+    )

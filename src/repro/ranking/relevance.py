@@ -1,0 +1,118 @@
+"""Relevance functions ``δr`` / ``δ*r`` (paper Sections 3.1 and 3.4).
+
+The paper's primary relevance function is the cardinality of the relevant
+set, ``δr(u, v) = |R(u, v)|`` — a match is more relevant the more other
+matches it can reach ("social impact").  Section 3.4 generalises this to
+any monotonically increasing PTIME function of the relevant set; the table
+there lists preferential attachment, common neighbours and the Jaccard
+coefficient, all implemented in :mod:`repro.ranking.generalized`.
+
+Interface contract (what the early-termination engines rely on):
+
+* ``value(ctx, v, rset)`` — the exact relevance given the final relevant set.
+* ``lower(ctx, v, partial)`` — a lower bound given a *subset* of the final
+  relevant set.  Monotonicity makes ``value`` on a partial set a valid
+  lower bound; functions that are not set-monotone must override.
+* ``upper(ctx, v, size_bound)`` — an upper bound given only an upper bound
+  on ``|R(u, v)|``.
+
+With those three, Proposition 3's termination test works for the whole
+class of generalised relevance functions (Proposition 4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import AbstractSet, Iterable
+
+from repro.ranking.context import RankingContext
+
+
+class RelevanceFunction(ABC):
+    """A generalised relevance function ``δ*r`` over relevant sets."""
+
+    name = "abstract"
+
+    def prepare(self, ctx: RankingContext) -> None:
+        """Hook to precompute constants; called once before scoring."""
+
+    @abstractmethod
+    def value(self, ctx: RankingContext, v: int, rset: AbstractSet[int]) -> float:
+        """Exact ``δ*r(uo, v)`` given the final relevant set ``rset``."""
+
+    def lower(self, ctx: RankingContext, v: int, partial: AbstractSet[int]) -> float:
+        """Lower bound from a subset of the relevant set (monotone default)."""
+        return self.value(ctx, v, partial)
+
+    @abstractmethod
+    def upper(self, ctx: RankingContext, v: int, size_bound: int) -> float:
+        """Upper bound of ``δ*r(uo, v)`` given ``|R(uo, v)| ≤ size_bound``."""
+
+    def of_set(self, values: Iterable[float]) -> float:
+        """Aggregate relevance of a match set (the paper sums; Section 3.1)."""
+        return sum(values)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class CardinalityRelevance(RelevanceFunction):
+    """The paper's ``δr(u, v) = |R(u, v)|`` (Section 3.1)."""
+
+    name = "cardinality"
+
+    def value(self, ctx: RankingContext, v: int, rset: AbstractSet[int]) -> float:
+        return float(len(rset))
+
+    def upper(self, ctx: RankingContext, v: int, size_bound: int) -> float:
+        return float(size_bound)
+
+
+class NormalisedRelevance(RelevanceFunction):
+    """``δ'r(u, v) = δr(u, v) / C_uo`` (Section 3.3).
+
+    Scores lie in ``[0, 1]`` because the relevant set of any match is a
+    subset of the candidates of the query nodes ``uo`` reaches.
+    """
+
+    name = "normalised"
+
+    def _scale(self, ctx: RankingContext) -> float:
+        c = ctx.normalisation
+        return 1.0 / c if c else 0.0
+
+    def value(self, ctx: RankingContext, v: int, rset: AbstractSet[int]) -> float:
+        return len(rset) * self._scale(ctx)
+
+    def upper(self, ctx: RankingContext, v: int, size_bound: int) -> float:
+        return size_bound * self._scale(ctx)
+
+
+def relevance_of_set(
+    ctx: RankingContext,
+    matches: Iterable[int],
+    function: RelevanceFunction | None = None,
+) -> float:
+    """``δr(S)`` — total relevance of a match set (Section 3.1)."""
+    fn = function if function is not None else CardinalityRelevance()
+    fn.prepare(ctx)
+    return fn.of_set(fn.value(ctx, v, ctx.relevant[v]) for v in matches)
+
+
+def top_k_by_relevance(
+    ctx: RankingContext,
+    k: int,
+    function: RelevanceFunction | None = None,
+) -> list[int]:
+    """The exact top-k matches of ``uo`` by relevance (ties: smaller id).
+
+    This is the selection step of the ``Match`` baseline; the interesting
+    algorithms compute the same answer with early termination.
+    """
+    fn = function if function is not None else CardinalityRelevance()
+    fn.prepare(ctx)
+    scored = sorted(
+        ctx.matches,
+        key=lambda v: (-fn.value(ctx, v, ctx.relevant[v]), v),
+    )
+    return scored[:k]

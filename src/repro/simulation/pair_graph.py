@@ -1,0 +1,116 @@
+"""The match-pair graph (the "result graph" of [11], paper Section 2.1).
+
+Nodes are match pairs ``(u, v) ∈ M(Q, G)``; there is an edge
+``(u, v) -> (u', v')`` exactly when ``(u, u') ∈ Ep`` and ``(v, v') ∈ E``.
+Relevant sets (Section 3.1) are reachability queries on this graph, so it
+is the workhorse behind both ranking functions.
+
+The construction can be *restricted* to the query nodes reachable from the
+output node — relevant sets of output matches never leave that region, and
+the restriction keeps the pair graph small on large data graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern
+
+
+@dataclass
+class PairGraph:
+    """An indexed match-pair graph.
+
+    Attributes
+    ----------
+    pairs:
+        ``pairs[i] = (u, v)`` — the match pair behind pair-node ``i``.
+    index:
+        ``index[(u, v)] = i`` — inverse of ``pairs``.
+    succ:
+        Adjacency between pair-nodes.
+    """
+
+    pairs: list[tuple[int, int]]
+    index: dict[tuple[int, int], int]
+    succ: list[list[int]]
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    def successors(self, pair_node: int) -> Sequence[int]:
+        return self.succ[pair_node]
+
+    def pair_of(self, pair_node: int) -> tuple[int, int]:
+        return self.pairs[pair_node]
+
+    def id_of(self, u: int, v: int) -> int | None:
+        return self.index.get((u, v))
+
+    def data_node(self, pair_node: int) -> int:
+        return self.pairs[pair_node][1]
+
+
+def build_pair_graph(
+    pattern: Pattern,
+    graph: Graph,
+    sim: list[set[int]],
+    query_nodes: Iterable[int] | None = None,
+) -> PairGraph:
+    """Build the match-pair graph over ``sim``.
+
+    ``query_nodes`` restricts both pair-node creation and edges to the given
+    query nodes (typically: the output node plus everything it reaches).
+    """
+    if query_nodes is None:
+        selected = list(pattern.nodes())
+    else:
+        selected = sorted(set(query_nodes))
+    selected_set = set(selected)
+
+    pairs: list[tuple[int, int]] = []
+    index: dict[tuple[int, int], int] = {}
+    for u in selected:
+        for v in sorted(sim[u]):
+            index[(u, v)] = len(pairs)
+            pairs.append((u, v))
+
+    succ: list[list[int]] = [[] for _ in pairs]
+    for pair_node, (u, v) in enumerate(pairs):
+        adjacency = succ[pair_node]
+        for u_child in pattern.successors(u):
+            if u_child not in selected_set:
+                continue
+            child_sim = sim[u_child]
+            for v_child in graph.successors(v):
+                if v_child in child_sim:
+                    adjacency.append(index[(u_child, v_child)])
+    return PairGraph(pairs, index, succ)
+
+
+def pair_subgraph_nodes(
+    pair_graph: PairGraph, roots: Iterable[int], include_roots: bool = True
+) -> set[int]:
+    """Pair-nodes reachable from ``roots`` (BFS over the pair graph)."""
+    from collections import deque
+
+    seen = set(roots)
+    queue = deque(seen)
+    while queue:
+        node = queue.popleft()
+        for child in pair_graph.succ[node]:
+            if child not in seen:
+                seen.add(child)
+                queue.append(child)
+    if not include_roots:
+        root_set = set(roots)
+        reachable_again: set[int] = set()
+        for node in seen:
+            for child in pair_graph.succ[node]:
+                if child in seen:
+                    reachable_again.add(child)
+        return reachable_again | (seen - root_set)
+    return seen

@@ -1,0 +1,105 @@
+"""Relevant sets ``R(u, v)`` (paper Section 3.1, Lemma 1).
+
+``R(u, v)`` contains every match ``v'`` of every descendant query node
+``u'`` of ``u`` such that ``v`` reaches ``v'`` through a *path of matches*:
+consecutive pattern/graph edges whose intermediate pairs all belong to
+``M(Q, G)``.  Equivalently (and this is how we compute it):
+
+    ``R(u, v) = { v' : (u', v') reachable from (u, v) via ≥ 1 edge
+                  in the match-pair graph }``
+
+A pair lying on a pair-cycle therefore reaches itself, which is exactly the
+behaviour Example 8 shows (``DB3 ∈ R(DB, DB3)``).  Lemma 1's uniqueness is
+immediate: reachability sets are unique.
+
+The computation condenses the pair graph (pairs in the same SCC share one
+relevant set) and accumulates data-node sets in reverse topological order.
+"""
+
+from __future__ import annotations
+
+from repro.graph.algorithms import condensation
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern
+from repro.simulation.pair_graph import PairGraph, build_pair_graph
+
+
+def relevant_sets_for_pairs(pair_graph: PairGraph) -> list[frozenset[int]]:
+    """Relevant set per pair-node of ``pair_graph``.
+
+    Returns ``result[i]`` = the set of *data* nodes of all pair-nodes
+    reachable from pair-node ``i`` via at least one edge.
+    """
+    cond = condensation(pair_graph.num_pairs, pair_graph.successors)
+
+    has_self_loop = [False] * cond.num_components
+    for pair_node, adjacency in enumerate(pair_graph.succ):
+        if pair_node in adjacency:
+            has_self_loop[cond.comp_of[pair_node]] = True
+
+    comp_sets: list[frozenset[int]] = [frozenset()] * cond.num_components
+    comp_data: list[frozenset[int]] = [frozenset()] * cond.num_components
+    # Tarjan order: a component's successors always carry smaller indices,
+    # so one pass in index order visits children before parents.
+    for comp in range(cond.num_components):
+        members = cond.components[comp]
+        own_data = frozenset(pair_graph.data_node(p) for p in members)
+        comp_data[comp] = own_data
+        collected: set[int] = set()
+        for child_comp in cond.comp_succ[comp]:
+            collected |= comp_sets[child_comp]
+            collected |= comp_data[child_comp]
+        if len(members) > 1 or has_self_loop[comp]:
+            collected |= own_data
+        comp_sets[comp] = frozenset(collected)
+
+    return [comp_sets[cond.comp_of[pair_node]] for pair_node in range(pair_graph.num_pairs)]
+
+
+def relevant_sets(
+    pattern: Pattern,
+    graph: Graph,
+    sim: list[set[int]],
+    query_node: int,
+) -> dict[int, frozenset[int]]:
+    """``R(query_node, v)`` for every match ``v`` of ``query_node``.
+
+    The pair graph is restricted to the query nodes reachable from
+    ``query_node`` (relevant sets never leave that region).
+    """
+    analysis = pattern.analysis
+    region = set(analysis.reachable_from(query_node, include_self=True))
+    pair_graph = build_pair_graph(pattern, graph, sim, region)
+    per_pair = relevant_sets_for_pairs(pair_graph)
+    result: dict[int, frozenset[int]] = {}
+    for v in sim[query_node]:
+        pair_node = pair_graph.id_of(query_node, v)
+        if pair_node is not None:
+            result[v] = per_pair[pair_node]
+    return result
+
+
+def relevance_values(
+    pattern: Pattern,
+    graph: Graph,
+    sim: list[set[int]],
+    query_node: int,
+) -> dict[int, int]:
+    """``δr(query_node, v) = |R(query_node, v)|`` for every match ``v``."""
+    return {v: len(rset) for v, rset in relevant_sets(pattern, graph, sim, query_node).items()}
+
+
+def induced_result_graph(
+    pattern: Pattern,
+    graph: Graph,
+    sim: list[set[int]],
+    query_node: int,
+    match: int,
+) -> tuple[Graph, dict[int, int]]:
+    """The subgraph of ``G`` induced by ``{match} ∪ R(query_node, match)``.
+
+    This is what Figure 4 of the paper draws for each returned match.
+    Returns the induced graph and the old-id -> new-id mapping.
+    """
+    rset = relevant_sets(pattern, graph, sim, query_node).get(match, frozenset())
+    return graph.subgraph({match} | set(rset))

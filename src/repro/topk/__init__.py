@@ -1,0 +1,30 @@
+"""Top-k matching algorithms: Match, TopKDAG, TopK and their machinery."""
+
+from repro.topk.cyclic import top_k
+from repro.topk.dag import top_k_dag
+from repro.topk.engine import TopKEngine
+from repro.topk.match_all import match_baseline
+from repro.topk.policies import DiversifiedPolicy, RelevancePolicy, SelectionPolicy
+from repro.topk.result import EngineStats, TopKResult
+from repro.topk.selection import (
+    GreedySelection,
+    RandomSelection,
+    SelectionStrategy,
+    default_batch_size,
+)
+
+__all__ = [
+    "DiversifiedPolicy",
+    "EngineStats",
+    "GreedySelection",
+    "RandomSelection",
+    "RelevancePolicy",
+    "SelectionPolicy",
+    "SelectionStrategy",
+    "TopKEngine",
+    "TopKResult",
+    "default_batch_size",
+    "match_baseline",
+    "top_k",
+    "top_k_dag",
+]

@@ -1,0 +1,65 @@
+"""``TopK`` — early-terminating top-k matching for general (cyclic)
+patterns (paper Section 4.2, Fig. 3).
+
+Configuration wrapper over :class:`repro.topk.engine.TopKEngine` with the
+nontrivial-SCC machinery active: candidates of pattern-cycle nodes are
+confirmed through the incremental ``SccProcess`` fixpoint, and relevance
+flows around pair-cycles until their shared relevant set stabilises
+(Example 8's trace).
+
+Works on DAG patterns too (every SCC is then trivial), which is how the
+paper describes ``TopK`` extending ``TopKDAG``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern
+from repro.ranking.relevance import RelevanceFunction
+from repro.simulation.candidates import CandidateSets
+from repro.topk.engine import TopKEngine
+from repro.topk.policies import RelevancePolicy
+from repro.topk.result import TopKResult
+from repro.topk.selection import GreedySelection, RandomSelection
+
+
+def top_k(
+    pattern: Pattern,
+    graph: Graph,
+    k: int,
+    optimized: bool = True,
+    seed: int = 0,
+    bound_strategy: str = "sim",
+    batch_size: int | None = None,
+    relevance_fn: RelevanceFunction | None = None,
+    candidates: CandidateSets | None = None,
+    presimulate: bool = True,
+    output_node: int | None = None,
+) -> TopKResult:
+    """Find top-k matches of the output node of any pattern.
+
+    ``optimized=False`` gives the paper's ``TopKnopt`` (random seed
+    selection); everything else is shared.
+    """
+    strategy = GreedySelection() if optimized else RandomSelection(seed)
+    name = "TopK" if optimized else "TopKnopt"
+    started = time.perf_counter()
+    engine = TopKEngine(
+        pattern,
+        graph,
+        k,
+        policy=RelevancePolicy(),
+        strategy=strategy,
+        bound_strategy=bound_strategy,
+        batch_size=batch_size,
+        candidates=candidates,
+        relevance_fn=relevance_fn,
+        algorithm_name=name,
+        presimulate=presimulate,
+        output_node=output_node,
+    )
+    result = engine.run()
+    result.stats.elapsed_seconds = time.perf_counter() - started
+    return result

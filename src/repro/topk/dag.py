@@ -1,0 +1,67 @@
+"""``TopKDAG`` — early-terminating top-k matching for DAG patterns
+(paper Section 4.1, Fig. 2).
+
+Thin configuration wrapper over :class:`repro.topk.engine.TopKEngine`:
+with every pattern SCC trivial, the engine's propagation is exactly the
+``AcyclicProp`` of the paper — bottom-up confirmation from rank-0 leaves,
+growing relevant sets, h-refinement on finalisation, Proposition 3 for
+termination.
+
+The ``optimized`` flag toggles the seed-selection strategy: greedy cover
+(the published ``TopKDAG``) versus random (``TopKDAGnopt`` of Section 6).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import MatchingError
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern
+from repro.ranking.relevance import RelevanceFunction
+from repro.simulation.candidates import CandidateSets
+from repro.topk.engine import TopKEngine
+from repro.topk.policies import RelevancePolicy
+from repro.topk.result import TopKResult
+from repro.topk.selection import GreedySelection, RandomSelection
+
+
+def top_k_dag(
+    pattern: Pattern,
+    graph: Graph,
+    k: int,
+    optimized: bool = True,
+    seed: int = 0,
+    bound_strategy: str = "sim",
+    batch_size: int | None = None,
+    relevance_fn: RelevanceFunction | None = None,
+    candidates: CandidateSets | None = None,
+    presimulate: bool = True,
+) -> TopKResult:
+    """Find top-k matches of the output node of a DAG pattern.
+
+    Raises :class:`MatchingError` when the pattern is cyclic — use
+    :func:`repro.topk.cyclic.top_k` there (it subsumes this algorithm but
+    pays for the SCC machinery).
+    """
+    if not pattern.is_dag():
+        raise MatchingError("TopKDAG requires a DAG pattern; use top_k for cyclic patterns")
+    strategy = GreedySelection() if optimized else RandomSelection(seed)
+    name = "TopKDAG" if optimized else "TopKDAGnopt"
+    started = time.perf_counter()
+    engine = TopKEngine(
+        pattern,
+        graph,
+        k,
+        policy=RelevancePolicy(),
+        strategy=strategy,
+        bound_strategy=bound_strategy,
+        batch_size=batch_size,
+        candidates=candidates,
+        relevance_fn=relevance_fn,
+        algorithm_name=name,
+        presimulate=presimulate,
+    )
+    result = engine.run()
+    result.stats.elapsed_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,899 @@
+"""The early-termination propagation engine (paper Sections 4.1–4.2).
+
+One engine implements both ``TopKDAG`` (all pattern SCCs trivial) and
+``TopK`` (cyclic patterns): the DAG algorithm is simply the special case
+in which the SCC fixpoint machinery never runs.
+
+How the paper's description maps onto this implementation
+----------------------------------------------------------
+Every candidate pair ``(u, v)`` carries the paper's vector ``v.T``:
+
+* the Boolean formula ``v.bf`` is realised *incrementally* as counters —
+  ``unsat`` (external pattern edges with no confirmed child yet) and a
+  per-edge confirmed-child count.  A trivial-SCC pair is confirmed exactly
+  when every edge has a confirmed child, which is when the formula would
+  evaluate to true;
+* ``v.R`` is the growing partial relevant set; deltas propagate to
+  confirmed ancestors through a worklist (the ``AcyclicProp`` of Fig. 2);
+* ``v.l = |v.R|`` once confirmed; ``v.h`` starts at the index bound
+  ``C_u(v)`` and drops to ``|v.R|`` when the pair is *finalised* (its
+  reachable match region can no longer change — the paper's "none of the
+  children's h changes further");
+* nontrivial pattern SCCs are handled by an incremental *confirmation
+  fixpoint* (the ``SccProcess`` of Fig. 3): a member pair is confirmed
+  when it belongs to the greatest set of activated pairs whose in-SCC
+  edges are supported inside the set and whose external edges are
+  supported by confirmed matches.  Pairs that fall out are retried when
+  more external matches arrive — the counterpart of Fig. 3's formula
+  restoration (line 14), so no future match is ever rejected.
+
+Relevant-set groups
+-------------------
+Pairs on a common pair-cycle have *identical* relevant sets (mutual
+reachability), so the engine keeps one shared set per group of mutually
+reachable confirmed pairs (union-find).  Deltas propagate between groups,
+not pairs — without this, relevance propagation inside a large data-graph
+SCC floods quadratically (the naive per-pair version is ~500× slower on
+the YouTube surrogate).
+
+Termination is Proposition 3: stop once the smallest lower bound inside
+the maintained top-k set dominates the largest upper bound outside it
+(and every query node has at least one confirmed match, which is the
+totality condition ``G ⊨ Q``; for a "root" output node this is implied).
+
+Worst-case complexity matches the paper: ``O(|Q||G|)`` initialisation plus
+``O(|V|(|V| + |E|))`` propagation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.errors import MatchingError
+from repro.graph.digraph import Graph
+from repro.index.label_index import BoundIndex, SimBoundIndex
+from repro.patterns.pattern import Pattern
+from repro.ranking.context import RankingContext
+from repro.ranking.relevance import CardinalityRelevance, RelevanceFunction
+from repro.simulation.candidates import CandidateSets, compute_candidates
+from repro.simulation.match import SimulationResult
+from repro.topk.policies import SelectionPolicy
+from repro.topk.result import EngineStats, TopKResult
+from repro.topk.selection import (
+    GreedySelection,
+    SelectionStrategy,
+    default_batch_size,
+)
+
+PENDING = 0
+CONFIRMED = 1
+DEAD = 2
+
+_EMPTY_SET: frozenset[int] = frozenset()
+
+
+class TopKEngine:
+    """Shared engine behind ``TopKDAG``, ``TopK``, ``TopKDH``, ``TopKDAGDH``."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        graph: Graph,
+        k: int,
+        policy: SelectionPolicy,
+        strategy: SelectionStrategy | None = None,
+        bound_strategy: str = "sim",
+        batch_size: int | None = None,
+        candidates: CandidateSets | None = None,
+        relevance_fn: RelevanceFunction | None = None,
+        algorithm_name: str = "TopK",
+        presimulate: bool = True,
+        output_node: int | None = None,
+    ) -> None:
+        if k < 1:
+            raise MatchingError(f"k must be positive; got {k}")
+        pattern.validate()
+        self.pattern = pattern
+        self.graph = graph
+        self.k = k
+        self.policy = policy
+        self.strategy = strategy if strategy is not None else GreedySelection()
+        self.batch_size = batch_size
+        self.algorithm_name = algorithm_name
+        # Multi-output patterns (Section 2.2 extension): the engine ranks
+        # one output node per run; the facade fans out over all of them.
+        self.uo = output_node if output_node is not None else pattern.output_node
+        self.analysis = pattern.analysis
+        self.presimulate = presimulate and bound_strategy == "sim"
+        self.candidates = (
+            candidates if candidates is not None else compute_candidates(pattern, graph)
+        )
+        self.relevance_fn = relevance_fn if relevance_fn is not None else CardinalityRelevance()
+        self._fast_cardinality = isinstance(self.relevance_fn, CardinalityRelevance)
+        self.stats = EngineStats()
+
+        self._infeasible = self.candidates.any_empty()
+        if not self._infeasible and self.presimulate:
+            # Run the simulation fixpoint up front (the same O(|Q||G|)
+            # work as the paper's formula initialisation).  Candidates
+            # shrink to the true match sets and the bound index becomes
+            # match-aware — the ranking/propagation phase, which is the
+            # expensive part the paper terminates early, still runs
+            # incrementally below.
+            from repro.simulation.match import maximal_simulation
+
+            simulation = maximal_simulation(pattern, graph, self.candidates)
+            if not simulation.total:
+                self._infeasible = True
+            else:
+                self.candidates = CandidateSets(
+                    lists=[sorted(s) for s in simulation.sim],
+                    sets=[set(s) for s in simulation.sim],
+                )
+        if not self._infeasible:
+            if self.presimulate:
+                self._bounds = SimBoundIndex(
+                    pattern, graph, [set(s) for s in self.candidates.sets]
+                )
+            else:
+                if bound_strategy == "sim":
+                    bound_strategy = "hop"
+                self._bounds = BoundIndex(pattern, graph, self.candidates, bound_strategy)
+            self._context: RankingContext | None = None
+            # Confirmed matches per query node (drives totality, feeds the
+            # RankingContext shim policies may touch at bind time).
+            self._confirmed_sets: list[set[int]] = [set() for _ in pattern.nodes()]
+            self._matched_nodes = 0
+            self.policy.bind(self)
+            self._build_structures()
+
+    # ------------------------------------------------------------------
+    # construction of the per-pair state
+    # ------------------------------------------------------------------
+    def _build_structures(self) -> None:
+        pattern, graph = self.pattern, self.graph
+        analysis = self.analysis
+
+        # Pattern edge layout: per query node, its ordered child list plus
+        # the reverse view annotated with the child's local edge index.
+        self._out_edges: list[list[int]] = [list(pattern.successors(u)) for u in pattern.nodes()]
+        self._in_edges: list[list[tuple[int, int]]] = [[] for _ in pattern.nodes()]
+        for u in pattern.nodes():
+            for local_idx, u_child in enumerate(self._out_edges[u]):
+                self._in_edges[u_child].append((u, local_idx))
+
+        comp_of = analysis.cond.comp_of
+        nontrivial = set(analysis.nontrivial_components())
+        self._comp_of_node = comp_of
+        self._nontrivial = nontrivial
+        # External edge = crossing components (or any edge of a trivial comp).
+        self._edge_external: list[list[bool]] = [
+            [comp_of[u] != comp_of[u_child] or comp_of[u] not in nontrivial
+             for u_child in self._out_edges[u]]
+            for u in pattern.nodes()
+        ]
+
+        # Pair tables.
+        self._pid_of: list[dict[int, int]] = [dict() for _ in pattern.nodes()]
+        pair_u: list[int] = []
+        pair_v: list[int] = []
+        for u in pattern.nodes():
+            pid_map = self._pid_of[u]
+            for v in self.candidates.lists[u]:
+                pid_map[v] = len(pair_u)
+                pair_u.append(u)
+                pair_v.append(v)
+        self._pair_u = pair_u
+        self._pair_v = pair_v
+        n_pairs = len(pair_u)
+        self.stats.pairs_created = n_pairs
+
+        self._status = [PENDING] * n_pairs
+        self._finalized = [False] * n_pairs
+        self._visited = [False] * n_pairs
+        self._activated = [False] * n_pairs
+        self._conf_count: list[list[int]] = [[] for _ in range(n_pairs)]
+        self._unsat = [0] * n_pairs
+        self._pending = [0] * n_pairs
+
+        # Relevant-set groups (union-find over confirmed pairs).
+        self._group_of: list[int] = [-1] * n_pairs
+        self._g_alias: list[int] = []
+        self._g_set: list[set[int]] = []
+        self._g_parents: list[set[int]] = []
+        self._g_members: list[list[int]] = []
+        self._g_final: set[int] = set()
+
+        # Upper bounds are only consulted for candidates of the output node.
+        self._h_init: dict[int, int] = {}
+        for v in self.candidates.lists[self.uo]:
+            self._h_init[self._pid_of[self.uo][v]] = self._bounds.upper(self.uo, v)
+
+        # Component-level bookkeeping.
+        num_comps = analysis.cond.num_components
+        self._comp_pairs: list[list[int]] = [[] for _ in range(num_comps)]
+        self._comp_unvisited = [0] * num_comps
+        self._comp_ext_pending = [0] * num_comps
+        self._comp_finalized = [False] * num_comps
+        comp_rank = [0] * num_comps
+        for u in pattern.nodes():
+            comp_rank[comp_of[u]] = analysis.ranks[u]
+        self._comp_rank = comp_rank
+        # Change tracking so fixpoint/merge scans skip no-op reruns.
+        # Activations are the only events that can enlarge the fixpoint,
+        # confirmations the only ones that create new pair-cycles to merge.
+        self._comp_events = [0] * num_comps
+        self._comp_scanned = [-1] * num_comps
+        self._comp_confirmed = [0] * num_comps
+        self._comp_merged = [0] * num_comps
+        self._comp_pending_act: list[set[int]] = [set() for _ in range(num_comps)]
+        # Gate events (external finalisations / in-comp pair decisions)
+        # trigger the group-finalisation resolve pass.
+        self._comp_resolve_events = [0] * num_comps
+        self._comp_resolved = [-1] * num_comps
+
+        # Work queues.
+        self._confirm_queue: deque[int] = deque()
+        self._delta_queue: deque[tuple[int, set[int] | frozenset[int]]] = deque()
+        self._dirty_comps: set[int] = set()
+        self._finalize_queue: deque[int] = deque()
+        self._decisive_queue: deque[int] = deque()
+
+        # Initial scan: dead pairs, unsat / pending counters, comp membership.
+        dead_at_init: list[int] = []
+        for pid in range(n_pairs):
+            u, v = pair_u[pid], pair_v[pid]
+            comp = comp_of[u]
+            is_comp_pair = comp in nontrivial
+            out_edges = self._out_edges[u]
+            external_flags = self._edge_external[u]
+            self._conf_count[pid] = [0] * len(out_edges)
+            unsat = 0
+            pending = 0
+            dead = False
+            for local_idx, u_child in enumerate(out_edges):
+                child_candidates = self.candidates.sets[u_child]
+                count = 0
+                for v_child in graph.successors(v):
+                    if v_child in child_candidates:
+                        count += 1
+                if count == 0:
+                    dead = True
+                if external_flags[local_idx]:
+                    unsat += 1
+                    pending += count
+            self._unsat[pid] = unsat
+            self._pending[pid] = pending
+            if is_comp_pair:
+                self._comp_pairs[comp].append(pid)
+            if dead:
+                dead_at_init.append(pid)
+            elif is_comp_pair and unsat == 0 and comp_rank[comp] > 0:
+                # No external requirements: activated immediately (safe —
+                # a rank>0 component cannot close a support cycle until
+                # some member's external matches arrive).
+                self._activated[pid] = True
+                self._comp_pending_act[comp].add(pid)
+                self._comp_events[comp] += 1
+
+        # Component counters count live (non-dead) pairs only.
+        dead_set = set(dead_at_init)
+        for comp in nontrivial:
+            live = [p for p in self._comp_pairs[comp] if p not in dead_set]
+            self._comp_ext_pending[comp] = sum(self._pending[p] for p in live)
+            if comp_rank[comp] == 0:
+                self._comp_unvisited[comp] = len(live)
+
+        # Seeds: live candidates of rank-0 query nodes, in strategy order.
+        seeds: list[int] = []
+        for u in pattern.nodes():
+            if analysis.ranks[u] == 0:
+                for v in self.candidates.lists[u]:
+                    pid = self._pid_of[u][v]
+                    if pid not in dead_set:
+                        seeds.append(pid)
+        self._seeds = self.strategy.order(self, seeds)
+        self._seed_cursor = 0
+
+        # Kill the dead pairs (this finalises them and notifies parents).
+        # Their pending counts were never added to the component sums, so
+        # zero them before the finalisation cascade runs.
+        for pid in dead_at_init:
+            self._status[pid] = DEAD
+            self._pending[pid] = 0
+            self._finalize_pair(pid)
+        for comp in nontrivial:
+            if self._decisive_ready(comp):
+                self._decisive_queue.append(comp)
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # relevant-set groups
+    # ------------------------------------------------------------------
+    def _find(self, gid: int) -> int:
+        alias = self._g_alias
+        root = gid
+        while alias[root] != root:
+            root = alias[root]
+        while alias[gid] != root:  # path compression
+            alias[gid], gid = root, alias[gid]
+        return root
+
+    def _new_group(self, pid: int) -> int:
+        gid = len(self._g_alias)
+        self._g_alias.append(gid)
+        self._g_set.append(set())
+        self._g_parents.append(set())
+        self._g_members.append([pid])
+        self._group_of[pid] = gid
+        return gid
+
+    def rset_of(self, pid: int) -> set[int] | frozenset[int]:
+        """The (shared) partial relevant set of a confirmed pair."""
+        gid = self._group_of[pid]
+        if gid < 0:
+            return _EMPTY_SET
+        return self._g_set[self._find(gid)]
+
+    # ------------------------------------------------------------------
+    # public accessors used by policies / tests
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> RankingContext:
+        """A ranking context over the *partial* simulation state.
+
+        ``total`` is pinned to ``False`` so generalised functions fall back
+        to their sound candidate-based approximations.
+        """
+        if self._context is None:
+            shim = SimulationResult(
+                self.pattern, self.graph, self._confirmed_sets, False, self.candidates
+            )
+            self._context = RankingContext(self.pattern, self.graph, shim, self.uo)
+        return self._context
+
+    def partial_relevant(self, pid: int) -> set[int] | frozenset[int]:
+        """The pair's in-flight relevant set (shared object: do not mutate)."""
+        return self.rset_of(pid)
+
+    def lower_value(self, pid: int) -> float:
+        """``v.l`` mapped through the relevance function."""
+        rset = self.rset_of(pid)
+        if self._fast_cardinality:
+            return float(len(rset))
+        return self.relevance_fn.lower(self.context, self._pair_v[pid], rset)
+
+    def upper_value(self, pid: int) -> float:
+        """``v.h`` mapped through the relevance function (output node only)."""
+        if self._finalized[pid]:
+            rset = self.rset_of(pid)
+            if self._fast_cardinality:
+                return float(len(rset))
+            return self.relevance_fn.value(self.context, self._pair_v[pid], rset)
+        bound = self._h_init.get(pid, 0)
+        if self._fast_cardinality:
+            return float(bound)
+        return self.relevance_fn.upper(self.context, self._pair_v[pid], bound)
+
+    def output_pid(self, v: int) -> int:
+        return self._pid_of[self.uo][v]
+
+    # ------------------------------------------------------------------
+    # the batch loop
+    # ------------------------------------------------------------------
+    def run(self) -> TopKResult:
+        """Execute the algorithm and return its :class:`TopKResult`."""
+        started = time.perf_counter()
+        if self._infeasible:
+            # Some query node has no candidate: G cannot match Q.
+            self.stats.elapsed_seconds = time.perf_counter() - started
+            return TopKResult([], {}, self.algorithm_name, self.stats)
+
+        batch = self.batch_size or default_batch_size(len(self._seeds))
+        terminated = False
+        while self._seed_cursor < len(self._seeds):
+            upper = min(self._seed_cursor + batch, len(self._seeds))
+            for i in range(self._seed_cursor, upper):
+                self._visit(self._seeds[i])
+            self._seed_cursor = upper
+            self.stats.batches += 1
+            self.stats.visited_seeds = self._seed_cursor
+            self._drain()
+            if self._check_termination():
+                terminated = self._seed_cursor < len(self._seeds)
+                break
+        self.stats.terminated_early = terminated
+
+        result = self._build_result()
+        self.stats.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _build_result(self) -> TopKResult:
+        if not self._totality_holds():
+            # Some query node never found a match: G does not match Q and
+            # M(Q, G) is empty by definition (Section 2.1).
+            return TopKResult([], {}, self.algorithm_name, self.stats)
+        chosen = self.policy.final_selection(self.k)
+        chosen.sort(key=lambda item: (-self.lower_value(item[1]), item[0]))
+        matches = [v for v, _ in chosen]
+        scores = {v: self.lower_value(pid) for v, pid in chosen}
+        objective = self.policy.objective_value(self.k)
+        return TopKResult(matches, scores, self.algorithm_name, self.stats, objective)
+
+    def _totality_holds(self) -> bool:
+        return self._matched_nodes == self.pattern.num_nodes
+
+    def _check_termination(self) -> bool:
+        if not self._totality_holds():
+            return False
+        chosen = self.policy.selection(self.k)
+        if len(chosen) < self.k:
+            return False
+        chosen_pids = {pid for _, pid in chosen}
+        l_min = min(self.lower_value(pid) for _, pid in chosen)
+        h_max: float | None = None
+        for pid in self._h_init:
+            if pid in chosen_pids or self._status[pid] == DEAD:
+                continue
+            h = self.upper_value(pid)
+            if h_max is None or h > h_max:
+                h_max = h
+                if h_max > l_min:
+                    return False
+        if h_max is None:
+            return True
+        return l_min >= h_max
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def _visit(self, pid: int) -> None:
+        if self._visited[pid] or self._status[pid] == DEAD:
+            return
+        self._visited[pid] = True
+        u = self._pair_u[pid]
+        comp = self._comp_of_node[u]
+        if comp in self._nontrivial:
+            self._activated[pid] = True
+            if self._status[pid] == PENDING:
+                self._comp_pending_act[comp].add(pid)
+            self._comp_events[comp] += 1
+            self._dirty_comps.add(comp)
+            self._comp_unvisited[comp] -= 1
+            if self._decisive_ready(comp):
+                self._decisive_queue.append(comp)
+        else:
+            # Rank-0 trivial query node: a leaf — every candidate matches.
+            self._confirm_queue.append(pid)
+
+    def _drain(self) -> None:
+        while True:
+            if self._confirm_queue:
+                self._do_confirm(self._confirm_queue.popleft())
+                continue
+            if self._delta_queue:
+                gid, delta = self._delta_queue.popleft()
+                self._apply_delta(gid, delta)
+                continue
+            if self._dirty_comps:
+                self._run_comp_fixpoint(self._dirty_comps.pop())
+                continue
+            if self._finalize_queue:
+                self._decide_trivial(self._finalize_queue.popleft())
+                continue
+            if self._decisive_queue:
+                self._decisive_finalize(self._decisive_queue.popleft())
+                continue
+            break
+
+    def _do_confirm(self, pid: int) -> None:
+        if self._status[pid] != PENDING:
+            return
+        self._status[pid] = CONFIRMED
+        u, v = self._pair_u[pid], self._pair_v[pid]
+        graph = self.graph
+        gid = self._new_group(pid)
+        rset = self._g_set[gid]
+
+        # Collect contributions of already-confirmed children, linking
+        # their groups to ours for future delta propagation.
+        status = self._status
+        seen_child_groups: set[int] = set()
+        for u_child in self._out_edges[u]:
+            pid_map = self._pid_of[u_child]
+            for v_child in graph.successors(v):
+                q = pid_map.get(v_child)
+                if q is not None and status[q] == CONFIRMED:
+                    rset.add(v_child)
+                    child_gid = self._find(self._group_of[q])
+                    if child_gid not in seen_child_groups:
+                        seen_child_groups.add(child_gid)
+                        self._g_parents[child_gid].add(gid)
+                        rset |= self._g_set[child_gid]
+
+        # Output / totality bookkeeping.
+        confirmed_u = self._confirmed_sets[u]
+        if not confirmed_u:
+            self._matched_nodes += 1
+        confirmed_u.add(v)
+        if u == self.uo:
+            self.stats.inspected_matches += 1
+            self.policy.on_confirmed(v, pid)
+
+        comp = self._comp_of_node[u]
+        if comp in self._nontrivial:
+            self._comp_confirmed[comp] += 1
+            self._comp_pending_act[comp].discard(pid)
+
+        # Notify parents: edge counters, activation, and deltas.
+        contribution: set[int] = {v} | rset
+        parent_gids: set[int] = set()
+        for u_parent, local_idx in self._in_edges[u]:
+            pid_map = self._pid_of[u_parent]
+            parent_comp = self._comp_of_node[u_parent]
+            external = parent_comp != comp or parent_comp not in self._nontrivial
+            for v_parent in graph.predecessors(v):
+                pp = pid_map.get(v_parent)
+                if pp is None or self._status[pp] == DEAD:
+                    continue
+                counters = self._conf_count[pp]
+                counters[local_idx] += 1
+                if counters[local_idx] == 1 and external:
+                    self._unsat[pp] -= 1
+                    if self._unsat[pp] == 0:
+                        if parent_comp in self._nontrivial:
+                            self._activated[pp] = True
+                            self._comp_pending_act[parent_comp].add(pp)
+                            self._comp_events[parent_comp] += 1
+                            self._dirty_comps.add(parent_comp)
+                        else:
+                            self._confirm_queue.append(pp)
+                if self._status[pp] == CONFIRMED:
+                    parent_gid = self._find(self._group_of[pp])
+                    if parent_gid != gid:
+                        parent_gids.add(parent_gid)
+        for parent_gid in parent_gids:
+            self._g_parents[gid].add(parent_gid)
+            self._delta_queue.append((parent_gid, contribution))
+        if comp in self._nontrivial:
+            self._dirty_comps.add(comp)
+        elif self._pending[pid] == 0:
+            # A trivial-SCC pair whose children are all final (leaves
+            # included) has a final relevant set the moment it confirms.
+            # Finalised only after the notifications above so parents see
+            # the confirmation before any gate-resolution verdict.
+            self._finalize_pair(pid)
+
+    def _apply_delta(self, gid: int, delta: set[int] | frozenset[int]) -> None:
+        gid = self._find(gid)
+        rset = self._g_set[gid]
+        new = delta - rset
+        if not new:
+            return
+        rset |= new
+        for parent in self._g_parents[gid]:
+            parent_gid = self._find(parent)
+            if parent_gid != gid:
+                self._delta_queue.append((parent_gid, new))
+
+    # ------------------------------------------------------------------
+    # nontrivial-SCC fixpoint (the SccProcess counterpart)
+    # ------------------------------------------------------------------
+    def _run_comp_fixpoint(self, comp: int) -> None:
+        """Incremental SccProcess: confirm the greatest supported subset.
+
+        Only *pending activated* pairs are scanned — confirmed pairs are
+        immutable support, and since the activated set grows monotonically,
+        a pair unsupported now is simply retried on the next activation
+        event (the counterpart of Fig. 3's formula restoration).
+        """
+        if self._comp_finalized[comp]:
+            return
+        pending = self._comp_pending_act[comp]
+        if pending and self._comp_scanned[comp] != self._comp_events[comp]:
+            self._comp_scanned[comp] = self._comp_events[comp]
+            newly = self._scan_comp(comp, pending)
+            if newly:
+                for pid in newly:
+                    self._confirm_queue.append(pid)
+                return
+        # No fresh confirmations queued: collapse any new pair-cycles
+        # among the confirmed pairs into shared relevant-set groups, then
+        # try to finalise groups whose downstream region is settled.
+        merged = False
+        if self._comp_merged[comp] != self._comp_confirmed[comp]:
+            self._comp_merged[comp] = self._comp_confirmed[comp]
+            self._merge_comp_groups(comp)
+            merged = True
+        if merged or self._comp_resolved[comp] != self._comp_resolve_events[comp]:
+            self._comp_resolved[comp] = self._comp_resolve_events[comp]
+            self._resolve_comp_groups(comp)
+
+    def _scan_comp(self, comp: int, pending: set[int]) -> list[int]:
+        """One greatest-fixpoint pass over the pending-activated pairs."""
+        graph = self.graph
+        status = self._status
+        support: dict[int, list[int]] = {}
+        removal: deque[int] = deque()
+        for pid in pending:
+            u, v = self._pair_u[pid], self._pair_v[pid]
+            externals = self._edge_external[u]
+            counts: list[int] = []
+            deficient = False
+            for local_idx, u_child in enumerate(self._out_edges[u]):
+                if externals[local_idx]:
+                    counts.append(-1)  # external edges were checked via unsat
+                    continue
+                pid_map = self._pid_of[u_child]
+                c = 0
+                for v_child in graph.successors(v):
+                    q = pid_map.get(v_child)
+                    if q is not None and (status[q] == CONFIRMED or q in pending):
+                        c += 1
+                counts.append(c)
+                if c == 0:
+                    deficient = True
+            support[pid] = counts
+            if deficient:
+                removal.append(pid)
+
+        removed: set[int] = set()
+        while removal:
+            pid = removal.popleft()
+            if pid in removed:
+                continue
+            removed.add(pid)
+            u, v = self._pair_u[pid], self._pair_v[pid]
+            for u_parent, local_idx in self._in_edges[u]:
+                if self._comp_of_node[u_parent] != comp:
+                    continue
+                pid_map = self._pid_of[u_parent]
+                for v_parent in graph.predecessors(v):
+                    pp = pid_map.get(v_parent)
+                    if pp is None or pp in removed:
+                        continue
+                    counts = support.get(pp)
+                    if counts is None:
+                        continue
+                    counts[local_idx] -= 1
+                    if counts[local_idx] == 0:
+                        removal.append(pp)
+
+        return [pid for pid in pending if pid not in removed]
+
+    def _merge_comp_groups(self, comp: int) -> None:
+        """Union the relevant-set groups of mutually reachable comp pairs.
+
+        Pairs on a common pair-cycle share one relevant set (and each
+        contains every member's data node — Example 8's self-inclusion).
+        """
+        members = [p for p in self._comp_pairs[comp] if self._status[p] == CONFIRMED]
+        if len(members) < 2:
+            return
+        index_of = {pid: i for i, pid in enumerate(members)}
+        graph = self.graph
+
+        # Local adjacency over confirmed pairs via in-SCC edges.
+        adjacency: list[list[int]] = [[] for _ in members]
+        for local, pid in enumerate(members):
+            u, v = self._pair_u[pid], self._pair_v[pid]
+            externals = self._edge_external[u]
+            for local_idx, u_child in enumerate(self._out_edges[u]):
+                if externals[local_idx]:
+                    continue
+                pid_map = self._pid_of[u_child]
+                for v_child in graph.successors(v):
+                    q = pid_map.get(v_child)
+                    if q is not None and q in index_of:
+                        adjacency[local].append(index_of[q])
+
+        from repro.graph.algorithms import strongly_connected_components
+
+        sccs = strongly_connected_components(len(members), lambda i: adjacency[i])
+        for scc in sccs:
+            if len(scc) == 1 and scc[0] not in adjacency[scc[0]]:
+                continue
+            pids = [members[i] for i in scc]
+            gids = {self._find(self._group_of[p]) for p in pids}
+            data_nodes = {self._pair_v[p] for p in pids}
+            target = min(gids)
+            if len(gids) > 1:
+                merged_set = self._g_set[target]
+                merged_parents = self._g_parents[target]
+                merged_members = self._g_members[target]
+                for gid in gids:
+                    if gid == target:
+                        continue
+                    merged_set |= self._g_set[gid]
+                    merged_parents |= self._g_parents[gid]
+                    merged_members.extend(self._g_members[gid])
+                    self._g_alias[gid] = target
+                    self._g_set[gid] = set()
+                    self._g_parents[gid] = set()
+                    self._g_members[gid] = []
+                merged_parents.discard(target)
+                merged_parents.difference_update(gids)
+            # Cycle members reach themselves: include every member's node.
+            target_set = self._g_set[target]
+            missing = data_nodes - target_set
+            if len(gids) > 1:
+                # Each old group's parents never saw the other groups'
+                # elements — deliver the full merged set to every parent
+                # and let apply_delta subtract what they already know.
+                target_set |= data_nodes
+                snapshot = frozenset(target_set)
+                for parent in list(self._g_parents[target]):
+                    if self._find(parent) != target:
+                        self._delta_queue.append((parent, snapshot))
+            elif missing:
+                self._delta_queue.append((target, frozenset(missing)))
+
+    def _resolve_comp_groups(self, comp: int) -> None:
+        """Finalise confirmed groups whose downstream region is settled.
+
+        A confirmed group is final once (1) every member's external
+        children are final, and (2) every in-comp child pair of a member
+        is DEAD or confirmed into this group or an already-final group.
+        No later merge can change such a group: a new pair-cycle through
+        it would require a confirmed path back from its (fully decided,
+        merge-stable) descendants.  This is what lets ``v.h`` collapse to
+        ``v.l`` for parts of a pattern-cycle region long before the whole
+        component is exhausted — the engine's counterpart of the paper's
+        per-candidate h-refinement for cyclic patterns.
+        """
+        if self._comp_finalized[comp]:
+            return
+        status = self._status
+        graph = self.graph
+        # Group the comp's confirmed-but-unfinalised pairs by group root.
+        by_group: dict[int, list[int]] = {}
+        for pid in self._comp_pairs[comp]:
+            if status[pid] == CONFIRMED and not self._finalized[pid]:
+                by_group.setdefault(self._find(self._group_of[pid]), []).append(pid)
+
+        changed = True
+        while changed:
+            changed = False
+            for gid, members in list(by_group.items()):
+                if gid in self._g_final:
+                    continue
+                final = True
+                for pid in members:
+                    if self._pending[pid] > 0:
+                        final = False
+                        break
+                    u, v = self._pair_u[pid], self._pair_v[pid]
+                    externals = self._edge_external[u]
+                    for local_idx, u_child in enumerate(self._out_edges[u]):
+                        if externals[local_idx]:
+                            continue
+                        pid_map = self._pid_of[u_child]
+                        for v_child in graph.successors(v):
+                            q = pid_map.get(v_child)
+                            if q is None or status[q] == DEAD:
+                                continue
+                            if status[q] == PENDING:
+                                final = False
+                                break
+                            child_gid = self._find(self._group_of[q])
+                            if child_gid != gid and child_gid not in self._g_final:
+                                final = False
+                                break
+                        if not final:
+                            break
+                    if not final:
+                        break
+                if final:
+                    self._g_final.add(gid)
+                    for pid in members:
+                        self._finalize_pair(pid)
+                    del by_group[gid]
+                    changed = True
+
+    def _decisive_ready(self, comp: int) -> bool:
+        return (
+            not self._comp_finalized[comp]
+            and self._comp_unvisited[comp] == 0
+            and self._comp_ext_pending[comp] == 0
+        )
+
+    def _decisive_finalize(self, comp: int) -> None:
+        if not self._decisive_ready(comp):
+            return
+        # One last fixpoint with final external information, then settle.
+        self._run_comp_fixpoint(comp)
+        if self._confirm_queue or self._delta_queue or comp in self._dirty_comps:
+            # New confirmations must propagate before the component can be
+            # finalised; re-queue ourselves behind the fresh work.
+            self._decisive_queue.append(comp)
+            return
+        self._comp_finalized[comp] = True
+        self._comp_pending_act[comp].clear()
+        for pid in self._comp_pairs[comp]:
+            if self._finalized[pid]:
+                continue
+            if self._status[pid] == PENDING:
+                self._status[pid] = DEAD
+            self._finalize_pair(pid)
+
+    # ------------------------------------------------------------------
+    # finalisation (h-refinement) cascade
+    # ------------------------------------------------------------------
+    def _decide_trivial(self, pid: int) -> None:
+        """All children of a trivial-SCC pair are final: settle its fate."""
+        if self._finalized[pid]:
+            return
+        if self._status[pid] == PENDING:
+            # Every child is final and some edge never found a confirmed
+            # child — the Boolean formula can only evaluate to false.
+            if self._unsat[pid] > 0:
+                self._status[pid] = DEAD
+            else:
+                # Confirmation event is already queued; retry after it.
+                self._confirm_queue.append(pid)
+                self._finalize_queue.append(pid)
+                return
+        self._finalize_pair(pid)
+
+    def _finalize_pair(self, pid: int) -> None:
+        """Mark ``pid`` final and notify parents' pending counters."""
+        if self._finalized[pid]:
+            return
+        self._finalized[pid] = True
+        u, v = self._pair_u[pid], self._pair_v[pid]
+        comp = self._comp_of_node[u]
+        if comp in self._nontrivial and not self._comp_finalized[comp]:
+            # A dead comp pair finalised early: its external pending no
+            # longer gates the component.
+            self._comp_ext_pending[comp] -= self._pending[pid]
+            self._pending[pid] = 0
+            if self._decisive_ready(comp):
+                self._decisive_queue.append(comp)
+        for u_parent, _ in self._in_edges[u]:
+            parent_comp = self._comp_of_node[u_parent]
+            in_comp_edge = parent_comp == comp and parent_comp in self._nontrivial
+            if in_comp_edge:
+                continue  # in-SCC finalisation is handled at component level
+            pid_map = self._pid_of[u_parent]
+            for v_parent in self.graph.predecessors(v):
+                pp = pid_map.get(v_parent)
+                if pp is None or self._finalized[pp]:
+                    continue
+                self._pending[pp] -= 1
+                if parent_comp in self._nontrivial:
+                    self._comp_ext_pending[parent_comp] -= 1
+                    self._comp_resolve_events[parent_comp] += 1
+                    self._dirty_comps.add(parent_comp)
+                    if (
+                        self._pending[pp] == 0
+                        and self._status[pp] == PENDING
+                        and self._unsat[pp] > 0
+                    ):
+                        # All gates final yet some external edge never got
+                        # a confirmed child: the pair can never match.
+                        self._status[pp] = DEAD
+                        self._finalize_pair(pp)
+                    if self._decisive_ready(parent_comp):
+                        self._decisive_queue.append(parent_comp)
+                elif self._pending[pp] == 0:
+                    self._finalize_queue.append(pp)
+
+    # ------------------------------------------------------------------
+    # introspection for tests
+    # ------------------------------------------------------------------
+    def confirmed_matches(self, u: int) -> set[int]:
+        """Matches of query node ``u`` confirmed so far."""
+        return set(self._confirmed_sets[u])
+
+    def debug_state(self, u: int, v: int) -> dict:
+        """The paper's vector ``v.T`` for candidate ``v`` of ``u``."""
+        pid = self._pid_of[u][v]
+        rset = self.rset_of(pid)
+        return {
+            "status": ("pending", "confirmed", "dead")[self._status[pid]],
+            "R": set(rset),
+            "l": len(rset),
+            "h": self.upper_value(pid) if self._pair_u[pid] == self.uo else None,
+            "finalized": self._finalized[pid],
+        }

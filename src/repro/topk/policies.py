@@ -1,0 +1,159 @@
+"""Selection policies: what the engine keeps in its answer heap ``S``.
+
+The engine confirms matches of the output node one batch at a time; a
+policy decides which k of them constitute the current answer set.  Two
+policies realise the paper's two problems:
+
+* :class:`RelevancePolicy` — topKP (Section 4): keep the k confirmed
+  matches with the largest lower bounds ``v.l``.
+* :class:`DiversifiedPolicy` — topKDP via the ``TopKDH`` heuristic
+  (Section 5.2): greedily swap newly confirmed matches into ``S`` when the
+  swap increases ``F''`` — the diversification function evaluated on the
+  in-flight lower bounds (``v.l / C_uo`` for relevance, Jaccard over the
+  partial relevant sets for distance).
+
+Both share Proposition 3's termination test, which the engine evaluates
+over the policy's current selection.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.ranking.diversification import DiversificationObjective
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topk.engine import TopKEngine
+
+
+class SelectionPolicy(ABC):
+    """Maintains the candidate answer set over confirmed output matches."""
+
+    engine: "TopKEngine"
+
+    def bind(self, engine: "TopKEngine") -> None:
+        self.engine = engine
+
+    @abstractmethod
+    def on_confirmed(self, v: int, pid: int) -> None:
+        """Called once whenever an output-node match is confirmed."""
+
+    @abstractmethod
+    def selection(self, k: int) -> list[tuple[int, int]]:
+        """The current answer set as ``(v, pid)`` pairs (at most k)."""
+
+    def final_selection(self, k: int) -> list[tuple[int, int]]:
+        """The answer set reported when the engine stops."""
+        return self.selection(k)
+
+    def objective_value(self, k: int) -> float | None:
+        """``F(S)`` of the current selection; ``None`` for relevance-only."""
+        return None
+
+
+class RelevancePolicy(SelectionPolicy):
+    """topKP: the k confirmed matches with the greatest lower bounds."""
+
+    def __init__(self) -> None:
+        self._confirmed: list[tuple[int, int]] = []
+
+    def bind(self, engine: "TopKEngine") -> None:
+        super().bind(engine)
+        self._confirmed = []
+
+    def on_confirmed(self, v: int, pid: int) -> None:
+        self._confirmed.append((v, pid))
+
+    def selection(self, k: int) -> list[tuple[int, int]]:
+        engine = self.engine
+        return heapq.nlargest(
+            k, self._confirmed, key=lambda item: (engine.lower_value(item[1]), -item[0])
+        )
+
+
+class DiversifiedPolicy(SelectionPolicy):
+    """topKDP: the TopKDH greedy-swap heuristic over ``F''``.
+
+    After each batch the engine asks for the selection; newly confirmed
+    matches accumulated since the previous call are integrated:
+
+    * while ``|S| < k`` the new match joins outright (paper case (a));
+    * otherwise the swap ``S \\ {v} ∪ {v'}`` with the largest positive
+      ``F''`` gain is applied (case (b)).
+    """
+
+    def __init__(self, objective: DiversificationObjective) -> None:
+        self.objective = objective
+        self._selected: list[tuple[int, int]] = []
+        self._fresh: list[tuple[int, int]] = []
+        self._seen: list[tuple[int, int]] = []
+
+    def bind(self, engine: "TopKEngine") -> None:
+        super().bind(engine)
+        self._selected = []
+        self._fresh = []
+        self._seen = []
+        self.objective.prepare(engine.context)
+
+    def on_confirmed(self, v: int, pid: int) -> None:
+        self._fresh.append((v, pid))
+        self._seen.append((v, pid))
+
+    def _score(self, members: list[tuple[int, int]]) -> float:
+        engine = self.engine
+        rsets = {v: engine.partial_relevant(pid) for v, pid in members}
+        return self.objective.score(engine.context, [v for v, _ in members], rsets)
+
+    def _integrate(self, k: int) -> None:
+        while self._fresh:
+            candidate = self._fresh.pop()
+            if candidate in self._selected:
+                continue
+            if len(self._selected) < k:
+                self._selected.append(candidate)
+                continue
+            base = self._score(self._selected)
+            best_gain = 0.0
+            best_index: int | None = None
+            for index in range(len(self._selected)):
+                trial = list(self._selected)
+                trial[index] = candidate
+                gain = self._score(trial) - base
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_index = index
+            if best_index is not None:
+                self._selected[best_index] = candidate
+
+    def selection(self, k: int) -> list[tuple[int, int]]:
+        self._integrate(k)
+        return list(self._selected)
+
+    def final_selection(self, k: int) -> list[tuple[int, int]]:
+        """Re-run the greedy swap over every inspected match.
+
+        When the engine stops, the inspected matches carry their final
+        (often exact) relevant sets; replaying the greedy pass over all of
+        them repairs early decisions made on thin partial bounds.  Extra
+        cost O(k · |inspected|) set operations — within the paper's
+        O(k|V|²) budget for the heuristic's selection step.
+        """
+        if not self._seen:
+            return []
+        engine = self.engine
+        ordered = sorted(
+            set(self._seen),
+            key=lambda item: (-engine.lower_value(item[1]), item[0]),
+        )
+        self._selected = ordered[:k]
+        self._fresh = ordered[k:]
+        self._integrate(k)
+        return list(self._selected)
+
+    def objective_value(self, k: int) -> float | None:
+        self._integrate(k)
+        if not self._selected:
+            return None
+        return self._score(self._selected)

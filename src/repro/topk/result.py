@@ -1,0 +1,98 @@
+"""Result and instrumentation containers for the top-k algorithms.
+
+The experiments of Section 6 measure two things per run: wall-clock time
+and the *match ratio* ``MR = |M^t_u| / |Mu|`` — the fraction of the output
+node's matches an algorithm had to inspect before stopping.  Every
+algorithm in this library therefore returns a :class:`TopKResult` carrying
+an :class:`EngineStats` with exactly those counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    """Counters describing one algorithm run.
+
+    Attributes
+    ----------
+    inspected_matches:
+        ``|M^t_u|`` — matches of the output node the algorithm confirmed
+        (the numerator of the paper's match ratio MR).
+    total_matches:
+        ``|Mu(Q, G, uo)|`` when known (always known for ``Match``; filled
+        in by the harness for early-termination runs).
+    batches:
+        Number of ``Sc`` propagation rounds (early-termination engines).
+    visited_seeds:
+        Rank-0 candidates visited across all batches.
+    pairs_created:
+        Candidate pairs materialised by the engine.
+    terminated_early:
+        True when Proposition 3 fired before the candidate space was
+        exhausted.
+    elapsed_seconds:
+        Wall-clock runtime of the algorithm body.
+    """
+
+    inspected_matches: int = 0
+    total_matches: int | None = None
+    batches: int = 0
+    visited_seeds: int = 0
+    pairs_created: int = 0
+    terminated_early: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def match_ratio(self) -> float | None:
+        """``MR`` per the paper; ``None`` until ``total_matches`` is known."""
+        if self.total_matches is None:
+            return None
+        if self.total_matches == 0:
+            return 0.0
+        return self.inspected_matches / self.total_matches
+
+
+@dataclass
+class TopKResult:
+    """The outcome of a (diversified) top-k matching run.
+
+    Attributes
+    ----------
+    matches:
+        The selected matches of the output node, best first.  May hold
+        fewer than k elements when ``uo`` has fewer than k matches (the
+        paper returns all of them in that case), and is empty when ``G``
+        does not match ``Q``.
+    scores:
+        Per-match relevance.  For early-terminating algorithms these are
+        the lower bounds ``v.l`` at the moment Proposition 3 fired — the
+        guarantee is about the *set*, not the exact scores.
+    algorithm:
+        Which algorithm produced the result (``"Match"``, ``"TopK"``, ...).
+    objective_value:
+        ``F(S)`` for the diversified algorithms, ``None`` otherwise.
+    stats:
+        Run counters (see :class:`EngineStats`).
+    """
+
+    matches: list[int]
+    scores: dict[int, float]
+    algorithm: str
+    stats: EngineStats = field(default_factory=EngineStats)
+    objective_value: float | None = None
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self):
+        return iter(self.matches)
+
+    def as_set(self) -> frozenset[int]:
+        return frozenset(self.matches)
+
+    def total_relevance(self) -> float:
+        """``δr(S)`` — the sum the topKP objective maximises."""
+        return sum(self.scores.get(v, 0.0) for v in self.matches)

@@ -1,0 +1,79 @@
+"""Graphviz (DOT) export for graphs, patterns and match results.
+
+Figure 4 of the paper draws, for each returned match, the subgraph
+induced by the match and its relevant set.  :func:`result_graph_dot`
+emits exactly that picture; pipe it through ``dot -Tpng`` to render.
+
+No Graphviz dependency — the functions only produce DOT text.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern
+from repro.ranking.context import RankingContext
+
+
+def _quote(text: object) -> str:
+    return '"' + str(text).replace('"', '\\"') + '"'
+
+
+def graph_dot(graph: Graph, name: str = "G", max_nodes: int = 200) -> str:
+    """The whole data graph as DOT (guarded by ``max_nodes``)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    nodes = list(graph.nodes())[:max_nodes]
+    kept = set(nodes)
+    for v in nodes:
+        lines.append(f"  n{v} [label={_quote(f'{graph.label(v)}#{v}')}];")
+    for src, dst in graph.edges():
+        if src in kept and dst in kept:
+            lines.append(f"  n{src} -> n{dst};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pattern_dot(pattern: Pattern, name: str = "Q") -> str:
+    """A pattern as DOT; output nodes are drawn with a double circle
+    and carry the paper's ``*`` marker."""
+    lines = [f"digraph {name} {{"]
+    outputs = set(pattern.output_nodes)
+    for u in pattern.nodes():
+        label = pattern.label(u)
+        predicate = pattern.predicate(u)
+        if predicate is not None:
+            label = f"{label}\\n{predicate}"
+        if u in outputs:
+            label += " *"
+            lines.append(f"  q{u} [shape=doublecircle, label={_quote(label)}];")
+        else:
+            lines.append(f"  q{u} [shape=circle, label={_quote(label)}];")
+    for a, b in pattern.edges():
+        lines.append(f"  q{a} -> q{b};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def result_graph_dot(
+    context: RankingContext,
+    match: int,
+    name: str = "Result",
+) -> str:
+    """The Figure 4 picture: ``match`` plus the subgraph induced by its
+    relevant set, with the match itself highlighted."""
+    graph = context.graph
+    rset = context.relevant.get(match)
+    if rset is None:
+        raise KeyError(f"node {match} is not a match of the output node")
+    members = {match} | set(rset)
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for v in sorted(members):
+        label = _quote(f"{graph.label(v)}#{v}")
+        if v == match:
+            lines.append(f"  n{v} [label={label}, shape=doublecircle, style=bold];")
+        else:
+            lines.append(f"  n{v} [label={label}];")
+    for src, dst in graph.edges():
+        if src in members and dst in members:
+            lines.append(f"  n{src} -> n{dst};")
+    lines.append("}")
+    return "\n".join(lines)

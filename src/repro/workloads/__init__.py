@@ -1,0 +1,33 @@
+"""Workload construction: extracted random patterns and paper queries."""
+
+from repro.workloads.paper_queries import (
+    AMAZON_CYCLIC_SHAPE,
+    CITATION_DAG_SHAPES,
+    CITATION_DIV_SHAPES,
+    SYNTHETIC_CYCLIC_SHAPE,
+    SYNTHETIC_DAG_SHAPE,
+    YOUTUBE_CYCLIC_SHAPES,
+    collaboration_pattern,
+    youtube_q1,
+    youtube_q2,
+)
+from repro.workloads.pattern_gen import (
+    pattern_suite,
+    random_cyclic_pattern,
+    random_dag_pattern,
+)
+
+__all__ = [
+    "AMAZON_CYCLIC_SHAPE",
+    "CITATION_DAG_SHAPES",
+    "CITATION_DIV_SHAPES",
+    "SYNTHETIC_CYCLIC_SHAPE",
+    "SYNTHETIC_DAG_SHAPE",
+    "YOUTUBE_CYCLIC_SHAPES",
+    "collaboration_pattern",
+    "pattern_suite",
+    "random_cyclic_pattern",
+    "random_dag_pattern",
+    "youtube_q1",
+    "youtube_q2",
+]

@@ -1,0 +1,72 @@
+"""The hand-built queries the paper draws (Figures 1 and 4).
+
+* :func:`collaboration_pattern` — the Fig. 1 pattern ``Q`` over the
+  collaboration network (PM supervises a DB and a PRG that supervise each
+  other and both supervise an ST).
+* :func:`youtube_q1` — Fig. 4(a): a *cyclic* pattern finding "music"
+  videos (``R > 2``) mutually related with "entertainment" videos
+  (``R > 2``) that also relate to heavily watched videos (``V > 5000``).
+* :func:`youtube_q2` — Fig. 4(b): a *DAG* pattern finding "comedy" videos
+  (``R > 3``) recommending entertainment (``A > 500``), popular
+  (``V > 7000``) and aged (``A > 800``) videos.
+
+The attribute predicates run against the YouTube surrogate's ``category``
+/ ``rate`` / ``views`` / ``age`` attributes.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.examples import figure1
+from repro.patterns.builder import PatternBuilder
+from repro.patterns.pattern import Pattern
+
+
+def collaboration_pattern() -> Pattern:
+    """The Fig. 1 pattern ``Q`` (PM is the output node)."""
+    return figure1().pattern
+
+
+def youtube_q1() -> Pattern:
+    """Fig. 4(a): cyclic pattern Q1 over YouTube.
+
+    music* <-> entertainment, both relating to a well-watched video.
+    """
+    return (
+        PatternBuilder()
+        .node("music", "music", conditions="rate>2", output=True)
+        .node("ent", "entertainment", conditions="rate>2")
+        .node("watched", "*", conditions="views>5000")
+        .edge("music", "ent")
+        .edge("ent", "music")
+        .edge("music", "watched")
+        .edge("ent", "watched")
+        .build()
+    )
+
+
+def youtube_q2() -> Pattern:
+    """Fig. 4(b): DAG pattern Q2 over YouTube.
+
+    comedy* -> entertainment (A>500), comedy* -> popular (V>7000),
+    entertainment -> aged (A>800).
+    """
+    return (
+        PatternBuilder()
+        .node("comedy", "comedy", conditions="rate>3", output=True)
+        .node("ent", "entertainment", conditions="age>500")
+        .node("popular", "*", conditions="views>7000")
+        .node("aged", "*", conditions="age>800")
+        .edge("comedy", "ent")
+        .edge("comedy", "popular")
+        .edge("ent", "aged")
+        .build()
+    )
+
+
+# The |Q| sweeps of Section 6, figure by figure.
+YOUTUBE_CYCLIC_SHAPES = [(4, 8), (5, 10), (6, 12), (7, 14), (8, 16)]
+CITATION_DAG_SHAPES = [(4, 6), (6, 9), (8, 12), (10, 15)]
+CITATION_DIV_SHAPES = [(3, 2), (4, 3), (5, 4), (6, 5), (7, 6)]
+AMAZON_CYCLIC_SHAPE = (4, 8)
+SYNTHETIC_DAG_SHAPE = (4, 6)
+SYNTHETIC_CYCLIC_SHAPE = (4, 8)

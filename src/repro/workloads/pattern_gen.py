@@ -1,0 +1,324 @@
+"""Random pattern generation (Section 6, "(3) Pattern generator").
+
+The paper's generator is controlled by ``|Vp|``, ``|Ep|``, the label
+function ``fv`` and the output node.  A purely random pattern over a
+label alphabet usually has *no* match at all (simulation totality is a
+strong condition), which would make every experiment degenerate.  Like
+the paper — whose workloads are patterns "identified" on each dataset —
+we therefore *extract* patterns from the target graph in three steps:
+
+1. **Grow** a BFS tree from a witness node over its graph successors,
+   turning witness labels into query nodes.  The witness itself proves
+   the tree pattern matches (mapping query nodes to witnesses is a
+   simulation), and the root doubles as the output node, so ``uo``
+   reaches every query node — the "root output" regime of Section 4.
+2. **Close** extra pattern edges wherever the witnesses already have a
+   supporting graph edge (still witness-guaranteed).
+3. **Densify** toward the target ``|Ep|`` with speculative edges that are
+   kept only if the pattern still has at least ``min_matches`` output
+   matches — checked with an actual simulation run, the same way the
+   paper's authors validated their hand-identified patterns.
+
+For cyclic patterns the walk is seeded inside a nontrivial SCC so steps
+2–3 close at least one pattern cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import DatasetError
+from repro.graph.algorithms import strongly_connected_components
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern
+from repro.simulation.match import maximal_simulation
+
+
+def _label_frequencies(graph: Graph) -> dict[int, int]:
+    freq: dict[int, int] = {}
+    for v in graph.nodes():
+        lid = graph.label_id(v)
+        freq[lid] = freq.get(lid, 0) + 1
+    return freq
+
+
+def _grow_tree(
+    graph: Graph,
+    rng: random.Random,
+    root_witness: int,
+    num_nodes: int,
+    prefer: frozenset[int],
+    label_freq: dict[int, int],
+) -> tuple[list[int], list[tuple[int, int]]] | None:
+    """Grow a witness tree: returns (witnesses, tree edges) or ``None``.
+
+    Children with frequent labels (large candidate classes — hence large
+    match sets) and SCC-preferred witnesses are expanded first.
+    """
+    witnesses: list[int] = [root_witness]
+    frontier: list[int] = [0]
+    tree_edges: list[tuple[int, int]] = []
+    stall = 0
+    while len(witnesses) < num_nodes and frontier and stall < 4 * num_nodes:
+        stall += 1
+        pattern_node = frontier[rng.randrange(len(frontier))]
+        children = list(graph.successors(witnesses[pattern_node]))
+        if not children:
+            frontier.remove(pattern_node)
+            continue
+        children.sort(
+            key=lambda w: (
+                w not in prefer,
+                -label_freq.get(graph.label_id(w), 0),
+                rng.random(),
+            )
+        )
+        budget = rng.randint(1, 2)
+        for witness_child in children:
+            if len(witnesses) >= num_nodes or budget == 0:
+                break
+            new_node = len(witnesses)
+            witnesses.append(witness_child)
+            tree_edges.append((pattern_node, new_node))
+            frontier.append(new_node)
+            budget -= 1
+    if len(witnesses) < num_nodes:
+        return None
+    return witnesses, tree_edges
+
+
+def _build(labels: list[str], edges: list[tuple[int, int]]) -> Pattern:
+    pattern = Pattern()
+    for label in labels:
+        pattern.add_node(label)
+    for src, dst in edges:
+        pattern.add_edge(src, dst)
+    pattern.set_output(0)
+    return pattern
+
+
+def _output_matches(pattern: Pattern, graph: Graph) -> int:
+    result = maximal_simulation(pattern, graph)
+    if not result.total:
+        return 0
+    return len(result.sim[pattern.output_node])
+
+
+def _densify(
+    graph: Graph,
+    rng: random.Random,
+    labels: list[str],
+    edges: list[tuple[int, int]],
+    witnesses: list[int],
+    target_edges: int,
+    min_matches: int,
+    want_cycle: bool,
+) -> Pattern:
+    """Add edges toward ``target_edges``, preserving ``min_matches``."""
+    num_nodes = len(labels)
+    present = set(edges)
+    supported: list[tuple[int, int]] = []
+    speculative: list[tuple[int, int]] = []
+    for i in range(num_nodes):
+        for j in range(num_nodes):
+            if i == j or (i, j) in present:
+                continue
+            if graph.has_edge(witnesses[i], witnesses[j]):
+                supported.append((i, j))
+            elif j != 0:
+                # Speculative edges never point at the output node: the
+                # root must keep reaching everything, not the reverse.
+                speculative.append((i, j))
+    rng.shuffle(supported)
+    rng.shuffle(speculative)
+    if want_cycle:
+        # Try cycle-closing candidates first: edges back to an ancestor.
+        supported.sort(key=lambda e: e[0] <= e[1])
+        speculative.sort(key=lambda e: e[0] <= e[1])
+
+    current = _build(labels, list(edges))
+    for candidate in supported + speculative:
+        if current.num_edges >= target_edges:
+            break
+        trial_edges = list(current.edges()) + [candidate]
+        trial = _build(labels, trial_edges)
+        if want_cycle and trial.is_dag() and trial.num_edges >= target_edges:
+            continue
+        if _output_matches(trial, graph) >= min_matches:
+            if not want_cycle and not trial.is_dag():
+                continue
+            current = trial
+    return current
+
+
+def random_dag_pattern(
+    graph: Graph,
+    num_nodes: int,
+    num_edges: int,
+    seed: int = 0,
+    min_matches: int = 1,
+    max_tries: int = 100,
+) -> Pattern:
+    """Extract a DAG pattern of shape ``(num_nodes, ~num_edges)``.
+
+    The result is guaranteed to be a DAG, to have at least ``min_matches``
+    output matches in ``graph``, and its output node (query node 0)
+    reaches every query node.  The edge count is met when the graph's
+    structure allows it (the paper's shapes are nominal targets).
+    """
+    if num_edges < num_nodes - 1:
+        raise DatasetError("num_edges must be at least num_nodes - 1 (tree)")
+    rng = random.Random(seed)
+    label_freq = _label_frequencies(graph)
+    hubs = sorted(graph.nodes(), key=graph.out_degree, reverse=True)
+    hubs = [v for v in hubs if graph.out_degree(v) > 0]
+    if not hubs:
+        raise DatasetError("graph has no edges to extract patterns from")
+    pool = hubs[: max(64, len(hubs) // 4)]
+
+    best: Pattern | None = None
+    for _ in range(max_tries):
+        root = pool[rng.randrange(len(pool))]
+        grown = _grow_tree(graph, rng, root, num_nodes, frozenset(), label_freq)
+        if grown is None:
+            continue
+        witnesses, tree_edges = grown
+        labels = [graph.label(w) for w in witnesses]
+        tree = _build(labels, tree_edges)
+        if not tree.is_dag() or _output_matches(tree, graph) < min_matches:
+            continue
+        pattern = _densify(
+            graph, rng, labels, tree_edges, witnesses, num_edges, min_matches, False
+        )
+        if pattern.num_edges >= num_edges:
+            return pattern
+        if best is None or pattern.num_edges > best.num_edges:
+            best = pattern
+    if best is not None:
+        return best
+    raise DatasetError(
+        f"could not extract a DAG pattern of shape ({num_nodes}, {num_edges})"
+    )
+
+
+def _cycle_below_root(pattern: Pattern) -> bool:
+    """True when the pattern has the paper's canonical cyclic shape.
+
+    Figure 1's ``Q``: the output node sits *outside* every pattern cycle
+    (its SCC is trivial) and at least one cycle node has an edge leaving
+    its SCC (a "tree gate" below the cycle, like DB→ST / PRG→ST).  This
+    shape is what makes the SccProcess waves incremental: cycle matches
+    confirm group by group as their gates resolve, rather than the whole
+    component confirming at once.
+    """
+    analysis = pattern.analysis
+    nontrivial = analysis.nontrivial_components()
+    if not nontrivial:
+        return False
+    if analysis.cond.comp_of[pattern.output_node] in set(nontrivial):
+        return False
+    for comp in nontrivial:
+        for u in analysis.cond.components[comp]:
+            for child in pattern.successors(u):
+                if analysis.cond.comp_of[child] != comp:
+                    return True
+    return False
+
+
+def random_cyclic_pattern(
+    graph: Graph,
+    num_nodes: int,
+    num_edges: int,
+    seed: int = 0,
+    min_matches: int = 1,
+    max_tries: int = 200,
+) -> Pattern:
+    """Extract a cyclic pattern of shape ``(num_nodes, ~num_edges)``.
+
+    The walk is rooted at a *predecessor* of a nontrivial SCC of the
+    graph, so the resulting pattern follows the paper's canonical cyclic
+    shape (see :func:`_cycle_below_root`): output node above the cycle,
+    cycle gated by tree nodes below.  Raises :class:`DatasetError` when
+    the graph is a DAG.
+    """
+    if num_edges < num_nodes:
+        raise DatasetError("a cyclic pattern needs num_edges >= num_nodes")
+    rng = random.Random(seed)
+    label_freq = _label_frequencies(graph)
+    components = [c for c in strongly_connected_components(graph) if len(c) > 1]
+    if not components:
+        raise DatasetError("graph has no nontrivial SCC; cannot extract cyclic patterns")
+    components.sort(key=len, reverse=True)
+    scc_nodes: set[int] = set()
+    for comp in components[:20]:
+        scc_nodes.update(comp)
+    roots = sorted(
+        {
+            p
+            for member in scc_nodes
+            for p in graph.predecessors(member)
+            if p not in scc_nodes
+        }
+    )
+    if not roots:
+        roots = sorted(scc_nodes)
+    prefer = frozenset(scc_nodes)
+
+    best: Pattern | None = None
+    for _ in range(max_tries):
+        root = roots[rng.randrange(len(roots))]
+        grown = _grow_tree(graph, rng, root, num_nodes, prefer, label_freq)
+        if grown is None:
+            continue
+        witnesses, tree_edges = grown
+        labels = [graph.label(w) for w in witnesses]
+        tree = _build(labels, tree_edges)
+        if _output_matches(tree, graph) < min_matches:
+            continue
+        pattern = _densify(
+            graph, rng, labels, tree_edges, witnesses, num_edges, min_matches, True
+        )
+        if not _cycle_below_root(pattern):
+            continue
+        if pattern.num_edges >= num_edges:
+            return pattern
+        if best is None or pattern.num_edges > best.num_edges:
+            best = pattern
+    if best is not None:
+        return best
+    raise DatasetError(
+        f"could not extract a cyclic pattern of shape ({num_nodes}, {num_edges})"
+    )
+
+
+def pattern_suite(
+    graph: Graph,
+    shapes: Sequence[tuple[int, int]],
+    cyclic: bool,
+    seed: int = 0,
+    per_shape: int = 1,
+    min_matches: int = 1,
+) -> list[Pattern]:
+    """A workload: ``per_shape`` patterns per ``(|Vp|, |Ep|)`` shape.
+
+    This is how the experiment harness builds the pattern sets the paper
+    describes (e.g. "10 cyclic patterns on Amazon").
+    """
+    suite: list[Pattern] = []
+    for shape_index, (num_nodes, num_edges) in enumerate(shapes):
+        for copy in range(per_shape):
+            extraction_seed = seed + 1000 * shape_index + copy
+            if cyclic:
+                suite.append(
+                    random_cyclic_pattern(
+                        graph, num_nodes, num_edges, extraction_seed, min_matches
+                    )
+                )
+            else:
+                suite.append(
+                    random_dag_pattern(
+                        graph, num_nodes, num_edges, extraction_seed, min_matches
+                    )
+                )
+    return suite

@@ -1,0 +1,57 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.bench.harness import ALGORITHMS, RunRecord, averaged, exact_objective, run_algorithm
+from repro.errors import BenchmarkError
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("name", ["Match", "TopK", "TopKnopt", "TopKDiv", "TopKDH"])
+    def test_cyclic_capable_algorithms(self, fig1, name):
+        record = run_algorithm(name, fig1.pattern, fig1.graph, 2)
+        assert record.algorithm == name
+        assert len(record.matches) == 2
+        assert record.elapsed_seconds >= 0
+
+    @pytest.mark.parametrize("name", ["TopKDAG", "TopKDAGnopt", "TopKDAGDH"])
+    def test_dag_algorithms(self, fig1, q1_dag, name):
+        record = run_algorithm(name, q1_dag, fig1.graph, 1)
+        assert record.pattern_shape == (3, 3)
+        assert len(record.matches) == 1
+
+    def test_unknown_algorithm(self, fig1):
+        with pytest.raises(BenchmarkError):
+            run_algorithm("QuickSort", fig1.pattern, fig1.graph, 2)
+
+    def test_total_matches_threaded_for_mr(self, fig1):
+        record = run_algorithm("TopK", fig1.pattern, fig1.graph, 2, total_matches=4)
+        assert record.total_matches == 4
+        assert record.match_ratio is not None
+
+    def test_lambda_recorded_for_diversified_only(self, fig1):
+        div = run_algorithm("TopKDH", fig1.pattern, fig1.graph, 2, lam=0.3)
+        rel = run_algorithm("TopK", fig1.pattern, fig1.graph, 2, lam=0.3)
+        assert div.lam == 0.3 and rel.lam is None
+
+    def test_algorithms_constant_is_complete(self):
+        assert len(ALGORITHMS) == 8
+
+
+class TestHelpers:
+    def test_exact_objective(self, fig1):
+        record = run_algorithm("TopKDiv", fig1.pattern, fig1.graph, 2, lam=0.5)
+        value = exact_objective(fig1.pattern, fig1.graph, record.matches, 2, 0.5)
+        assert abs(value - record.objective_value) < 1e-9
+
+    def test_averaged(self):
+        records = [
+            RunRecord("TopK", (4, 8), 10, None, 1.0, 5, 10, True, None),
+            RunRecord("TopK", (4, 8), 10, None, 3.0, 10, 10, False, None),
+        ]
+        summary = averaged(records)
+        assert summary["elapsed_seconds"] == 2.0
+        assert summary["match_ratio"] == 0.75
+
+    def test_averaged_empty(self):
+        assert averaged([])["elapsed_seconds"] == 0.0

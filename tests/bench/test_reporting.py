@@ -1,0 +1,30 @@
+"""Tests for the text-table reporting layer."""
+
+from repro.bench.harness import RunRecord
+from repro.bench.reporting import format_table, record_rows, series_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "longer"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.123456]])
+        assert "0.123" in table
+
+
+class TestSeriesTable:
+    def test_columns_per_series(self):
+        table = series_table("k", [5, 10], {"TopK": [0.1, 0.2], "Match": [0.3, 0.4]}, "s")
+        assert "TopK (s)" in table and "Match (s)" in table
+        assert table.count("\n") == 3
+
+
+class TestRecordRows:
+    def test_renders_all_fields(self):
+        record = RunRecord("TopK", (4, 8), 10, 0.5, 1.25, 5, 10, True, 1.5)
+        table = record_rows([record])
+        assert "TopK" in table and "0.50" in table and "yes" in table

@@ -1,0 +1,23 @@
+"""Tests for benchmark workload caching."""
+
+from repro.bench import workloads
+
+
+class TestCaching:
+    def test_graph_cache_identity(self):
+        assert workloads.bench_graph("citation") is workloads.bench_graph("citation")
+
+    def test_pattern_cache_identity(self):
+        a = workloads.bench_pattern("citation", 4, 6, False, 0)
+        b = workloads.bench_pattern("citation", 4, 6, False, 0)
+        assert a is b
+
+    def test_total_matches_positive(self):
+        mu = workloads.total_matches("citation", (4, 6, False, 0))
+        assert mu >= 1
+
+    def test_synthetic_variants(self):
+        from repro.graph.algorithms import is_dag
+
+        assert is_dag(workloads.bench_graph("synthetic-dag"))
+        assert not is_dag(workloads.bench_graph("synthetic-cyclic"))

@@ -1,0 +1,63 @@
+"""Shared fixtures: the paper's Figure 1 network and small random inputs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.examples import example7_pattern, figure1
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """The Figure 1 collaboration network + pattern Q (session-cached)."""
+    return figure1()
+
+
+@pytest.fixture()
+def q1_dag():
+    """Example 7's DAG pattern Q1."""
+    return example7_pattern()
+
+
+def make_random_graph(seed: int, num_nodes: int = 14, num_edges: int = 28,
+                      labels: str = "ABC") -> Graph:
+    """A small random labelled digraph for oracle comparisons."""
+    rng = random.Random(seed)
+    g = Graph()
+    for _ in range(num_nodes):
+        g.add_node(rng.choice(labels))
+    added = 0
+    while added < num_edges:
+        a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if a != b and not g.has_edge(a, b):
+            g.add_edge(a, b)
+            added += 1
+    return g
+
+
+def make_random_pattern(seed: int, num_nodes: int = 3, extra_edges: int = 1,
+                        labels: str = "ABC", cyclic: bool = False) -> Pattern:
+    """A small random pattern (tree + extra edges), output node 0."""
+    rng = random.Random(seed)
+    p = Pattern()
+    for _ in range(num_nodes):
+        p.add_node(rng.choice(labels))
+    for child in range(1, num_nodes):
+        p.add_edge(rng.randrange(child), child)
+    tries = 0
+    added = 0
+    while added < extra_edges and tries < 20:
+        tries += 1
+        a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if a == b or p.has_edge(a, b):
+            continue
+        if not cyclic and b == 0:
+            continue
+        p.add_edge(a, b)
+        added += 1
+    p.set_output(0)
+    return p

@@ -1,0 +1,31 @@
+"""Tests for the Figure 1 fixture itself."""
+
+from repro.datasets.examples import example7_pattern, figure1
+
+
+class TestFigure1:
+    def test_node_lookup(self):
+        fig = figure1()
+        assert fig.graph.label(fig.node("PM2")) == "PM"
+
+    def test_names_roundtrip(self):
+        fig = figure1()
+        ids = [fig.node("DB1"), fig.node("ST4")]
+        assert fig.names(ids) == {"DB1", "ST4"}
+
+    def test_pattern_shape_matches_paper(self):
+        fig = figure1()
+        assert fig.pattern.shape == (4, 6)
+        assert not fig.pattern.is_dag()  # DB <-> PRG cycle
+
+    def test_graph_size(self):
+        fig = figure1()
+        assert fig.graph.num_nodes == 18
+
+    def test_example7_pattern_is_dag(self):
+        q = example7_pattern()
+        assert q.is_dag()
+        assert q.shape == (3, 3)
+
+    def test_deterministic(self):
+        assert list(figure1().graph.edges()) == list(figure1().graph.edges())

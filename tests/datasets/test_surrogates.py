@@ -1,0 +1,76 @@
+"""Tests for the Amazon / Citation / YouTube surrogates."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.amazon import amazon_graph
+from repro.datasets.citation import citation_graph
+from repro.datasets.youtube import youtube_graph
+from repro.errors import DatasetError
+from repro.graph.algorithms import is_dag, strongly_connected_components
+
+
+SMALL = 0.05  # 300-node versions for fast tests
+
+
+class TestRegistry:
+    def test_load_by_name(self):
+        g = load_dataset("amazon", scale=SMALL)
+        assert g.num_nodes > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("imdb")
+
+    def test_seed_override_changes_graph(self):
+        a = load_dataset("amazon", scale=SMALL, seed=1)
+        b = load_dataset("amazon", scale=SMALL, seed=2)
+        assert list(a.edges()) != list(b.edges())
+
+
+class TestAmazon:
+    def test_attributes(self):
+        g = amazon_graph(scale=SMALL)
+        attrs = g.attrs(0)
+        assert {"title", "group", "salesrank"} <= set(attrs)
+        assert attrs["group"] == g.label(0)
+
+    def test_scale_validation(self):
+        with pytest.raises(DatasetError):
+            amazon_graph(scale=0)
+
+    def test_has_cycles_for_cyclic_patterns(self):
+        g = amazon_graph(scale=0.2)
+        assert any(len(c) > 1 for c in strongly_connected_components(g))
+
+
+class TestCitation:
+    def test_is_dag(self):
+        assert is_dag(citation_graph(scale=SMALL))
+
+    def test_years_respect_citation_direction(self):
+        g = citation_graph(scale=SMALL)
+        for src, dst in g.edges():
+            assert g.attr(src, "year") >= g.attr(dst, "year")
+
+    def test_attributes(self):
+        g = citation_graph(scale=SMALL)
+        assert {"title", "year", "venue", "authors"} <= set(g.attrs(0))
+
+
+class TestYouTube:
+    def test_attributes(self):
+        g = youtube_graph(scale=SMALL)
+        attrs = g.attrs(0)
+        assert {"age", "category", "views", "rate"} <= set(attrs)
+        assert attrs["category"] == g.label(0)
+
+    def test_rate_range(self):
+        g = youtube_graph(scale=SMALL)
+        assert all(0.5 <= g.attr(v, "rate") <= 5.0 for v in g.nodes())
+
+    def test_medium_scc_structure(self):
+        g = youtube_graph(scale=0.4)
+        sizes = [len(c) for c in strongly_connected_components(g)]
+        largest = max(sizes)
+        assert 2 < largest < g.num_nodes // 2

@@ -1,0 +1,71 @@
+"""Tests for the synthetic generator (linkage model)."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    preferential_attachment_digraph,
+    synthetic_graph,
+    synthetic_series,
+)
+from repro.errors import DatasetError
+from repro.graph.algorithms import is_dag, strongly_connected_components
+
+
+class TestSyntheticGraph:
+    def test_exact_sizes(self):
+        g = synthetic_graph(500, 1500, seed=1)
+        assert g.num_nodes == 500 and g.num_edges == 1500
+
+    def test_fifteen_label_alphabet(self):
+        g = synthetic_graph(500, 1500, seed=1)
+        labels = {g.label(v) for v in g.nodes()}
+        assert labels <= {f"L{i}" for i in range(15)}
+
+    def test_num_labels_param(self):
+        g = synthetic_graph(200, 500, num_labels=3, seed=1)
+        assert {g.label(v) for v in g.nodes()} <= {"L0", "L1", "L2"}
+
+    def test_bad_num_labels(self):
+        with pytest.raises(DatasetError):
+            synthetic_graph(100, 200, num_labels=99)
+
+    def test_cyclic_mode_has_cycles(self):
+        g = synthetic_graph(500, 2500, seed=2, cyclic=True)
+        assert any(len(c) > 1 for c in strongly_connected_components(g))
+
+    def test_dag_mode(self):
+        assert is_dag(synthetic_graph(300, 900, seed=2, cyclic=False))
+
+    def test_frozen(self):
+        assert synthetic_graph(50, 100).frozen
+
+    def test_series_scales(self):
+        series = synthetic_series(100, 200, [1.0, 2.0], seed=3)
+        assert series[0][1].num_nodes == 100
+        assert series[1][1].num_nodes == 200
+
+
+class TestPreferentialAttachment:
+    def test_too_few_nodes(self):
+        with pytest.raises(DatasetError):
+            preferential_attachment_digraph(1, 0, ["A"])
+
+    def test_impossible_edge_count(self):
+        with pytest.raises(DatasetError):
+            preferential_attachment_digraph(3, 100, ["A"])
+
+    def test_forward_only_is_dag(self):
+        g = preferential_attachment_digraph(200, 600, ["A", "B"], seed=4, forward_only=True)
+        assert is_dag(g)
+
+    def test_locality_window_caps_scc_size(self):
+        g = preferential_attachment_digraph(
+            600, 3000, ["A", "B"], seed=5, mutual_prob=0.5, locality_window=50,
+            intra_block_share=0.4,
+        )
+        assert max(len(c) for c in strongly_connected_components(g)) <= 50
+
+    def test_degree_skew_exists(self):
+        g = preferential_attachment_digraph(800, 4000, ["A"], seed=6, hub_fraction=0.02, hub_share=0.4)
+        out_degrees = sorted((g.out_degree(v) for v in g.nodes()), reverse=True)
+        assert out_degrees[0] >= 5 * max(1, out_degrees[len(out_degrees) // 2])

@@ -1,0 +1,31 @@
+"""Tests for the brute-force diversification oracle."""
+
+import pytest
+
+from repro.diversify.exact import optimal_diversified
+from repro.errors import MatchingError
+from repro.ranking.context import RankingContext
+
+
+class TestOptimalDiversified:
+    def test_guard_against_large_instances(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        with pytest.raises(MatchingError):
+            optimal_diversified(ctx, 2, max_matches=2)
+
+    def test_k_at_least_matches_returns_all(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        best, score = optimal_diversified(ctx, 10, lam=0.5)
+        assert len(best) == 4 and score > 0
+
+    def test_optimal_beats_every_subset(self, fig1):
+        from itertools import combinations
+
+        from repro.ranking.diversification import DiversificationObjective
+
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        _, best = optimal_diversified(ctx, 2, lam=0.4)
+        obj = DiversificationObjective(lam=0.4, k=2)
+        obj.prepare(ctx)
+        for subset in combinations(ctx.matches, 2):
+            assert best >= obj.score_matches(ctx, list(subset)) - 1e-12

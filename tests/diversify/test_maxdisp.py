@@ -1,0 +1,67 @@
+"""Tests for the greedy MAXDISP core."""
+
+from repro.diversify.maxdisp import greedy_max_dispersion
+
+
+def pair_weight_from(matrix):
+    def weight(a, b):
+        return matrix[(min(a, b), max(a, b))]
+    return weight
+
+
+class TestGreedyMaxDispersion:
+    def test_selects_best_pair_first(self):
+        weights = {(0, 1): 10.0, (0, 2): 1.0, (1, 2): 1.0}
+        chosen = greedy_max_dispersion([0, 1, 2], 2, pair_weight_from(weights))
+        assert set(chosen) == {0, 1}
+
+    def test_k_larger_than_items_returns_all(self):
+        chosen = greedy_max_dispersion([1, 2], 5, lambda a, b: 0.0)
+        assert chosen == [1, 2]
+
+    def test_odd_k_uses_single_weight(self):
+        weights = {(0, 1): 10.0, (0, 2): 0.0, (1, 2): 0.0, (0, 3): 0.0, (1, 3): 0.0, (2, 3): 0.0}
+        chosen = greedy_max_dispersion(
+            [0, 1, 2, 3], 3, pair_weight_from(weights),
+            single_weight=lambda v: 100.0 if v == 3 else 0.0,
+        )
+        assert set(chosen) >= {0, 1}
+        assert 3 in chosen
+
+    def test_odd_k_counts_pairs_to_selected(self):
+        weights = {(0, 1): 10.0, (0, 2): 5.0, (1, 2): 5.0, (0, 3): 0.0, (1, 3): 0.0, (2, 3): 0.0}
+        chosen = greedy_max_dispersion([0, 1, 2, 3], 3, pair_weight_from(weights))
+        assert set(chosen) == {0, 1, 2}
+
+    def test_two_rounds(self):
+        weights = {}
+        for i in range(5):
+            for j in range(i + 1, 5):
+                weights[(i, j)] = 0.0
+        weights[(0, 1)] = 10.0
+        weights[(2, 3)] = 9.0
+        chosen = greedy_max_dispersion(list(range(5)), 4, pair_weight_from(weights))
+        assert set(chosen) == {0, 1, 2, 3}
+
+    def test_approximation_ratio_on_random_instances(self):
+        import itertools
+        import random
+
+        for seed in range(10):
+            rng = random.Random(seed)
+            items = list(range(7))
+            weights = {
+                (i, j): rng.uniform(0, 1)
+                for i in items
+                for j in items
+                if i < j
+            }
+            w = pair_weight_from(weights)
+            k = 4
+            chosen = greedy_max_dispersion(items, k, w)
+            chosen_score = sum(w(a, b) for a, b in itertools.combinations(chosen, 2))
+            best = max(
+                sum(w(a, b) for a, b in itertools.combinations(sub, 2))
+                for sub in itertools.combinations(items, k)
+            )
+            assert chosen_score >= best / 2 - 1e-9  # Hassin et al. ratio

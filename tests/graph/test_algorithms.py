@@ -1,0 +1,147 @@
+"""Unit tests for SCC / condensation / ranks / reachability."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.algorithms import (
+    bfs_distance,
+    condensation,
+    descendants,
+    is_dag,
+    reachable_from,
+    strongly_connected_components,
+    topological_order,
+    topological_ranks,
+)
+from repro.graph.digraph import Graph
+from repro.graph.interop import to_networkx
+
+from tests.conftest import make_random_graph
+
+
+@pytest.fixture()
+def cyclic_graph():
+    g = Graph()
+    g.add_nodes(list("ABCDE"))
+    # cycle B<->C, chain A->B->D, C->E
+    g.add_edges([(0, 1), (1, 2), (2, 1), (1, 3), (2, 4)])
+    return g
+
+
+class TestSCC:
+    def test_triangle_is_one_component(self):
+        g = Graph()
+        g.add_nodes(["X"] * 3)
+        g.add_edges([(0, 1), (1, 2), (2, 0)])
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1 and set(comps[0]) == {0, 1, 2}
+
+    def test_dag_has_singleton_components(self):
+        g = Graph()
+        g.add_nodes(["X"] * 4)
+        g.add_edges([(0, 1), (1, 2), (0, 3)])
+        assert all(len(c) == 1 for c in strongly_connected_components(g))
+
+    def test_reverse_topological_emission_order(self, cyclic_graph):
+        comps = strongly_connected_components(cyclic_graph)
+        index_of = {}
+        for i, comp in enumerate(comps):
+            for node in comp:
+                index_of[node] = i
+        for src, dst in cyclic_graph.edges():
+            if index_of[src] != index_of[dst]:
+                assert index_of[src] > index_of[dst]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_networkx(self, seed):
+        g = make_random_graph(seed, num_nodes=20, num_edges=45)
+        ours = {frozenset(c) for c in strongly_connected_components(g)}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(to_networkx(g))}
+        assert ours == theirs
+
+
+class TestCondensation:
+    def test_component_membership(self, cyclic_graph):
+        cond = condensation(cyclic_graph)
+        assert cond.comp_of[1] == cond.comp_of[2]
+        assert cond.comp_of[0] != cond.comp_of[1]
+
+    def test_edges_are_deduplicated(self, cyclic_graph):
+        cond = condensation(cyclic_graph)
+        for comp in range(cond.num_components):
+            assert len(cond.comp_succ[comp]) == len(set(cond.comp_succ[comp]))
+
+    def test_is_trivial(self, cyclic_graph):
+        cond = condensation(cyclic_graph)
+        assert cond.is_trivial(cond.comp_of[0])
+        assert not cond.is_trivial(cond.comp_of[1])
+
+    def test_self_loop_marks_nontrivial(self):
+        g = Graph()
+        v = g.add_node("A")
+        g.add_edge(v, v)
+        cond = condensation(g)
+        assert not cond.is_trivial(cond.comp_of[v], self_loops={v})
+
+
+class TestRanks:
+    def test_leaves_have_rank_zero(self, cyclic_graph):
+        ranks, _ = topological_ranks(cyclic_graph)
+        assert ranks[3] == 0 and ranks[4] == 0
+
+    def test_rank_is_one_plus_max_child(self, cyclic_graph):
+        ranks, _ = topological_ranks(cyclic_graph)
+        assert ranks[1] == ranks[2] == 1  # the B<->C cycle sits above leaves
+        assert ranks[0] == 2
+
+    def test_figure1_pattern_ranks(self, fig1):
+        ranks = fig1.pattern.analysis.ranks
+        assert ranks[fig1.query_nodes["ST"]] == 0
+        assert ranks[fig1.query_nodes["DB"]] == ranks[fig1.query_nodes["PRG"]] == 1
+        assert ranks[fig1.query_nodes["PM"]] == 2
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        g = Graph()
+        g.add_nodes(["X"] * 5)
+        g.add_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        order = topological_order(g)
+        pos = {v: i for i, v in enumerate(order)}
+        for a, b in g.edges():
+            assert pos[a] < pos[b]
+
+    def test_cycle_raises(self, cyclic_graph):
+        with pytest.raises(GraphError):
+            topological_order(cyclic_graph)
+
+    def test_is_dag(self, cyclic_graph):
+        assert not is_dag(cyclic_graph)
+        g = Graph()
+        g.add_nodes(["X", "X"])
+        g.add_edge(0, 1)
+        assert is_dag(g)
+
+    def test_self_loop_is_not_dag(self):
+        g = Graph()
+        v = g.add_node("A")
+        g.add_edge(v, v)
+        assert not is_dag(g)
+
+
+class TestReachability:
+    def test_reachable_from_includes_sources_by_default(self, cyclic_graph):
+        assert 0 in reachable_from(cyclic_graph, [0])
+
+    def test_reachable_set(self, cyclic_graph):
+        assert reachable_from(cyclic_graph, [1]) == {1, 2, 3, 4}
+
+    def test_descendants_excludes_self_unless_cyclic(self, cyclic_graph):
+        assert 0 not in descendants(cyclic_graph, 0)
+        assert 1 in descendants(cyclic_graph, 1)  # B is on a cycle
+
+    def test_bfs_distance(self, cyclic_graph):
+        assert bfs_distance(cyclic_graph, 0, 4) == 3
+        assert bfs_distance(cyclic_graph, 0, 0) == 0
+        assert bfs_distance(cyclic_graph, 3, 0) is None

@@ -1,0 +1,123 @@
+"""Unit tests for the Graph store."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph
+
+
+@pytest.fixture()
+def triangle():
+    g = Graph()
+    a = g.add_node("A")
+    b = g.add_node("B", weight=3)
+    c = g.add_node("C")
+    g.add_edge(a, b)
+    g.add_edge(b, c)
+    g.add_edge(c, a)
+    return g
+
+
+class TestConstruction:
+    def test_add_node_returns_dense_ids(self):
+        g = Graph()
+        assert [g.add_node("X") for _ in range(3)] == [0, 1, 2]
+
+    def test_add_nodes_bulk(self):
+        g = Graph()
+        assert g.add_nodes(["A", "B"]) == [0, 1]
+
+    def test_duplicate_edge_is_noop(self, triangle):
+        triangle.add_edge(0, 1)
+        assert triangle.num_edges == 3
+
+    def test_edge_to_unknown_node_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_edge(0, 99)
+
+    def test_self_loop_allowed(self):
+        g = Graph()
+        v = g.add_node("A")
+        g.add_edge(v, v)
+        assert g.has_edge(v, v)
+
+    def test_size_is_v_plus_e(self, triangle):
+        assert triangle.size == 6
+
+
+class TestInspection:
+    def test_successors_and_predecessors(self, triangle):
+        assert list(triangle.successors(0)) == [1]
+        assert list(triangle.predecessors(0)) == [2]
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(0) == 1
+        assert triangle.in_degree(0) == 1
+
+    def test_labels(self, triangle):
+        assert triangle.label(1) == "B"
+        assert triangle.label_id(1) == triangle.labels.get("B")
+
+    def test_attrs(self, triangle):
+        assert triangle.attr(1, "weight") == 3
+        assert triangle.attr(0, "weight") is None
+        assert triangle.attr(0, "weight", 7) == 7
+
+    def test_set_attrs_merges(self, triangle):
+        triangle.set_attrs(1, colour="red")
+        assert triangle.attrs(1) == {"weight": 3, "colour": "red"}
+
+    def test_attr_unknown_node_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.attr(42, "x")
+
+    def test_edges_iteration(self, triangle):
+        assert set(triangle.edges()) == {(0, 1), (1, 2), (2, 0)}
+
+    def test_nodes_with_label(self, triangle):
+        assert triangle.nodes_with_label("B") == [1]
+        assert triangle.nodes_with_label("nope") == []
+
+    def test_label_histogram(self):
+        g = Graph()
+        g.add_nodes(["A", "A", "B"])
+        assert g.label_histogram() == {"A": 2, "B": 1}
+
+
+class TestFreeze:
+    def test_freeze_blocks_mutation(self, triangle):
+        triangle.freeze()
+        with pytest.raises(GraphError):
+            triangle.add_node("D")
+        with pytest.raises(GraphError):
+            triangle.add_edge(0, 2)
+
+    def test_freeze_is_idempotent(self, triangle):
+        assert triangle.freeze() is triangle.freeze()
+
+    def test_frozen_graph_still_queryable(self, triangle):
+        triangle.freeze()
+        assert list(triangle.successors(0)) == [1]
+
+    def test_mutation_clears_derived_cache(self):
+        g = Graph()
+        g.add_node("A")
+        g.derived["probe"] = 1
+        g.add_node("B")
+        assert g.derived == {}
+
+
+class TestDerivedGraphs:
+    def test_subgraph_keeps_induced_edges(self, triangle):
+        sub, mapping = triangle.subgraph([0, 1])
+        assert sub.num_nodes == 2
+        assert sub.has_edge(mapping[0], mapping[1])
+        assert sub.num_edges == 1
+
+    def test_subgraph_copies_attrs(self, triangle):
+        sub, mapping = triangle.subgraph([1])
+        assert sub.attr(mapping[1], "weight") == 3
+
+    def test_reversed_flips_all_edges(self, triangle):
+        rev = triangle.reversed()
+        assert set(rev.edges()) == {(1, 0), (2, 1), (0, 2)}

@@ -1,0 +1,49 @@
+"""Tests for networkx conversion."""
+
+import networkx as nx
+
+from repro.graph.digraph import Graph
+from repro.graph.interop import from_networkx, to_networkx
+
+
+def sample():
+    g = Graph()
+    g.add_node("A", rank=1)
+    g.add_node("B")
+    g.add_edge(0, 1)
+    return g
+
+
+class TestToNetworkx:
+    def test_structure(self):
+        nxg = to_networkx(sample())
+        assert set(nxg.nodes()) == {0, 1}
+        assert list(nxg.edges()) == [(0, 1)]
+
+    def test_attributes(self):
+        nxg = to_networkx(sample())
+        assert nxg.nodes[0]["label"] == "A"
+        assert nxg.nodes[0]["rank"] == 1
+
+
+class TestFromNetworkx:
+    def test_roundtrip(self):
+        back = from_networkx(to_networkx(sample()))
+        assert back.label(0) == "A"
+        assert back.has_edge(0, 1)
+        assert back.attr(0, "rank") == 1
+
+    def test_remaps_arbitrary_node_ids(self):
+        nxg = nx.DiGraph()
+        nxg.add_node("x", label="PM")
+        nxg.add_node("y", label="DB")
+        nxg.add_edge("x", "y")
+        g = from_networkx(nxg)
+        assert g.num_nodes == 2 and g.num_edges == 1
+        assert sorted([g.label(0), g.label(1)]) == ["DB", "PM"]
+
+    def test_default_label(self):
+        nxg = nx.DiGraph()
+        nxg.add_node(0)
+        g = from_networkx(nxg, default_label="???")
+        assert g.label(0) == "???"

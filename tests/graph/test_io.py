@@ -1,0 +1,82 @@
+"""Round-trip tests for graph serialisation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph
+from repro.graph.io import (
+    from_json_dict,
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+    to_json_dict,
+)
+
+
+@pytest.fixture()
+def sample():
+    g = Graph()
+    g.add_node("A", views=10)
+    g.add_node("B")
+    g.add_node("A label with spaces")
+    g.add_edges([(0, 1), (1, 2)])
+    return g
+
+
+class TestJson:
+    def test_roundtrip_structure(self, sample, tmp_path):
+        path = tmp_path / "g.json"
+        save_json(sample, path)
+        loaded = load_json(path)
+        assert loaded.num_nodes == sample.num_nodes
+        assert set(loaded.edges()) == set(sample.edges())
+
+    def test_roundtrip_labels_and_attrs(self, sample, tmp_path):
+        path = tmp_path / "g.json"
+        save_json(sample, path)
+        loaded = load_json(path)
+        assert loaded.label(2) == "A label with spaces"
+        assert loaded.attr(0, "views") == 10
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(GraphError):
+            from_json_dict({"format": "something-else"})
+
+    def test_dict_form_is_plain_data(self, sample):
+        payload = to_json_dict(sample)
+        assert payload["labels"][1] == "B"
+        assert [0, 1] in payload["edges"]
+
+
+class TestEdgeList:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(sample, path)
+        loaded = load_edge_list(path)
+        assert set(loaded.edges()) == set(sample.edges())
+        assert loaded.label(2) == "A label with spaces"
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("v 0 A\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_non_dense_ids_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# repro-graph v1\nv 1 A\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# repro-graph v1\nx nonsense\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# repro-graph v1\n\n# comment\nv 0 A\nv 1 B\ne 0 1\n")
+        loaded = load_edge_list(path)
+        assert loaded.num_nodes == 2 and loaded.has_edge(0, 1)

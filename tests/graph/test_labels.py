@@ -1,0 +1,40 @@
+"""Unit tests for label interning."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.labels import LabelTable
+
+
+class TestLabelTable:
+    def test_intern_assigns_dense_ids(self):
+        table = LabelTable()
+        assert [table.intern(x) for x in "abc"] == [0, 1, 2]
+
+    def test_intern_is_idempotent(self):
+        table = LabelTable()
+        assert table.intern("x") == table.intern("x") == 0
+
+    def test_constructor_seeds_labels(self):
+        table = LabelTable(["PM", "DB"])
+        assert table.get("DB") == 1
+
+    def test_name_roundtrip(self):
+        table = LabelTable(["PM", "DB"])
+        assert table.name(table.intern("DB")) == "DB"
+
+    def test_get_unknown_returns_none(self):
+        assert LabelTable().get("nope") is None
+
+    def test_name_unknown_raises(self):
+        with pytest.raises(GraphError):
+            LabelTable().name(3)
+
+    def test_len_and_contains(self):
+        table = LabelTable(["a", "b"])
+        assert len(table) == 2
+        assert "a" in table and "z" not in table
+
+    def test_iteration_preserves_insertion_order(self):
+        table = LabelTable(["z", "a", "m"])
+        assert list(table) == ["z", "a", "m"]

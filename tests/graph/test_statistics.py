@@ -1,0 +1,52 @@
+"""Unit tests for graph statistics."""
+
+from repro.graph.digraph import Graph
+from repro.graph.statistics import DegreeStats, degree_histogram, graph_stats, label_counts
+
+
+def small():
+    g = Graph()
+    g.add_nodes(["A", "A", "B"])
+    g.add_edges([(0, 1), (1, 2), (2, 0), (0, 2)])
+    return g
+
+
+class TestGraphStats:
+    def test_counts(self):
+        stats = graph_stats(small())
+        assert stats.num_nodes == 3
+        assert stats.num_edges == 4
+        assert stats.num_labels == 2
+
+    def test_degrees(self):
+        stats = graph_stats(small())
+        assert stats.out_degree.maximum == 2
+        assert abs(stats.out_degree.mean - 4 / 3) < 1e-12
+
+    def test_scc_summary(self):
+        stats = graph_stats(small())
+        assert stats.num_sccs == 1
+        assert stats.largest_scc == 3
+
+    def test_density(self):
+        assert abs(graph_stats(small()).density - 4 / 3) < 1e-12
+
+    def test_empty_graph(self):
+        stats = graph_stats(Graph())
+        assert stats.num_nodes == 0 and stats.density == 0.0
+
+
+class TestHelpers:
+    def test_degree_stats_of_empty(self):
+        assert DegreeStats.of([]) == DegreeStats(0, 0, 0.0)
+
+    def test_degree_histogram(self):
+        hist = degree_histogram(small(), "out")
+        assert hist == {2: 1, 1: 2}
+
+    def test_in_histogram(self):
+        hist = degree_histogram(small(), "in")
+        assert hist == {1: 2, 2: 1}
+
+    def test_label_counts(self):
+        assert label_counts(small()) == {"A": 2, "B": 1}

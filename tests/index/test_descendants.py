@@ -1,0 +1,89 @@
+"""Tests for the per-graph descendant-count index."""
+
+from repro.graph.digraph import Graph
+from repro.index.descendants import hop_counts, unbounded_counts
+
+
+def chain_with_cycle():
+    # 0 -> 1 -> 2 <-> 3, labels A B C C
+    g = Graph()
+    g.add_nodes(["A", "B", "C", "C"])
+    g.add_edges([(0, 1), (1, 2), (2, 3), (3, 2)])
+    return g
+
+
+class TestHopCounts:
+    def test_depth_one_counts_children(self):
+        g = chain_with_cycle()
+        counts = hop_counts(g, g.labels.get("B"), 1)
+        assert counts[0] == 1 and counts[1] == 0
+
+    def test_depth_two_reaches_further(self):
+        g = chain_with_cycle()
+        c_label = g.labels.get("C")
+        assert hop_counts(g, c_label, 1)[0] == 0
+        assert hop_counts(g, c_label, 2)[0] == 1
+        assert hop_counts(g, c_label, 3)[0] == 2
+
+    def test_counts_are_distinct_nodes(self):
+        # Diamond: two paths to the same node must count it once.
+        g = Graph()
+        g.add_nodes(["A", "B", "B", "C"])
+        g.add_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert hop_counts(g, g.labels.get("C"), 2)[0] == 1
+
+    def test_cached_state_extends(self):
+        g = chain_with_cycle()
+        lid = g.labels.get("C")
+        hop_counts(g, lid, 1)
+        counts3 = hop_counts(g, lid, 3)
+        assert counts3[1] == 2
+
+    def test_within_filter_restricts_paths(self):
+        # A -> X -> C: C only reachable through an X-labelled hop.
+        g = Graph()
+        g.add_nodes(["A", "X", "C"])
+        g.add_edges([(0, 1), (1, 2)])
+        lid = g.labels.get("C")
+        unrestricted = hop_counts(g, lid, 2)
+        assert unrestricted[0] == 1
+        allowed = frozenset({g.labels.get("A"), g.labels.get("C")})
+        restricted = hop_counts(g, lid, 2, within=allowed)
+        assert restricted[0] == 0
+
+
+class TestUnboundedCounts:
+    def test_counts_all_descendants(self):
+        g = chain_with_cycle()
+        counts = unbounded_counts(g, g.labels.get("C"))
+        assert counts[0] == 2
+
+    def test_cycle_members_count_each_other(self):
+        g = chain_with_cycle()
+        counts = unbounded_counts(g, g.labels.get("C"))
+        assert counts[2] == 2 and counts[3] == 2  # self via cycle + partner
+
+    def test_self_loop_counts_self(self):
+        g = Graph()
+        v = g.add_node("A")
+        g.add_edge(v, v)
+        assert unbounded_counts(g, g.labels.get("A"))[v] == 1
+
+    def test_acyclic_node_does_not_count_self(self):
+        g = Graph()
+        g.add_nodes(["A", "A"])
+        g.add_edge(0, 1)
+        counts = unbounded_counts(g, g.labels.get("A"))
+        assert counts[0] == 1 and counts[1] == 0
+
+    def test_within_filter(self):
+        g = Graph()
+        g.add_nodes(["A", "X", "C"])
+        g.add_edges([(0, 1), (1, 2)])
+        allowed = frozenset({g.labels.get("A"), g.labels.get("C")})
+        assert unbounded_counts(g, g.labels.get("C"), within=allowed)[0] == 0
+
+    def test_results_cached_per_graph(self):
+        g = chain_with_cycle()
+        lid = g.labels.get("C")
+        assert unbounded_counts(g, lid) is unbounded_counts(g, lid)

@@ -1,0 +1,93 @@
+"""Integration tests: full pipeline on generated data."""
+
+import pytest
+
+from repro.bench.harness import run_algorithm
+from repro.datasets.synthetic import synthetic_graph
+from repro.ranking.context import RankingContext
+from repro.topk.match_all import match_baseline
+from repro.workloads.pattern_gen import random_cyclic_pattern, random_dag_pattern
+
+
+@pytest.fixture(scope="module")
+def dag_world():
+    graph = synthetic_graph(900, 3600, seed=17, cyclic=False)
+    pattern = random_dag_pattern(graph, 4, 5, seed=3, min_matches=15)
+    return graph, pattern
+
+
+@pytest.fixture(scope="module")
+def cyclic_world():
+    graph = synthetic_graph(900, 4500, seed=17, cyclic=True)
+    pattern = random_cyclic_pattern(graph, 4, 6, seed=3, min_matches=15)
+    return graph, pattern
+
+
+class TestGeneratedDagPipeline:
+    def test_all_relevance_algorithms_agree(self, dag_world):
+        graph, pattern = dag_world
+        ctx = RankingContext(pattern, graph)
+        oracle = match_baseline(pattern, graph, 10, context=ctx)
+        for name in ("TopKDAG", "TopKDAGnopt", "TopK", "TopKnopt"):
+            record = run_algorithm(name, pattern, graph, 10)
+            true_sum = sum(len(ctx.relevant[v]) for v in record.matches)
+            assert true_sum == oracle.total_relevance(), name
+
+    def test_early_termination_saves_inspections(self, dag_world):
+        graph, pattern = dag_world
+        oracle = match_baseline(pattern, graph, 10)
+        record = run_algorithm("TopKDAG", pattern, graph, 10,
+                               total_matches=oracle.stats.total_matches)
+        assert record.match_ratio <= 1.0
+
+    def test_diversified_pipeline(self, dag_world):
+        graph, pattern = dag_world
+        div = run_algorithm("TopKDiv", pattern, graph, 5, lam=0.5)
+        heur = run_algorithm("TopKDAGDH", pattern, graph, 5, lam=0.5)
+        assert len(div.matches) == 5 and len(heur.matches) == 5
+
+
+class TestGeneratedCyclicPipeline:
+    def test_relevance_algorithms_agree(self, cyclic_world):
+        graph, pattern = cyclic_world
+        ctx = RankingContext(pattern, graph)
+        oracle = match_baseline(pattern, graph, 10, context=ctx)
+        for name in ("TopK", "TopKnopt"):
+            record = run_algorithm(name, pattern, graph, 10)
+            true_sum = sum(len(ctx.relevant[v]) for v in record.matches)
+            assert true_sum == oracle.total_relevance(), name
+
+    def test_varying_k_consistency(self, cyclic_world):
+        graph, pattern = cyclic_world
+        ctx = RankingContext(pattern, graph)
+        sums = []
+        for k in (1, 3, 5, 8):
+            record = run_algorithm("TopK", pattern, graph, k)
+            oracle = match_baseline(pattern, graph, k, context=ctx)
+            true_sum = sum(len(ctx.relevant[v]) for v in record.matches)
+            assert true_sum == oracle.total_relevance()
+            sums.append(true_sum)
+        assert sums == sorted(sums)  # larger k keeps accumulating relevance
+
+    def test_diversified_quality_relation(self, cyclic_world):
+        graph, pattern = cyclic_world
+        from repro.bench.harness import exact_objective
+
+        div = run_algorithm("TopKDiv", pattern, graph, 5, lam=0.5)
+        heur = run_algorithm("TopKDH", pattern, graph, 5, lam=0.5)
+        f_div = exact_objective(pattern, graph, div.matches, 5, 0.5)
+        f_heur = exact_objective(pattern, graph, heur.matches, 5, 0.5)
+        assert f_heur >= 0.4 * f_div
+
+
+class TestSerialisationRoundtrip:
+    def test_query_same_results_after_json_roundtrip(self, dag_world, tmp_path):
+        from repro.graph.io import load_json, save_json
+
+        graph, pattern = dag_world
+        path = tmp_path / "graph.json"
+        save_json(graph, path)
+        reloaded = load_json(path)
+        a = run_algorithm("TopKDAG", pattern, graph, 5)
+        b = run_algorithm("TopKDAG", pattern, reloaded, 5)
+        assert a.matches == b.matches

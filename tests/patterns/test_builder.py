@@ -1,0 +1,79 @@
+"""Tests for the fluent PatternBuilder."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph.digraph import Graph
+from repro.patterns.builder import PatternBuilder
+
+
+class TestBuilder:
+    def test_basic_build(self):
+        q = (
+            PatternBuilder()
+            .node("pm", "PM", output=True)
+            .node("db", "DB")
+            .edge("pm", "db")
+            .build()
+        )
+        assert q.shape == (2, 1)
+        assert q.output_node == 0
+
+    def test_label_defaults_to_name(self):
+        q = PatternBuilder().node("PM", output=True).build()
+        assert q.label(0) == "PM"
+
+    def test_edges_helper(self):
+        q = (
+            PatternBuilder()
+            .node("a", output=True).node("b").node("c")
+            .edges(("a", "b"), ("b", "c"))
+            .build()
+        )
+        assert q.num_edges == 2
+
+    def test_conditions_are_attached(self):
+        g = Graph()
+        g.add_node("V", rate=5)
+        g.add_node("V", rate=1)
+        q = PatternBuilder().node("v", "V", conditions="rate>2", output=True).build()
+        assert q.predicate(0).matches(g, 0)
+        assert not q.predicate(0).matches(g, 1)
+
+    def test_conditions_combine_with_predicate(self):
+        from repro.patterns.predicates import AttrCompare
+
+        g = Graph()
+        g.add_node("V", rate=5, views=10)
+        q = (
+            PatternBuilder()
+            .node("v", "V", conditions="rate>2", predicate=AttrCompare("views", ">", 100), output=True)
+            .build()
+        )
+        assert not q.predicate(0).matches(g, 0)
+
+    def test_output_method(self):
+        q = PatternBuilder().node("a").node("b").output("b").edge("a", "b").build()
+        assert q.output_node == 1
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(PatternError):
+            PatternBuilder().node("a").node("a")
+
+    def test_unknown_edge_name_rejected(self):
+        with pytest.raises(PatternError):
+            PatternBuilder().node("a").edge("a", "zzz")
+
+    def test_builder_single_use(self):
+        b = PatternBuilder().node("a", output=True)
+        b.build()
+        with pytest.raises(PatternError):
+            b.node("b")
+
+    def test_build_validates_output(self):
+        with pytest.raises(PatternError):
+            PatternBuilder().node("a").build()
+
+    def test_id_of(self):
+        b = PatternBuilder().node("a").node("b")
+        assert b.id_of("b") == 1

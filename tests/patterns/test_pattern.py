@@ -1,0 +1,113 @@
+"""Tests for the Pattern class and its structural analysis."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns.pattern import Pattern, pattern_from_edges
+
+
+@pytest.fixture()
+def diamond():
+    # 0 -> 1 -> 3, 0 -> 2 -> 3 (DAG), output 0
+    return pattern_from_edges(["A", "B", "C", "D"], [(0, 1), (0, 2), (1, 3), (2, 3)], 0)
+
+
+@pytest.fixture()
+def cyclic():
+    # 0 -> 1 <-> 2 -> 3
+    return pattern_from_edges(["A", "B", "C", "D"], [(0, 1), (1, 2), (2, 1), (2, 3)], 0)
+
+
+class TestConstruction:
+    def test_shape_and_size(self, diamond):
+        assert diamond.shape == (4, 4)
+        assert diamond.size == 8
+
+    def test_duplicate_edge_rejected(self, diamond):
+        with pytest.raises(PatternError):
+            diamond.add_edge(0, 1)
+
+    def test_edge_to_unknown_node_rejected(self, diamond):
+        with pytest.raises(PatternError):
+            diamond.add_edge(0, 9)
+
+    def test_output_node_single(self, diamond):
+        assert diamond.output_node == 0
+
+    def test_multiple_outputs_supported(self, diamond):
+        diamond.set_output(0, 1)
+        assert diamond.output_nodes == (0, 1)
+        with pytest.raises(PatternError):
+            _ = diamond.output_node
+
+    def test_no_output_raises(self):
+        p = Pattern()
+        p.add_node("A")
+        with pytest.raises(PatternError):
+            _ = p.output_node
+
+    def test_validate(self):
+        p = Pattern()
+        with pytest.raises(PatternError):
+            p.validate()
+        p.add_node("A")
+        with pytest.raises(PatternError):
+            p.validate()
+        p.set_output(0)
+        p.validate()
+
+    def test_labels_list(self, diamond):
+        assert diamond.labels() == ["A", "B", "C", "D"]
+
+
+class TestStructure:
+    def test_is_dag(self, diamond, cyclic):
+        assert diamond.is_dag()
+        assert not cyclic.is_dag()
+
+    def test_self_loop_makes_cyclic(self):
+        p = pattern_from_edges(["A"], [], 0)
+        p.add_edge(0, 0)
+        assert not p.is_dag()
+
+    def test_nontrivial_components(self, cyclic):
+        comps = cyclic.analysis.nontrivial_components()
+        assert len(comps) == 1
+        assert sorted(cyclic.analysis.cond.components[comps[0]]) == [1, 2]
+
+    def test_reachable_from_excludes_self_when_acyclic(self, diamond):
+        assert diamond.analysis.reachable_from(0) == {1, 2, 3}
+
+    def test_reachable_from_includes_self_on_cycle(self, cyclic):
+        assert 1 in cyclic.analysis.reachable_from(1)
+
+    def test_analysis_cache_invalidated_on_mutation(self, diamond):
+        first = diamond.analysis
+        diamond.add_node("E")
+        assert diamond.analysis is not first
+
+
+class TestMaxPathLengths:
+    def test_dag_depths(self, diamond):
+        depths = diamond.analysis.max_path_lengths_from(0)
+        assert depths == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_cycle_targets_are_unbounded(self, cyclic):
+        depths = cyclic.analysis.max_path_lengths_from(0)
+        assert depths[1] is None and depths[2] is None and depths[3] is None
+
+    def test_targets_before_cycle_stay_bounded(self):
+        # 0 -> 1 -> (2 <-> 3); node 1 is reached only acyclically.
+        p = pattern_from_edges(["A", "B", "C", "D"], [(0, 1), (1, 2), (2, 3), (3, 2)], 0)
+        depths = p.analysis.max_path_lengths_from(0)
+        assert depths[1] == 1
+        assert depths[2] is None and depths[3] is None
+
+    def test_longest_not_shortest_path(self):
+        # 0 -> 3 direct and 0 -> 1 -> 2 -> 3: longest path to 3 is 3.
+        p = pattern_from_edges(["A", "B", "C", "D"], [(0, 3), (0, 1), (1, 2), (2, 3)], 0)
+        assert p.analysis.max_path_lengths_from(0)[3] == 3
+
+    def test_max_depth_from(self, diamond, cyclic):
+        assert diamond.analysis.max_depth_from(0) == 2
+        assert cyclic.analysis.max_depth_from(0) is None

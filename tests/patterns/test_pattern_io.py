@@ -1,0 +1,54 @@
+"""Round-trip tests for pattern JSON serialisation."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns.io import load_pattern, pattern_from_dict, pattern_to_dict, save_pattern
+from repro.workloads.paper_queries import youtube_q1
+
+
+class TestPatternJson:
+    def test_roundtrip_structure(self, fig1, tmp_path):
+        path = tmp_path / "q.json"
+        save_pattern(fig1.pattern, path)
+        loaded = load_pattern(path)
+        assert loaded.shape == fig1.pattern.shape
+        assert loaded.output_node == fig1.pattern.output_node
+        assert set(loaded.edges()) == set(fig1.pattern.edges())
+        assert loaded.labels() == fig1.pattern.labels()
+
+    def test_roundtrip_predicates(self, tmp_path):
+        path = tmp_path / "q1.json"
+        save_pattern(youtube_q1(), path)
+        loaded = load_pattern(path)
+        # The rate>2 condition must survive the round trip.
+        from repro.graph.digraph import Graph
+
+        g = Graph()
+        good = g.add_node("music", rate=4.0, views=10)
+        bad = g.add_node("music", rate=1.0, views=10)
+        assert loaded.predicate(0).matches(g, good)
+        assert not loaded.predicate(0).matches(g, bad)
+
+    def test_hand_written_document(self):
+        pattern = pattern_from_dict(
+            {
+                "format": "repro-pattern-json",
+                "nodes": [
+                    {"name": "mgr", "label": "Manager", "output": True},
+                    {"name": "dev", "label": "Dev"},
+                ],
+                "edges": [["mgr", "dev"]],
+            }
+        )
+        assert pattern.shape == (2, 1)
+        assert pattern.label(0) == "Manager"
+
+    def test_foreign_document_rejected(self):
+        with pytest.raises(PatternError):
+            pattern_from_dict({"format": "xml"})
+
+    def test_dict_form(self, fig1):
+        payload = pattern_to_dict(fig1.pattern)
+        assert payload["format"] == "repro-pattern-json"
+        assert payload["nodes"][0]["output"] is True

@@ -1,0 +1,99 @@
+"""Tests for attribute predicates and the condition parser."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph.digraph import Graph
+from repro.patterns.predicates import (
+    AttrCompare,
+    AttrIn,
+    Negate,
+    all_of,
+    any_of,
+    parse_conditions,
+)
+
+
+@pytest.fixture()
+def video_graph():
+    g = Graph()
+    g.add_node("music", rate=4.5, views=9000, category="music")
+    g.add_node("music", rate=1.0, views=100)
+    return g
+
+
+class TestAttrCompare:
+    def test_equality(self, video_graph):
+        assert AttrCompare("category", "==", "music").matches(video_graph, 0)
+
+    def test_numeric_comparison(self, video_graph):
+        assert AttrCompare("rate", ">", 2).matches(video_graph, 0)
+        assert not AttrCompare("rate", ">", 2).matches(video_graph, 1)
+
+    @pytest.mark.parametrize("op,expected", [("!=", True), (">=", True), ("<", False), ("<=", False)])
+    def test_all_operators(self, video_graph, op, expected):
+        assert AttrCompare("views", op, 5000).matches(video_graph, 0) is expected
+
+    def test_missing_attribute_never_matches(self, video_graph):
+        assert not AttrCompare("category", "==", "music").matches(video_graph, 1)
+
+    def test_type_mismatch_never_matches(self, video_graph):
+        assert not AttrCompare("category", ">", 5).matches(video_graph, 0)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PatternError):
+            AttrCompare("x", "~", 1)
+
+
+class TestCombinators:
+    def test_all_of(self, video_graph):
+        pred = all_of(AttrCompare("rate", ">", 2), AttrCompare("views", ">", 5000))
+        assert pred.matches(video_graph, 0)
+        assert not pred.matches(video_graph, 1)
+
+    def test_empty_all_of_is_true(self, video_graph):
+        assert all_of().matches(video_graph, 1)
+
+    def test_any_of(self, video_graph):
+        pred = any_of(AttrCompare("rate", ">", 3), AttrCompare("views", "<", 500))
+        assert pred.matches(video_graph, 0)
+        assert pred.matches(video_graph, 1)
+
+    def test_empty_any_of_is_false(self, video_graph):
+        assert not any_of().matches(video_graph, 0)
+
+    def test_negate(self, video_graph):
+        assert Negate(AttrCompare("rate", ">", 2)).matches(video_graph, 1)
+
+    def test_attr_in(self, video_graph):
+        assert AttrIn("category", ("music", "film")).matches(video_graph, 0)
+        assert not AttrIn("category", ("film",)).matches(video_graph, 0)
+
+
+class TestParser:
+    def test_paper_syntax(self, video_graph):
+        pred = parse_conditions('category="music"; rate>2; views>5000')
+        assert pred.matches(video_graph, 0)
+        assert not pred.matches(video_graph, 1)
+
+    def test_single_equals_is_equality(self):
+        pred = parse_conditions("x=3")
+        assert pred.parts[0].op == "=="
+
+    def test_numeric_literals(self):
+        parts = parse_conditions("a>2; b>=2.5").parts
+        assert parts[0].value == 2 and isinstance(parts[0].value, int)
+        assert parts[1].value == 2.5
+
+    def test_bare_word_value(self):
+        assert parse_conditions("group=Book").parts[0].value == "Book"
+
+    def test_comma_separator(self):
+        assert len(parse_conditions("a>1, b<2").parts) == 2
+
+    def test_empty_chunks_skipped(self):
+        assert len(parse_conditions("a>1;;").parts) == 1
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PatternError):
+            parse_conditions(">>>nonsense<<<")

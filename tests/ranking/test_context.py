@@ -1,0 +1,41 @@
+"""Tests for RankingContext derived data."""
+
+import pytest
+
+from repro.errors import RankingError
+from repro.ranking.context import RankingContext
+
+
+class TestContext:
+    def test_matches_sorted(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        assert ctx.matches == sorted(ctx.matches)
+        assert fig1.names(ctx.matches) == {"PM1", "PM2", "PM3", "PM4"}
+
+    def test_normalisation_counts_reachable_candidates(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        assert ctx.normalisation == 11  # 3 DB + 4 PRG + 4 ST
+
+    def test_reachable_query_nodes(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        assert ctx.reachable_query_nodes == {1, 2, 3}
+
+    def test_relevance_accessors(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        pm2 = fig1.node("PM2")
+        assert ctx.relevance(pm2) == 8
+        assert abs(ctx.normalised_relevance(pm2) - 8 / 11) < 1e-12
+
+    def test_relevance_of_non_match_raises(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        with pytest.raises(RankingError):
+            ctx.relevance(fig1.node("ST1"))
+
+    def test_descendant_matches(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        assert len(ctx.descendant_matches) == 11
+
+    def test_query_node_override(self, fig1):
+        db = fig1.query_nodes["DB"]
+        ctx = RankingContext(fig1.pattern, fig1.graph, query_node=db)
+        assert fig1.names(ctx.matches) == {"DB1", "DB2", "DB3"}

@@ -1,0 +1,109 @@
+"""Tests for the generalised ranking functions (Section 3.4 table)."""
+
+import pytest
+
+from repro.ranking.context import RankingContext
+from repro.ranking.generalized import (
+    CommonNeighbours,
+    DistanceBasedDiversity,
+    JaccardCoefficient,
+    NeighbourhoodDiversity,
+    PreferentialAttachment,
+    label_descendant_relevant_set,
+)
+
+
+@pytest.fixture()
+def ctx(fig1):
+    return RankingContext(fig1.pattern, fig1.graph)
+
+
+class TestPreferentialAttachment:
+    def test_value(self, fig1, ctx):
+        fn = PreferentialAttachment()
+        pm2 = fig1.node("PM2")
+        # |R(u)| = 3 query nodes reachable from PM; |R*| = 8.
+        assert fn.value(ctx, pm2, ctx.relevant[pm2]) == 24.0
+
+    def test_upper(self, fig1, ctx):
+        assert PreferentialAttachment().upper(ctx, 0, 5) == 15.0
+
+
+class TestCommonNeighbours:
+    def test_equals_set_size_for_simulation_sets(self, fig1, ctx):
+        fn = CommonNeighbours()
+        pm2 = fig1.node("PM2")
+        assert fn.value(ctx, pm2, ctx.relevant[pm2]) == 8.0
+
+    def test_upper_capped_by_match_count(self, fig1, ctx):
+        assert CommonNeighbours().upper(ctx, 0, 999) == 11.0
+
+    def test_counts_only_matches(self, fig1, ctx):
+        fn = CommonNeighbours()
+        ba1 = fig1.node("BA1")
+        assert fn.value(ctx, 0, {ba1}) == 0.0
+
+
+class TestJaccardCoefficient:
+    def test_value_is_fraction_of_match_set(self, fig1, ctx):
+        fn = JaccardCoefficient()
+        pm2 = fig1.node("PM2")
+        assert abs(fn.value(ctx, pm2, ctx.relevant[pm2]) - 8 / 11) < 1e-12
+
+    def test_upper(self, fig1, ctx):
+        fn = JaccardCoefficient()
+        assert abs(fn.upper(ctx, 0, 5) - 5 / 11) < 1e-12
+        assert fn.upper(ctx, 0, 999) == 1.0
+
+    def test_monotone_on_match_subsets(self, fig1, ctx):
+        fn = JaccardCoefficient()
+        pm2 = fig1.node("PM2")
+        full = ctx.relevant[pm2]
+        partial = set(list(full)[:3])
+        assert fn.value(ctx, pm2, partial) <= fn.value(ctx, pm2, full)
+
+
+class TestNeighbourhoodDiversity:
+    def test_disjoint_sets_max_diversity(self, fig1, ctx):
+        fn = NeighbourhoodDiversity()
+        assert fn.distance(ctx, 0, {1}, 1, {2}) == 1.0
+
+    def test_overlap_scaled_by_graph_size(self, fig1, ctx):
+        fn = NeighbourhoodDiversity()
+        n = fig1.graph.num_nodes
+        d = fn.distance(ctx, 0, {1, 2}, 1, {1, 2})
+        assert abs(d - (1 - 2 / n)) < 1e-12
+
+
+class TestDistanceBasedDiversity:
+    def test_same_node_zero(self, fig1, ctx):
+        fn = DistanceBasedDiversity()
+        assert fn.distance(ctx, 5, set(), 5, set()) == 0.0
+
+    def test_unreachable_is_one(self, fig1, ctx):
+        fn = DistanceBasedDiversity()
+        pm1, pm2 = fig1.node("PM1"), fig1.node("PM2")
+        assert fn.distance(ctx, pm1, set(), pm2, set()) == 1.0
+
+    def test_direct_edge_zero(self, fig1, ctx):
+        fn = DistanceBasedDiversity()
+        pm1, db1 = fig1.node("PM1"), fig1.node("DB1")
+        assert fn.distance(ctx, pm1, set(), db1, set()) == 0.0
+
+    def test_symmetric_via_min_direction(self, fig1, ctx):
+        fn = DistanceBasedDiversity()
+        pm1, st1 = fig1.node("PM1"), fig1.node("ST1")
+        assert fn.distance(ctx, pm1, set(), st1, set()) == fn.distance(ctx, st1, set(), pm1, set())
+
+
+class TestGeneralisedRelevantSet:
+    def test_superset_of_simulation_relevant_set(self, fig1, ctx):
+        pm2 = fig1.node("PM2")
+        generalised = label_descendant_relevant_set(ctx, pm2)
+        assert set(ctx.relevant[pm2]) <= set(generalised)
+
+    def test_only_pattern_labels_included(self, fig1, ctx):
+        pm1 = fig1.node("PM1")
+        generalised = label_descendant_relevant_set(ctx, pm1)
+        labels = {fig1.graph.label(v) for v in generalised}
+        assert labels <= {"DB", "PRG", "ST"}

@@ -1,0 +1,64 @@
+"""Tests for relevance functions and bounds."""
+
+from repro.ranking.context import RankingContext
+from repro.ranking.relevance import (
+    CardinalityRelevance,
+    NormalisedRelevance,
+    relevance_of_set,
+    top_k_by_relevance,
+)
+
+
+class TestCardinality:
+    def test_value_is_set_size(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        fn = CardinalityRelevance()
+        pm2 = fig1.node("PM2")
+        assert fn.value(ctx, pm2, ctx.relevant[pm2]) == 8.0
+
+    def test_lower_on_partial_set(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        fn = CardinalityRelevance()
+        assert fn.lower(ctx, 0, {1, 2}) == 2.0
+
+    def test_upper_from_bound(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        assert CardinalityRelevance().upper(ctx, 0, 17) == 17.0
+
+    def test_of_set_sums(self):
+        assert CardinalityRelevance().of_set([1.0, 2.0, 3.0]) == 6.0
+
+
+class TestNormalised:
+    def test_scaling_by_cuo(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        fn = NormalisedRelevance()
+        pm2 = fig1.node("PM2")
+        assert abs(fn.value(ctx, pm2, ctx.relevant[pm2]) - 8 / 11) < 1e-12
+
+    def test_upper_scaled(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        assert abs(NormalisedRelevance().upper(ctx, 0, 11) - 1.0) < 1e-12
+
+
+class TestHelpers:
+    def test_top_k_by_relevance_order(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        top = top_k_by_relevance(ctx, 2)
+        assert fig1.node("PM2") == top[0]
+        assert len(top) == 2
+
+    def test_top_k_larger_than_matches(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        assert len(top_k_by_relevance(ctx, 99)) == 4
+
+    def test_relevance_of_set(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        total = relevance_of_set(ctx, [fig1.node("PM2"), fig1.node("PM3")])
+        assert total == 14.0
+
+    def test_ties_break_by_node_id(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        top = top_k_by_relevance(ctx, 3)
+        pm3, pm4 = fig1.node("PM3"), fig1.node("PM4")
+        assert top[1:] == sorted([pm3, pm4])[:2] or top[1] == min(pm3, pm4)

@@ -1,0 +1,49 @@
+"""Tests for candidate computation can(u)."""
+
+from repro.graph.digraph import Graph
+from repro.patterns.builder import PatternBuilder
+from repro.patterns.pattern import pattern_from_edges
+from repro.simulation.candidates import candidate_statistics, compute_candidates
+
+
+def labelled_graph():
+    g = Graph()
+    g.add_node("A", score=10)
+    g.add_node("A", score=1)
+    g.add_node("B")
+    return g
+
+
+class TestCandidates:
+    def test_label_filter(self):
+        q = pattern_from_edges(["A", "B"], [(0, 1)], 0)
+        cands = compute_candidates(q, labelled_graph())
+        assert cands.of(0) == [0, 1]
+        assert cands.of(1) == [2]
+
+    def test_predicate_filter(self):
+        q = PatternBuilder().node("a", "A", conditions="score>5", output=True).build()
+        cands = compute_candidates(q, labelled_graph())
+        assert cands.of(0) == [0]
+
+    def test_wildcard_label(self):
+        q = PatternBuilder().node("any", "*", output=True).build()
+        cands = compute_candidates(q, labelled_graph())
+        assert cands.of(0) == [0, 1, 2]
+
+    def test_membership_and_counts(self):
+        q = pattern_from_edges(["A", "B"], [(0, 1)], 0)
+        cands = compute_candidates(q, labelled_graph())
+        assert cands.is_candidate(0, 1) and not cands.is_candidate(0, 2)
+        assert cands.count(0) == 2
+        assert cands.total == 3
+
+    def test_any_empty(self):
+        q = pattern_from_edges(["A", "Z"], [(0, 1)], 0)
+        cands = compute_candidates(q, labelled_graph())
+        assert cands.any_empty()
+
+    def test_statistics(self):
+        q = pattern_from_edges(["A", "B"], [(0, 1)], 0)
+        stats = candidate_statistics(compute_candidates(q, labelled_graph()))
+        assert stats == {"total": 3, "min": 1, "max": 2, "mean": 1.5}

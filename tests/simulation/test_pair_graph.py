@@ -1,0 +1,45 @@
+"""Tests for the match-pair graph."""
+
+from repro.simulation.match import maximal_simulation
+from repro.simulation.pair_graph import build_pair_graph, pair_subgraph_nodes
+
+
+class TestPairGraph:
+    def test_nodes_are_match_pairs(self, fig1):
+        result = maximal_simulation(fig1.pattern, fig1.graph)
+        pg = build_pair_graph(fig1.pattern, fig1.graph, result.sim)
+        assert pg.num_pairs == 15
+
+    def test_edges_follow_both_graphs(self, fig1):
+        result = maximal_simulation(fig1.pattern, fig1.graph)
+        pg = build_pair_graph(fig1.pattern, fig1.graph, result.sim)
+        for pair_node in range(pg.num_pairs):
+            u, v = pg.pair_of(pair_node)
+            for child in pg.successors(pair_node):
+                u2, v2 = pg.pair_of(child)
+                assert fig1.pattern.has_edge(u, u2)
+                assert fig1.graph.has_edge(v, v2)
+
+    def test_restriction_to_query_nodes(self, fig1):
+        result = maximal_simulation(fig1.pattern, fig1.graph)
+        st = fig1.query_nodes["ST"]
+        pg = build_pair_graph(fig1.pattern, fig1.graph, result.sim, [st])
+        assert pg.num_pairs == 4
+        assert all(pg.pair_of(i)[0] == st for i in range(pg.num_pairs))
+
+    def test_id_lookup(self, fig1):
+        result = maximal_simulation(fig1.pattern, fig1.graph)
+        pg = build_pair_graph(fig1.pattern, fig1.graph, result.sim)
+        pm2 = fig1.node("PM2")
+        pid = pg.id_of(0, pm2)
+        assert pg.pair_of(pid) == (0, pm2)
+        assert pg.data_node(pid) == pm2
+        assert pg.id_of(0, fig1.node("ST1")) is None
+
+    def test_reachable_pair_nodes(self, fig1):
+        result = maximal_simulation(fig1.pattern, fig1.graph)
+        pg = build_pair_graph(fig1.pattern, fig1.graph, result.sim)
+        root = pg.id_of(0, fig1.node("PM1"))
+        reachable = pair_subgraph_nodes(pg, [root])
+        names = {fig1.names([pg.data_node(p)]).pop() for p in reachable}
+        assert names == {"PM1", "DB1", "PRG1", "ST1", "ST2"}

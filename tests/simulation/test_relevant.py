@@ -1,0 +1,61 @@
+"""Tests for relevant-set computation."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import pattern_from_edges
+from repro.simulation.match import maximal_simulation
+from repro.simulation.relevant import (
+    induced_result_graph,
+    relevance_values,
+    relevant_sets,
+)
+
+
+class TestRelevantSets:
+    def test_leaf_matches_have_empty_sets(self, fig1):
+        result = maximal_simulation(fig1.pattern, fig1.graph)
+        st = fig1.query_nodes["ST"]
+        sets = relevant_sets(fig1.pattern, fig1.graph, result.sim, st)
+        assert all(len(s) == 0 for s in sets.values())
+
+    def test_relevance_values_are_sizes(self, fig1):
+        result = maximal_simulation(fig1.pattern, fig1.graph)
+        values = relevance_values(fig1.pattern, fig1.graph, result.sim, 0)
+        assert values[fig1.node("PM2")] == 8
+        assert values[fig1.node("PM1")] == 4
+
+    def test_chain_accumulates(self):
+        g = Graph()
+        g.add_nodes(["A", "B", "C"])
+        g.add_edges([(0, 1), (1, 2)])
+        q = pattern_from_edges(["A", "B", "C"], [(0, 1), (1, 2)], 0)
+        result = maximal_simulation(q, g)
+        sets = relevant_sets(q, g, result.sim, 0)
+        assert sets[0] == {1, 2}
+
+    def test_two_cycle_shares_and_includes_self(self):
+        g = Graph()
+        g.add_nodes(["A", "B"])
+        g.add_edges([(0, 1), (1, 0)])
+        q = pattern_from_edges(["A", "B"], [(0, 1), (1, 0)], 0)
+        result = maximal_simulation(q, g)
+        sets = relevant_sets(q, g, result.sim, 0)
+        assert sets[0] == {0, 1}  # A reaches itself around the cycle
+
+    def test_diamond_counts_shared_node_once(self):
+        g = Graph()
+        g.add_nodes(["A", "B", "C", "D"])
+        g.add_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        q = pattern_from_edges(["A", "B", "C", "D"], [(0, 1), (0, 2), (1, 3), (2, 3)], 0)
+        result = maximal_simulation(q, g)
+        sets = relevant_sets(q, g, result.sim, 0)
+        assert sets[0] == {1, 2, 3}
+
+    def test_induced_result_graph(self, fig1):
+        result = maximal_simulation(fig1.pattern, fig1.graph)
+        sub, mapping = induced_result_graph(
+            fig1.pattern, fig1.graph, result.sim, 0, fig1.node("PM1")
+        )
+        assert sub.num_nodes == 5  # PM1 + its 4 relevant matches
+        assert fig1.node("PM1") in mapping

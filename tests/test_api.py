@@ -1,0 +1,80 @@
+"""Tests for the top-level facade API."""
+
+import pytest
+
+from repro import api
+from repro.errors import MatchingError
+
+
+class TestFacade:
+    def test_find_matches(self, fig1):
+        result = api.find_matches(fig1.pattern, fig1.graph)
+        assert result.total and result.relation_size == 15
+
+    def test_output_matches(self, fig1):
+        assert len(api.output_matches(fig1.pattern, fig1.graph)) == 4
+
+    def test_top_k_routes_to_dag_engine(self, fig1, q1_dag):
+        result = api.top_k_matches(q1_dag, fig1.graph, 1)
+        assert result.algorithm == "TopKDAG"
+
+    def test_top_k_routes_to_cyclic_engine(self, fig1):
+        result = api.top_k_matches(fig1.pattern, fig1.graph, 2)
+        assert result.algorithm == "TopK"
+
+    def test_nopt_naming(self, fig1):
+        result = api.top_k_matches(fig1.pattern, fig1.graph, 2, optimized=False)
+        assert result.algorithm == "TopKnopt"
+
+    def test_baseline(self, fig1):
+        assert api.baseline_matches(fig1.pattern, fig1.graph, 2).algorithm == "Match"
+
+    def test_diversified_methods(self, fig1):
+        heuristic = api.diversified_matches(fig1.pattern, fig1.graph, 2, method="heuristic")
+        approx = api.diversified_matches(fig1.pattern, fig1.graph, 2, method="approx")
+        assert heuristic.algorithm == "TopKDH"
+        assert approx.algorithm == "TopKDiv"
+
+    def test_unknown_method(self, fig1):
+        with pytest.raises(MatchingError):
+            api.diversified_matches(fig1.pattern, fig1.graph, 2, method="magic")
+
+    def test_ranking_context(self, fig1):
+        ctx = api.ranking_context(fig1.pattern, fig1.graph)
+        assert ctx.normalisation == 11
+
+
+class TestMultiOutput:
+    def test_per_output_results(self, fig1):
+        import copy
+
+        pattern = copy.deepcopy(fig1.pattern)
+        pm, db = fig1.query_nodes["PM"], fig1.query_nodes["DB"]
+        pattern.set_output(pm, db)
+        results = api.top_k_matches_multi(pattern, fig1.graph, 2)
+        assert set(results) == {pm, db}
+        assert fig1.node("PM2") in results[pm].matches
+        # DB matches ranked by their own relevant sets.
+        db_names = fig1.names(results[db].matches)
+        assert db_names <= {"DB1", "DB2", "DB3"}
+
+    def test_multi_output_scores_match_single_runs(self, fig1):
+        import copy
+
+        pattern = copy.deepcopy(fig1.pattern)
+        pm, prg = fig1.query_nodes["PM"], fig1.query_nodes["PRG"]
+        pattern.set_output(pm, prg)
+        multi = api.top_k_matches_multi(pattern, fig1.graph, 2)
+
+        single = copy.deepcopy(fig1.pattern)
+        single.set_output(prg)
+        expected = api.top_k_matches(single, fig1.graph, 2)
+        assert multi[prg].total_relevance() == expected.total_relevance()
+
+    def test_no_outputs_rejected(self, fig1):
+        import copy
+
+        pattern = copy.deepcopy(fig1.pattern)
+        pattern.set_output()
+        with pytest.raises(MatchingError):
+            api.top_k_matches_multi(pattern, fig1.graph, 2)

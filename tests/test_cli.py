@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import load_json
+from repro.patterns.io import save_pattern
+from repro.workloads.paper_queries import youtube_q2
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "g.json"
+    assert main(["generate", "--dataset", "synthetic", "--nodes", "300",
+                 "--edges", "1200", "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_graph(self, graph_file):
+        g = load_json(graph_file)
+        assert g.num_nodes == 300 and g.num_edges == 1200
+
+    def test_dag_flag(self, tmp_path):
+        from repro.graph.algorithms import is_dag
+
+        path = tmp_path / "dag.json"
+        main(["generate", "--dataset", "synthetic", "--nodes", "200",
+              "--edges", "600", "--dag", "--out", str(path)])
+        assert is_dag(load_json(path))
+
+    def test_surrogate_dataset(self, tmp_path):
+        path = tmp_path / "amz.json"
+        main(["generate", "--dataset", "amazon", "--scale", "0.05", "--out", str(path)])
+        g = load_json(path)
+        assert g.attr(0, "group") is not None
+
+
+class TestInfo:
+    def test_prints_summary(self, graph_file, capsys):
+        assert main(["info", "--graph", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "|V| = 300" in out and "SCCs" in out
+
+
+class TestMatch:
+    def _pattern_file(self, tmp_path, graph_file):
+        # Extract a matching pattern from the generated graph itself.
+        from repro.workloads.pattern_gen import random_dag_pattern
+
+        g = load_json(graph_file)
+        pattern = random_dag_pattern(g, 3, 2, seed=1)
+        path = tmp_path / "q.json"
+        save_pattern(pattern, path)
+        return path
+
+    def test_topk_json_output(self, tmp_path, graph_file, capsys):
+        pattern_file = self._pattern_file(tmp_path, graph_file)
+        assert main(["match", "--graph", str(graph_file), "--pattern",
+                     str(pattern_file), "--k", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] in ("TopK", "TopKDAG")
+        assert len(payload["matches"]) <= 3
+
+    def test_diversify_flag(self, tmp_path, graph_file, capsys):
+        pattern_file = self._pattern_file(tmp_path, graph_file)
+        assert main(["match", "--graph", str(graph_file), "--pattern",
+                     str(pattern_file), "--k", "3", "--diversify", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] in ("TopKDH", "TopKDAGDH")
+        assert "objective_value" in payload
+
+    def test_forced_algorithm(self, tmp_path, graph_file, capsys):
+        pattern_file = self._pattern_file(tmp_path, graph_file)
+        assert main(["match", "--graph", str(graph_file), "--pattern",
+                     str(pattern_file), "--algorithm", "Match", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["algorithm"] == "Match"
+
+    def test_human_readable_output(self, tmp_path, graph_file, capsys):
+        pattern_file = self._pattern_file(tmp_path, graph_file)
+        assert main(["match", "--graph", str(graph_file), "--pattern",
+                     str(pattern_file), "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "matches in" in out

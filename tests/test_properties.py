@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) on the library's core invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import Graph
+from repro.ranking.context import RankingContext
+from repro.ranking.distance import jaccard_distance
+from repro.simulation.match import maximal_simulation, naive_simulation
+from repro.topk.cyclic import top_k
+from repro.topk.match_all import match_baseline
+
+from tests.conftest import make_random_graph, make_random_pattern
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+node_sets = st.sets(st.integers(min_value=0, max_value=30), max_size=12)
+
+
+class TestJaccardMetricAxioms:
+    @given(a=node_sets, b=node_sets)
+    @SETTINGS
+    def test_symmetry(self, a, b):
+        assert jaccard_distance(a, b) == jaccard_distance(b, a)
+
+    @given(a=node_sets)
+    @SETTINGS
+    def test_identity(self, a):
+        assert jaccard_distance(a, a) == 0.0
+
+    @given(a=node_sets, b=node_sets)
+    @SETTINGS
+    def test_range(self, a, b):
+        assert 0.0 <= jaccard_distance(a, b) <= 1.0
+
+    @given(a=node_sets, b=node_sets, c=node_sets)
+    @SETTINGS
+    def test_triangle_inequality(self, a, b, c):
+        # The paper claims delta_d is a metric (Section 3.2).
+        assert jaccard_distance(a, c) <= (
+            jaccard_distance(a, b) + jaccard_distance(b, c) + 1e-12
+        )
+
+
+class TestSimulationProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_fast_fixpoint_equals_naive(self, seed):
+        g = make_random_graph(seed, num_nodes=12, num_edges=24)
+        q = make_random_pattern(seed + 1, num_nodes=3, extra_edges=1, cyclic=seed % 2 == 0)
+        assert maximal_simulation(q, g).sim == naive_simulation(q, g)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_simulation_is_a_simulation(self, seed):
+        # Every surviving pair must satisfy the forward condition.
+        g = make_random_graph(seed, num_nodes=12, num_edges=24)
+        q = make_random_pattern(seed + 1, num_nodes=3, extra_edges=1)
+        sim = maximal_simulation(q, g).sim
+        for u in q.nodes():
+            for v in sim[u]:
+                assert g.label(v) == q.label(u)
+                for u_child in q.successors(u):
+                    assert any(c in sim[u_child] for c in g.successors(v))
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_maximality_no_rejected_pair_fits(self, seed):
+        # Greatest fixpoint: adding back any rejected candidate must break
+        # the simulation condition immediately (one-step check).
+        g = make_random_graph(seed, num_nodes=10, num_edges=18)
+        q = make_random_pattern(seed + 1, num_nodes=3, extra_edges=1)
+        sim = maximal_simulation(q, g).sim
+        for u in q.nodes():
+            for v in g.nodes():
+                if g.label(v) != q.label(u) or v in sim[u]:
+                    continue
+                violates = any(
+                    not any(c in sim[u_child] for c in g.successors(v))
+                    for u_child in q.successors(u)
+                )
+                assert violates
+
+
+class TestTopKProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000), k=st.integers(1, 4))
+    @SETTINGS
+    def test_engine_set_is_optimal(self, seed, k):
+        g = make_random_graph(seed, num_nodes=14, num_edges=30)
+        q = make_random_pattern(seed + 7, num_nodes=3, extra_edges=1, cyclic=seed % 3 == 0)
+        result = maximal_simulation(q, g)
+        if not result.total:
+            return
+        ctx = RankingContext(q, g, result)
+        oracle = match_baseline(q, g, k, context=ctx)
+        engine = top_k(q, g, k)
+        true_sum = sum(len(ctx.relevant[v]) for v in engine.matches)
+        assert true_sum == oracle.total_relevance()
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_scores_never_exceed_true_relevance(self, seed):
+        g = make_random_graph(seed, num_nodes=14, num_edges=30)
+        q = make_random_pattern(seed + 7, num_nodes=3, extra_edges=1)
+        result = maximal_simulation(q, g)
+        if not result.total:
+            return
+        ctx = RankingContext(q, g, result)
+        engine = top_k(q, g, 3)
+        for v in engine.matches:
+            assert engine.scores[v] <= len(ctx.relevant[v]) + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_inspected_never_exceeds_total(self, seed):
+        g = make_random_graph(seed, num_nodes=14, num_edges=30)
+        q = make_random_pattern(seed + 7, num_nodes=3, extra_edges=1)
+        result = maximal_simulation(q, g)
+        if not result.total:
+            return
+        mu = len(result.matches_of(q.output_node))
+        engine = top_k(q, g, 2)
+        assert engine.stats.inspected_matches <= mu
+
+
+class TestDiversificationProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        lam=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_approx_ratio_two(self, seed, lam):
+        from repro.diversify.approx import top_k_diversified_approx
+        from repro.diversify.exact import optimal_diversified
+
+        g = make_random_graph(seed, num_nodes=12, num_edges=26)
+        q = make_random_pattern(seed + 13, num_nodes=3, extra_edges=1)
+        result = maximal_simulation(q, g)
+        if not result.total:
+            return
+        ctx = RankingContext(q, g, result)
+        if len(ctx.matches) > 12:
+            return
+        k = min(3, len(ctx.matches))
+        approx = top_k_diversified_approx(q, g, k, lam=lam, context=ctx)
+        _, best = optimal_diversified(ctx, k, lam=lam)
+        assert approx.objective_value >= best / 2 - 1e-9
+
+
+class TestGeneratorProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=5, max_value=40),
+    )
+    @SETTINGS
+    def test_synthetic_graph_meets_sizes(self, seed, n):
+        from repro.datasets.synthetic import synthetic_graph
+
+        e = min(2 * n, n * (n - 1) // 4)
+        g = synthetic_graph(n, e, seed=seed)
+        assert g.num_nodes == n
+        assert g.num_edges == e
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_dag_mode_is_acyclic(self, seed):
+        from repro.datasets.synthetic import synthetic_graph
+        from repro.graph.algorithms import is_dag
+
+        g = synthetic_graph(20, 40, seed=seed, cyclic=False)
+        assert is_dag(g)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_seeded_determinism(self, seed):
+        from repro.datasets.synthetic import synthetic_graph
+
+        a = synthetic_graph(15, 30, seed=seed)
+        b = synthetic_graph(15, 30, seed=seed)
+        assert list(a.edges()) == list(b.edges())
+        assert [a.label(v) for v in a.nodes()] == [b.label(v) for v in b.nodes()]

@@ -1,0 +1,44 @@
+"""Tests for DOT export."""
+
+import pytest
+
+from repro.ranking.context import RankingContext
+from repro.viz import graph_dot, pattern_dot, result_graph_dot
+
+
+class TestGraphDot:
+    def test_contains_nodes_and_edges(self, fig1):
+        dot = graph_dot(fig1.graph)
+        assert dot.startswith("digraph G {") and dot.endswith("}")
+        assert f"n{fig1.node('PM2')}" in dot
+        assert "->" in dot
+
+    def test_max_nodes_guard(self, fig1):
+        dot = graph_dot(fig1.graph, max_nodes=2)
+        assert dot.count("[label=") == 2
+
+
+class TestPatternDot:
+    def test_output_node_marked(self, fig1):
+        dot = pattern_dot(fig1.pattern)
+        assert "doublecircle" in dot and "PM *" in dot
+
+    def test_predicates_rendered(self):
+        from repro.workloads.paper_queries import youtube_q1
+
+        dot = pattern_dot(youtube_q1())
+        assert "rate>2" in dot
+
+
+class TestResultGraphDot:
+    def test_induced_subgraph(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        dot = result_graph_dot(ctx, fig1.node("PM1"))
+        # PM1 + its 4 relevant matches, nothing else.
+        assert dot.count("[label=") == 5
+        assert "style=bold" in dot
+
+    def test_non_match_rejected(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        with pytest.raises(KeyError):
+            result_graph_dot(ctx, fig1.node("ST1"))

@@ -1,0 +1,77 @@
+"""Engine-level tests: state vectors, termination, totality, batching."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import pattern_from_edges
+from repro.topk.cyclic import top_k
+from repro.topk.dag import top_k_dag
+from repro.topk.engine import TopKEngine
+from repro.topk.policies import RelevancePolicy
+
+
+class TestEngineBasics:
+    def test_invalid_k_rejected(self, fig1):
+        with pytest.raises(MatchingError):
+            TopKEngine(fig1.pattern, fig1.graph, 0, policy=RelevancePolicy())
+
+    def test_empty_candidates_short_circuit(self):
+        g = Graph()
+        g.add_node("A")
+        q = pattern_from_edges(["A", "Z"], [(0, 1)], 0)
+        result = TopKEngine(q, g, 3, policy=RelevancePolicy()).run()
+        assert result.matches == []
+        assert result.stats.pairs_created == 0
+
+    def test_totality_enforced(self):
+        # A->B exists but pattern also needs isolated label C somewhere.
+        g = Graph()
+        g.add_nodes(["A", "B", "C"])
+        g.add_edge(0, 1)
+        q = pattern_from_edges(["A", "B", "C"], [(0, 1), (1, 2)], 0)
+        result = top_k(q, g, 2)
+        assert result.matches == []
+
+    def test_debug_state_vector(self, fig1):
+        engine = TopKEngine(fig1.pattern, fig1.graph, 2, policy=RelevancePolicy())
+        engine.run()
+        state = engine.debug_state(0, fig1.node("PM2"))
+        assert state["status"] == "confirmed"
+        assert state["l"] == 8
+
+    def test_confirmed_matches_view(self, fig1):
+        engine = TopKEngine(fig1.pattern, fig1.graph, 2, policy=RelevancePolicy())
+        engine.run()
+        assert engine.confirmed_matches(3) <= set(fig1.graph.nodes())
+
+    def test_batch_size_one(self, fig1):
+        result = top_k(fig1.pattern, fig1.graph, 2, batch_size=1)
+        assert result.total_relevance() == 14.0
+
+    def test_presimulate_off_still_correct(self, fig1):
+        result = top_k(fig1.pattern, fig1.graph, 2, presimulate=False)
+        assert result.total_relevance() == 14.0
+
+    @pytest.mark.parametrize("strategy", ["hop", "exact", "counting", "global"])
+    def test_all_bound_strategies_correct(self, fig1, strategy):
+        result = top_k(
+            fig1.pattern, fig1.graph, 2, presimulate=False, bound_strategy=strategy
+        )
+        assert result.total_relevance() == 14.0
+
+
+class TestScoresAreLowerBounds:
+    def test_exhaustive_run_reports_exact_scores(self, fig1):
+        result = top_k(fig1.pattern, fig1.graph, 4)
+        assert result.scores[fig1.node("PM2")] == 8.0
+
+    def test_fewer_matches_than_k(self, fig1):
+        result = top_k(fig1.pattern, fig1.graph, 10)
+        assert len(result.matches) == 4
+
+
+class TestDagEngineRejectsCycles:
+    def test_cyclic_pattern_rejected(self, fig1):
+        with pytest.raises(MatchingError):
+            top_k_dag(fig1.pattern, fig1.graph, 2)

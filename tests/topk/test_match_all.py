@@ -1,0 +1,47 @@
+"""Tests for the Match baseline."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import pattern_from_edges
+from repro.ranking.context import RankingContext
+from repro.topk.match_all import match_baseline
+
+
+class TestMatchBaseline:
+    def test_returns_exact_top_k(self, fig1):
+        result = match_baseline(fig1.pattern, fig1.graph, 2)
+        assert result.algorithm == "Match"
+        assert result.total_relevance() == 14.0
+
+    def test_inspects_everything(self, fig1):
+        result = match_baseline(fig1.pattern, fig1.graph, 2)
+        assert result.stats.inspected_matches == result.stats.total_matches == 4
+        assert result.stats.match_ratio == 1.0
+
+    def test_k_larger_than_matches_returns_all(self, fig1):
+        result = match_baseline(fig1.pattern, fig1.graph, 50)
+        assert len(result.matches) == 4
+
+    def test_no_match_graph(self):
+        g = Graph()
+        g.add_nodes(["A", "B"])  # A has no B child
+        q = pattern_from_edges(["A", "B"], [(0, 1)], 0)
+        result = match_baseline(q, g, 3)
+        assert result.matches == []
+        assert result.stats.total_matches == 0
+
+    def test_invalid_k(self, fig1):
+        with pytest.raises(MatchingError):
+            match_baseline(fig1.pattern, fig1.graph, 0)
+
+    def test_context_reuse(self, fig1):
+        ctx = RankingContext(fig1.pattern, fig1.graph)
+        result = match_baseline(fig1.pattern, fig1.graph, 2, context=ctx)
+        assert result.total_relevance() == 14.0
+
+    def test_scores_are_exact(self, fig1):
+        result = match_baseline(fig1.pattern, fig1.graph, 4)
+        assert result.scores[fig1.node("PM2")] == 8.0
+        assert result.scores[fig1.node("PM1")] == 4.0

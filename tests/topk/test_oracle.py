@@ -1,0 +1,71 @@
+"""Oracle tests: every top-k engine variant equals Match on random inputs.
+
+The correctness contract of Proposition 3 is about the *set*: the sum of
+true relevance over the returned set must equal the optimal sum (scores
+may be reported as lower bounds).
+"""
+
+import pytest
+
+from repro.ranking.context import RankingContext
+from repro.simulation.match import maximal_simulation
+from repro.topk.cyclic import top_k
+from repro.topk.dag import top_k_dag
+from repro.topk.match_all import match_baseline
+
+from tests.conftest import make_random_graph, make_random_pattern
+
+
+def _true_sum(ctx, matches):
+    return sum(len(ctx.relevant[v]) for v in matches)
+
+
+def _case(seed, cyclic):
+    g = make_random_graph(seed, num_nodes=18, num_edges=40)
+    q = make_random_pattern(seed + 31, num_nodes=4, extra_edges=2, cyclic=cyclic)
+    result = maximal_simulation(q, g)
+    if not result.total:
+        pytest.skip("instance has no match")
+    return g, q, RankingContext(q, g, result)
+
+
+@pytest.mark.parametrize("seed", range(25))
+@pytest.mark.parametrize("k", [1, 3])
+class TestTopKEqualsMatch:
+    def test_cyclic_engine(self, seed, k):
+        g, q, ctx = _case(seed, cyclic=True)
+        oracle = match_baseline(q, g, k, context=ctx)
+        result = top_k(q, g, k)
+        assert _true_sum(ctx, result.matches) == oracle.total_relevance()
+        assert len(result.matches) == len(oracle.matches)
+
+    def test_cyclic_engine_nopt(self, seed, k):
+        g, q, ctx = _case(seed, cyclic=True)
+        oracle = match_baseline(q, g, k, context=ctx)
+        result = top_k(q, g, k, optimized=False, seed=seed)
+        assert _true_sum(ctx, result.matches) == oracle.total_relevance()
+
+    def test_cyclic_engine_small_batches(self, seed, k):
+        g, q, ctx = _case(seed, cyclic=True)
+        oracle = match_baseline(q, g, k, context=ctx)
+        result = top_k(q, g, k, batch_size=1)
+        assert _true_sum(ctx, result.matches) == oracle.total_relevance()
+
+
+@pytest.mark.parametrize("seed", range(25))
+class TestTopKDagEqualsMatch:
+    def test_dag_engine(self, seed):
+        g, q, ctx = _case(seed, cyclic=False)
+        if not q.is_dag():
+            pytest.skip("pattern not a DAG")
+        oracle = match_baseline(q, g, 3, context=ctx)
+        result = top_k_dag(q, g, 3)
+        assert _true_sum(ctx, result.matches) == oracle.total_relevance()
+
+    def test_dag_engine_without_presimulation(self, seed):
+        g, q, ctx = _case(seed, cyclic=False)
+        if not q.is_dag():
+            pytest.skip("pattern not a DAG")
+        oracle = match_baseline(q, g, 3, context=ctx)
+        result = top_k_dag(q, g, 3, presimulate=False)
+        assert _true_sum(ctx, result.matches) == oracle.total_relevance()

@@ -1,0 +1,53 @@
+"""Tests for selection policies."""
+
+from repro.ranking.diversification import DiversificationObjective
+from repro.topk.engine import TopKEngine
+from repro.topk.policies import DiversifiedPolicy, RelevancePolicy
+
+
+class TestRelevancePolicy:
+    def test_selection_orders_by_lower_bound(self, fig1):
+        engine = TopKEngine(fig1.pattern, fig1.graph, 2, policy=RelevancePolicy())
+        engine.run()
+        chosen = engine.policy.selection(2)
+        values = [engine.lower_value(pid) for _, pid in chosen]
+        assert values == sorted(values, reverse=True)
+
+    def test_selection_capped_at_k(self, fig1):
+        engine = TopKEngine(fig1.pattern, fig1.graph, 2, policy=RelevancePolicy())
+        engine.run()
+        assert len(engine.policy.selection(2)) == 2
+        # Early termination may leave some matches unconfirmed.
+        assert 2 <= len(engine.policy.selection(10)) <= 4
+
+    def test_objective_value_is_none(self, fig1):
+        engine = TopKEngine(fig1.pattern, fig1.graph, 2, policy=RelevancePolicy())
+        engine.run()
+        assert engine.policy.objective_value(2) is None
+
+
+class TestDiversifiedPolicy:
+    def test_integrates_greedy_swaps(self, fig1):
+        policy = DiversifiedPolicy(DiversificationObjective(lam=0.9, k=2))
+        engine = TopKEngine(fig1.pattern, fig1.graph, 2, policy=policy)
+        engine.run()
+        chosen = {v for v, _ in policy.selection(2)}
+        assert len(chosen) == 2
+
+    def test_objective_value_positive(self, fig1):
+        policy = DiversifiedPolicy(DiversificationObjective(lam=0.5, k=2))
+        engine = TopKEngine(fig1.pattern, fig1.graph, 2, policy=policy)
+        engine.run()
+        assert policy.objective_value(2) > 0
+
+    def test_no_matches_no_objective(self):
+        from repro.graph.digraph import Graph
+        from repro.patterns.pattern import pattern_from_edges
+
+        g = Graph()
+        g.add_nodes(["A", "B"])
+        q = pattern_from_edges(["A", "B"], [(0, 1)], 0)
+        policy = DiversifiedPolicy(DiversificationObjective(lam=0.5, k=2))
+        engine = TopKEngine(q, g, 2, policy=policy)
+        engine.run()
+        assert policy.objective_value(2) is None

@@ -1,0 +1,32 @@
+"""Tests for result containers."""
+
+from repro.topk.result import EngineStats, TopKResult
+
+
+class TestEngineStats:
+    def test_match_ratio_none_until_total_known(self):
+        stats = EngineStats(inspected_matches=5)
+        assert stats.match_ratio is None
+
+    def test_match_ratio(self):
+        stats = EngineStats(inspected_matches=5, total_matches=10)
+        assert stats.match_ratio == 0.5
+
+    def test_zero_total(self):
+        assert EngineStats(total_matches=0).match_ratio == 0.0
+
+
+class TestTopKResult:
+    def test_container_protocol(self):
+        result = TopKResult([3, 1], {3: 5.0, 1: 2.0}, "TopK")
+        assert len(result) == 2
+        assert list(result) == [3, 1]
+        assert result.as_set() == {1, 3}
+
+    def test_total_relevance(self):
+        result = TopKResult([3, 1], {3: 5.0, 1: 2.0}, "TopK")
+        assert result.total_relevance() == 7.0
+
+    def test_missing_scores_count_zero(self):
+        result = TopKResult([3, 1], {3: 5.0}, "TopK")
+        assert result.total_relevance() == 5.0

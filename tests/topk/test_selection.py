@@ -1,0 +1,56 @@
+"""Tests for seed selection strategies."""
+
+from repro.topk.cyclic import top_k
+from repro.topk.engine import TopKEngine
+from repro.topk.policies import RelevancePolicy
+from repro.topk.selection import (
+    GreedySelection,
+    RandomSelection,
+    default_batch_size,
+)
+
+
+class TestDefaultBatchSize:
+    def test_small_counts(self):
+        assert default_batch_size(0) == 1
+        assert default_batch_size(1) == 1
+        assert default_batch_size(64) == 1
+
+    def test_caps_rounds_at_64(self):
+        assert default_batch_size(6400) == 100
+        assert default_batch_size(65) == 2
+
+
+class TestRandomSelection:
+    def test_is_permutation(self, fig1):
+        engine = TopKEngine(
+            fig1.pattern, fig1.graph, 2, policy=RelevancePolicy(),
+            strategy=RandomSelection(1),
+        )
+        assert sorted(engine._seeds) == sorted(set(engine._seeds))
+
+    def test_seeded_determinism(self, fig1):
+        runs = [
+            top_k(fig1.pattern, fig1.graph, 2, optimized=False, seed=5).matches
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestGreedySelection:
+    def test_orders_high_owner_first(self, fig1):
+        engine = TopKEngine(
+            fig1.pattern, fig1.graph, 2, policy=RelevancePolicy(),
+            strategy=GreedySelection(),
+        )
+        scores = GreedySelection._owner_scores(engine)
+        seeds = engine._seeds
+        assert all(
+            scores[seeds[i]] >= scores[seeds[i + 1]] - 1e-9
+            for i in range(len(seeds) - 1)
+        )
+
+    def test_owner_scores_cover_all_pairs(self, fig1):
+        engine = TopKEngine(fig1.pattern, fig1.graph, 2, policy=RelevancePolicy())
+        scores = GreedySelection._owner_scores(engine)
+        assert len(scores) == engine.stats.pairs_created

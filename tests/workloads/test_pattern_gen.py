@@ -1,0 +1,81 @@
+"""Tests for extraction-based pattern generation."""
+
+import pytest
+
+from repro.datasets.synthetic import synthetic_graph
+from repro.errors import DatasetError
+from repro.simulation.match import maximal_simulation
+from repro.workloads.pattern_gen import (
+    pattern_suite,
+    random_cyclic_pattern,
+    random_dag_pattern,
+)
+
+
+@pytest.fixture(scope="module")
+def dag_graph():
+    return synthetic_graph(800, 3200, seed=9, cyclic=False)
+
+
+@pytest.fixture(scope="module")
+def cyclic_graph():
+    return synthetic_graph(800, 4000, seed=9, cyclic=True)
+
+
+class TestDagPatterns:
+    def test_extracted_pattern_matches(self, dag_graph):
+        q = random_dag_pattern(dag_graph, 4, 5, seed=0)
+        result = maximal_simulation(q, dag_graph)
+        assert result.total
+        assert len(result.matches_of(q.output_node)) >= 1
+
+    def test_is_dag_with_root_output(self, dag_graph):
+        q = random_dag_pattern(dag_graph, 4, 5, seed=1)
+        assert q.is_dag()
+        assert q.output_node == 0
+        assert q.analysis.reachable_from(0, include_self=True) == frozenset(q.nodes())
+
+    def test_min_matches_respected(self, dag_graph):
+        q = random_dag_pattern(dag_graph, 4, 4, seed=2, min_matches=10)
+        result = maximal_simulation(q, dag_graph)
+        assert len(result.matches_of(q.output_node)) >= 10
+
+    def test_bad_edge_count(self, dag_graph):
+        with pytest.raises(DatasetError):
+            random_dag_pattern(dag_graph, 4, 2)
+
+    def test_deterministic(self, dag_graph):
+        a = random_dag_pattern(dag_graph, 4, 5, seed=3)
+        b = random_dag_pattern(dag_graph, 4, 5, seed=3)
+        assert list(a.edges()) == list(b.edges()) and a.labels() == b.labels()
+
+
+class TestCyclicPatterns:
+    def test_extracted_pattern_matches_and_is_cyclic(self, cyclic_graph):
+        q = random_cyclic_pattern(cyclic_graph, 4, 6, seed=0)
+        assert not q.is_dag()
+        result = maximal_simulation(q, cyclic_graph)
+        assert result.total
+
+    def test_canonical_shape(self, cyclic_graph):
+        # Output above the cycle (Fig. 1's shape).
+        q = random_cyclic_pattern(cyclic_graph, 4, 6, seed=1)
+        analysis = q.analysis
+        nontrivial = set(analysis.nontrivial_components())
+        assert nontrivial
+        assert analysis.cond.comp_of[q.output_node] not in nontrivial
+
+    def test_dag_graph_rejected(self, dag_graph):
+        with pytest.raises(DatasetError):
+            random_cyclic_pattern(dag_graph, 4, 6)
+
+    def test_bad_edge_count(self, cyclic_graph):
+        with pytest.raises(DatasetError):
+            random_cyclic_pattern(cyclic_graph, 4, 3)
+
+
+class TestPatternSuite:
+    def test_suite_sizes(self, dag_graph):
+        suite = pattern_suite(dag_graph, [(3, 2), (4, 4)], cyclic=False, per_shape=2)
+        assert len(suite) == 4
+        assert all(q.num_nodes in (3, 4) for q in suite)
