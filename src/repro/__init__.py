@@ -17,6 +17,12 @@ graph store, the simulation fixpoint, relevant-set computation, bound
 indexes, dataset surrogates and an experiment harness reproducing every
 figure of the paper's evaluation.
 
+Beyond the paper's one-shot algorithms, :mod:`repro.incremental`
+materializes *match views*: registered patterns whose match relation
+and ranking stay consistent while the graph mutates (``add_edge`` /
+``remove_edge`` / ``add_node`` / ``remove_node`` / ``apply_delta``),
+maintained by delta simulation instead of per-query recomputation.
+
 Quickstart::
 
     from repro import Graph, PatternBuilder, api
@@ -38,8 +44,11 @@ from repro.errors import (
     RankingError,
     ReproError,
 )
+from repro.graph.delta import DeltaOp
 from repro.graph.digraph import Graph
 from repro.graph.labels import LabelTable
+from repro.incremental.manager import MatchViewManager
+from repro.incremental.view import MatchView
 from repro.patterns.builder import PatternBuilder
 from repro.patterns.pattern import Pattern, pattern_from_edges
 from repro.ranking.context import RankingContext
@@ -51,11 +60,14 @@ __version__ = "1.0.0"
 __all__ = [
     "BenchmarkError",
     "DatasetError",
+    "DeltaOp",
     "DiversificationObjective",
     "EngineStats",
     "Graph",
     "GraphError",
     "LabelTable",
+    "MatchView",
+    "MatchViewManager",
     "MatchingError",
     "Pattern",
     "PatternBuilder",

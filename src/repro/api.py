@@ -12,11 +12,23 @@ Most downstream users need only four calls:
 otherwise, exactly the split the paper draws.  ``diversified_matches``
 picks the early-terminating heuristic by default (``method="heuristic"``)
 and the 2-approximation with ``method="approx"``.
+
+For update streams, register the pattern once and mutate the graph —
+the materialized view follows along without per-query recomputation:
+
+>>> view = api.register_view(pattern, graph, k=10)     # doctest: +SKIP
+>>> api.update_graph(graph, ops)                       # doctest: +SKIP
+>>> top = view.top_k()                                 # doctest: +SKIP
 """
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.errors import MatchingError
+from repro.graph.delta import DeltaOp
+from repro.incremental.manager import MatchViewManager
+from repro.incremental.view import MatchView
 from repro.diversify.approx import top_k_diversified_approx
 from repro.diversify.heuristic import top_k_diversified_heuristic
 from repro.graph.digraph import Graph
@@ -97,6 +109,42 @@ def diversified_matches(
     raise MatchingError(f"unknown diversification method {method!r}")
 
 
+def view_manager(graph: Graph) -> MatchViewManager:
+    """The shared :class:`MatchViewManager` of ``graph`` (created lazily)."""
+    return MatchViewManager.for_graph(graph)
+
+
+def register_view(
+    pattern: Pattern,
+    graph: Graph,
+    k: int = 10,
+    name: str | None = None,
+    **view_options,
+) -> MatchView:
+    """Materialize a :class:`MatchView` of ``pattern`` over ``graph``.
+
+    The view's match relation and ranking stay consistent under every
+    subsequent mutation of ``graph`` (``add_edge`` / ``remove_edge`` /
+    ``add_node`` / ``remove_node`` / ``apply_delta``), maintained by
+    delta simulation instead of per-query recomputation.  ``graph`` must
+    be mutable — call :meth:`Graph.thaw` on frozen dataset graphs first.
+    Options forward to :class:`MatchView` (``lam``, ``relevance_fn``,
+    ``recompute_threshold``).
+    """
+    return view_manager(graph).register(pattern, k=k, name=name, **view_options)
+
+
+def update_graph(graph: Graph, ops: Iterable[DeltaOp]) -> list[int | None]:
+    """Apply a batched delta to ``graph``, updating every registered view.
+
+    Returns the per-op results: the assigned node id for ``add_node``
+    ops, ``None`` otherwise.  Equivalent to ``graph.apply_delta(ops)`` —
+    views subscribe to the graph's change events, so direct mutation
+    calls keep them consistent too.
+    """
+    return graph.apply_delta(ops)
+
+
 def ranking_context(pattern: Pattern, graph: Graph) -> RankingContext:
     """A fully evaluated :class:`RankingContext` (relevant sets, ``C_uo``)."""
     pattern.validate()
@@ -108,6 +156,7 @@ def top_k_matches_multi(
     graph: Graph,
     k: int,
     optimized: bool = True,
+    relevance_fn: RelevanceFunction | None = None,
     **engine_options,
 ) -> dict[int, TopKResult]:
     """topKP for patterns with *multiple* output nodes (Section 2.2).
@@ -115,14 +164,22 @@ def top_k_matches_multi(
     Runs the early-terminating engine once per designated output node and
     returns ``{output_node: TopKResult}``.  Each run shares the graph-level
     index caches, so the fan-out costs little beyond the per-node ranking.
+    Like :func:`top_k_matches`, DAG patterns route through ``TopKDAG`` and
+    cyclic ones through ``TopK``, and a generalised ``relevance_fn``
+    (Section 3.4) applies to every output node's ranking.
     """
-    from repro.topk.cyclic import top_k as _top_k
-
     if not pattern.output_nodes:
         raise MatchingError("pattern has no designated output nodes")
+    engine = top_k_dag if pattern.is_dag() else top_k
     results: dict[int, TopKResult] = {}
     for node in pattern.output_nodes:
-        results[node] = _top_k(
-            pattern, graph, k, optimized=optimized, output_node=node, **engine_options
+        results[node] = engine(
+            pattern,
+            graph,
+            k,
+            optimized=optimized,
+            relevance_fn=relevance_fn,
+            output_node=node,
+            **engine_options,
         )
     return results

@@ -8,8 +8,11 @@ Examples::
     python -m repro match --graph yt.json --pattern q1.json --k 10 \\
         --diversify --lam 0.5
     python -m repro match --graph yt.json --pattern q1.json --algorithm Match
+    python -m repro update-stream --graph yt.json --pattern q1.json \\
+        --deltas updates.jsonl --k 10
 
-Pattern files use the JSON schema of :mod:`repro.patterns.io`.
+Pattern files use the JSON schema of :mod:`repro.patterns.io`; delta
+files are JSON lines in the schema of :mod:`repro.graph.delta`.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import sys
 from repro.bench.harness import ALGORITHMS, run_algorithm
 from repro.datasets import load_dataset
 from repro.datasets.synthetic import synthetic_graph
+from repro.graph.delta import load_delta_file
 from repro.graph.io import load_json, save_json
 from repro.graph.statistics import graph_stats
 from repro.patterns.io import load_pattern
@@ -92,6 +96,65 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_update_stream(args: argparse.Namespace) -> int:
+    from repro import api
+
+    graph = load_json(args.graph)
+    pattern = load_pattern(args.pattern)
+    ops = load_delta_file(args.deltas)
+
+    view = api.register_view(
+        pattern,
+        graph,
+        k=args.k,
+        name="cli",
+        lam=args.lam,
+        recompute_threshold=args.recompute_threshold,
+    )
+    api.update_graph(graph, ops)
+    result = view.diversified() if args.diversify else view.top_k()
+
+    stats = view.stats
+    payload = {
+        "algorithm": result.algorithm,
+        "k": args.k,
+        "ops_replayed": len(ops),
+        "matches": [
+            {"node": v, "label": graph.label(v), "score": round(result.scores.get(v, 0.0), 4)}
+            for v in result.matches
+        ],
+        "view": {
+            "total": view.total,
+            "ops_applied": stats.ops_applied,
+            "ops_skipped": stats.ops_skipped,
+            "incremental_ops": stats.incremental_ops,
+            "full_recomputes": stats.full_recomputes,
+            "pairs_touched": stats.pairs_touched,
+            "relation_changes": stats.relation_changes,
+        },
+    }
+    if result.objective_value is not None:
+        payload["objective_value"] = round(result.objective_value, 4)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{result.algorithm}: replayed {len(ops)} ops "
+            f"({stats.incremental_ops} incremental, "
+            f"{stats.full_recomputes} recomputes, "
+            f"{stats.ops_skipped} skipped), "
+            f"{len(result.matches)} matches"
+        )
+        for entry in payload["matches"]:
+            print(f"  #{entry['node']} ({entry['label']}): {entry['score']}")
+        if result.objective_value is not None:
+            print(f"F(S) = {result.objective_value:.4f}")
+    if args.out:
+        save_json(graph, args.out)
+        print(f"wrote updated graph to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -125,6 +188,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force a specific algorithm")
     match.add_argument("--json", action="store_true", help="machine-readable output")
     match.set_defaults(func=_cmd_match)
+
+    stream = sub.add_parser(
+        "update-stream",
+        help="replay a delta file against a materialized match view",
+    )
+    stream.add_argument("--graph", required=True)
+    stream.add_argument("--pattern", required=True)
+    stream.add_argument("--deltas", required=True,
+                        help="JSON-lines delta file (repro.graph.delta schema)")
+    stream.add_argument("--k", type=int, default=10)
+    stream.add_argument("--lam", type=float, default=0.5)
+    stream.add_argument("--diversify", action="store_true",
+                        help="rank the final answer with topKDP instead of topKP")
+    stream.add_argument("--recompute-threshold", type=int, default=None,
+                        help="touched-frontier size forcing a full recompute")
+    stream.add_argument("--out", help="write the updated graph JSON here")
+    stream.add_argument("--json", action="store_true", help="machine-readable output")
+    stream.set_defaults(func=_cmd_update_stream)
     return parser
 
 

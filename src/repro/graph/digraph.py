@@ -18,9 +18,17 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import GraphError
+from repro.graph.delta import (
+    ADD_EDGE,
+    ADD_NODE,
+    REMOVE_EDGE,
+    REMOVE_NODE,
+    SET_ATTRS,
+    DeltaOp,
+)
 from repro.graph.labels import LabelTable
 
 
@@ -49,7 +57,12 @@ class Graph:
         "_num_edges",
         "_label_index",
         "_frozen",
+        "_removed",
+        "_listeners",
+        "_invalidators",
         "derived",
+        "extensions",
+        "__weakref__",
     )
 
     def __init__(self, label_table: LabelTable | None = None) -> None:
@@ -62,22 +75,35 @@ class Graph:
         self._num_edges = 0
         self._label_index: dict[int, list[int]] | None = None
         self._frozen = False
+        self._removed: set[int] = set()
+        self._listeners: list[Callable[[DeltaOp], None]] = []
+        self._invalidators: list[Callable[[], None]] = []
         #: Cache for derived per-graph structures (e.g. descendant-count
-        #: indexes).  Invalidated on mutation.
+        #: indexes).  Invalidated on structural mutation — wholesale by
+        #: default, or through registered invalidators (see
+        #: :meth:`add_invalidator`) when any are attached.
         self.derived: dict[Any, Any] = {}
+        #: Persistent per-graph attachments (e.g. the graph's
+        #: MatchViewManager).  Unlike :attr:`derived`, never cleared.
+        self.extensions: dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_node(self, label: str, **attrs: Any) -> int:
         """Add a node with ``label`` and optional attributes; return its id."""
-        self._check_mutable()
+        self._check_frozen()
+        self._invalidate_caches()
         node = len(self._label_of)
-        self._label_of.append(self.labels.intern(label))
+        label_id = self.labels.intern(label)
+        self._label_of.append(label_id)
         self._out.append([])
         self._in.append([])
         if attrs:
             self._attrs[node] = dict(attrs)
+        if self._label_index is not None:
+            self._label_index.setdefault(label_id, []).append(node)
+        self._emit(DeltaOp(ADD_NODE, node=node, label=label, attrs=dict(attrs)))
         return node
 
     def add_nodes(self, labels: Iterable[str]) -> list[int]:
@@ -90,16 +116,20 @@ class Graph:
         Raises :class:`GraphError` on unknown endpoints, self-checks
         duplicates silently (``E`` is a set, re-adding is a no-op).
         """
-        self._check_mutable()
+        self._check_frozen()
         n = len(self._label_of)
         if not (0 <= src < n and 0 <= dst < n):
             raise GraphError(f"edge ({src}, {dst}) references unknown node (n={n})")
+        if src in self._removed or dst in self._removed:
+            raise GraphError(f"edge ({src}, {dst}) references a removed node")
         if (src, dst) in self._edge_set:
             return
+        self._invalidate_caches()
         self._edge_set.add((src, dst))
         self._out[src].append(dst)
         self._in[dst].append(src)
         self._num_edges += 1
+        self._emit(DeltaOp(ADD_EDGE, src=src, dst=dst))
 
     def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
         """Bulk-add directed edges."""
@@ -107,9 +137,135 @@ class Graph:
             self.add_edge(src, dst)
 
     def set_attrs(self, node: int, **attrs: Any) -> None:
-        """Set (merge) attributes on ``node``."""
+        """Set (merge) attributes on ``node``.
+
+        Emits a ``set_attrs`` change event: attribute values feed the
+        predicate search conditions of Section 2.2 patterns, so
+        registered match views must re-evaluate the node's candidacy.
+        Structural caches (descendant counts) are label-based and stay
+        valid, so no derived-cache invalidation happens here.
+        """
         self._check_node(node)
+        self._check_frozen()
+        if node in self._removed:
+            raise GraphError(f"node {node} is removed")
         self._attrs.setdefault(node, {}).update(attrs)
+        self._emit(DeltaOp(SET_ATTRS, node=node, attrs=dict(attrs)))
+
+    # ------------------------------------------------------------------
+    # mutation (the incremental subsystem's update API)
+    # ------------------------------------------------------------------
+    def remove_edge(self, src: int, dst: int) -> None:
+        """Remove the directed edge ``(src, dst)``.
+
+        Raises :class:`GraphError` when the edge does not exist (deltas
+        are required to be consistent with the graph they update).
+        """
+        self._check_frozen()
+        if (src, dst) not in self._edge_set:
+            raise GraphError(f"edge ({src}, {dst}) does not exist")
+        self._invalidate_caches()
+        self._edge_set.discard((src, dst))
+        self._out[src].remove(dst)
+        self._in[dst].remove(src)
+        self._num_edges -= 1
+        self._emit(DeltaOp(REMOVE_EDGE, src=src, dst=dst))
+
+    def remove_node(self, node: int) -> None:
+        """Remove ``node`` and all incident edges.
+
+        Node ids stay dense: the slot is tombstoned, not reused.  A
+        removed node keeps its label string for diagnostics but leaves
+        the label index, ``live_nodes()`` and candidate computation; its
+        incident edge removals are emitted individually (so listeners
+        maintaining per-edge state see every change) before the final
+        ``remove_node`` event.
+        """
+        self._check_node(node)
+        self._check_frozen()
+        if node in self._removed:
+            raise GraphError(f"node {node} is already removed")
+        self._invalidate_caches()
+        for dst in list(self._out[node]):
+            self.remove_edge(node, dst)
+        for src in list(self._in[node]):
+            self.remove_edge(src, node)
+        self._removed.add(node)
+        self._attrs.pop(node, None)
+        if self._label_index is not None:
+            bucket = self._label_index.get(self._label_of[node])
+            if bucket is not None and node in bucket:
+                bucket.remove(node)
+        self._emit(DeltaOp(REMOVE_NODE, node=node))
+
+    def apply_delta(self, ops: Iterable[DeltaOp]) -> list[int | None]:
+        """Apply a batch of :class:`DeltaOp` in order.
+
+        Returns, per op, the node id assigned by an ``add_node`` op and
+        ``None`` for every other kind.  Each constituent mutation emits
+        its change event individually, so listeners observe the batch as
+        the equivalent op sequence.
+        """
+        results: list[int | None] = []
+        for op in ops:
+            if op.kind == ADD_NODE:
+                assert op.label is not None
+                results.append(self.add_node(op.label, **dict(op.attrs)))
+            elif op.kind == REMOVE_NODE:
+                assert op.node is not None
+                self.remove_node(op.node)
+                results.append(None)
+            elif op.kind == ADD_EDGE:
+                assert op.src is not None and op.dst is not None
+                self.add_edge(op.src, op.dst)
+                results.append(None)
+            elif op.kind == SET_ATTRS:
+                assert op.node is not None
+                self.set_attrs(op.node, **dict(op.attrs))
+                results.append(None)
+            else:
+                assert op.src is not None and op.dst is not None
+                self.remove_edge(op.src, op.dst)
+                results.append(None)
+        return results
+
+    def add_listener(self, listener: Callable[[DeltaOp], None]) -> Callable[[], None]:
+        """Subscribe ``listener`` to change events; returns an unsubscriber.
+
+        Listeners are called synchronously after each mutation with the
+        :class:`DeltaOp` describing it (``add_node`` events carry the
+        assigned id in ``op.node``).
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def add_invalidator(self, invalidator: Callable[[], None]) -> Callable[[], None]:
+        """Register a targeted cache invalidator; returns a detacher.
+
+        While at least one invalidator is registered, structural
+        mutations call the invalidators *instead of* blanket-clearing
+        :attr:`derived` — entries the invalidators leave alone survive
+        the mutation.  Registering one therefore asserts that, between
+        them, the registered invalidators drop every mutation-sensitive
+        cache (see :func:`repro.index.invalidation.attach_index_invalidation`
+        for the descendant-index one).
+        """
+        self._invalidators.append(invalidator)
+
+        def detach() -> None:
+            if invalidator in self._invalidators:
+                self._invalidators.remove(invalidator)
+
+        return detach
+
+    def _emit(self, op: DeltaOp) -> None:
+        for listener in tuple(self._listeners):
+            listener(op)
 
     def freeze(self) -> "Graph":
         """Make the graph immutable and build the label index; returns self."""
@@ -118,6 +274,20 @@ class Graph:
             self._in = [tuple(adj) for adj in self._in]  # type: ignore[misc]
             self._build_label_index()
             self._frozen = True
+        return self
+
+    def thaw(self) -> "Graph":
+        """Make a frozen graph mutable again (in place); returns self.
+
+        The inverse of :meth:`freeze`: adjacency tuples become lists and
+        mutation is re-enabled.  The label index survives — mutations
+        maintain it incrementally.  This is how the incremental
+        subsystem opens an update session on a frozen dataset graph.
+        """
+        if self._frozen:
+            self._out = [list(adj) for adj in self._out]
+            self._in = [list(adj) for adj in self._in]
+            self._frozen = False
         return self
 
     # ------------------------------------------------------------------
@@ -140,9 +310,25 @@ class Graph:
     def frozen(self) -> bool:
         return self._frozen
 
+    @property
+    def num_live_nodes(self) -> int:
+        """Nodes minus tombstones (``num_nodes`` counts the id space)."""
+        return len(self._label_of) - len(self._removed)
+
     def nodes(self) -> range:
-        """All node ids."""
+        """All node ids (including tombstoned slots; see :meth:`live_nodes`)."""
         return range(len(self._label_of))
+
+    def live_nodes(self) -> Iterator[int]:
+        """Node ids that have not been removed."""
+        removed = self._removed
+        if not removed:
+            return iter(range(len(self._label_of)))
+        return (v for v in range(len(self._label_of)) if v not in removed)
+
+    def is_live(self, node: int) -> bool:
+        """True when ``node`` exists and has not been removed."""
+        return 0 <= node < len(self._label_of) and node not in self._removed
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate over all directed edges in insertion order per source."""
@@ -202,7 +388,9 @@ class Graph:
     def label_histogram(self) -> dict[str, int]:
         """Label -> node count."""
         histogram: dict[str, int] = {}
-        for label_id in self._label_of:
+        for node, label_id in enumerate(self._label_of):
+            if node in self._removed:
+                continue
             name = self.labels.name(label_id)
             histogram[name] = histogram.get(name, 0) + 1
         return histogram
@@ -238,6 +426,7 @@ class Graph:
                 rev.set_attrs(new, **self._attrs[node])
         for src, dst in self.edges():
             rev.add_edge(dst, src)
+        rev._removed = set(self._removed)
         return rev
 
     # ------------------------------------------------------------------
@@ -246,14 +435,29 @@ class Graph:
     def _build_label_index(self) -> None:
         index: dict[int, list[int]] = {}
         for node, label_id in enumerate(self._label_of):
+            if node in self._removed:
+                continue
             index.setdefault(label_id, []).append(node)
         self._label_index = index
 
-    def _check_mutable(self) -> None:
+    def _check_frozen(self) -> None:
         if self._frozen:
-            raise GraphError("graph is frozen; create a new Graph to mutate")
-        self._label_index = None  # invalidated by mutation
-        if self.derived:
+            raise GraphError("graph is frozen; call thaw() to mutate")
+
+    def _invalidate_caches(self) -> None:
+        """Drop derived structural caches; called only on actual changes.
+
+        The label index is maintained incrementally by the mutation
+        methods.  Derived structural caches (descendant counts etc.)
+        can be changed by any edge: registered invalidators drop them
+        selectively; without any, the safe default is a blanket clear.
+        Failed mutations and no-ops (duplicate edge insertion) never
+        reach this, so warm indexes survive them.
+        """
+        if self._invalidators:
+            for invalidator in tuple(self._invalidators):
+                invalidator()
+        elif self.derived:
             self.derived.clear()
 
     def _check_node(self, node: int) -> None:

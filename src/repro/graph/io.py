@@ -22,13 +22,19 @@ _EDGE_LIST_HEADER = "# repro-graph v1"
 
 def to_json_dict(graph: Graph) -> dict[str, Any]:
     """Graph -> plain JSON-serialisable dictionary."""
-    return {
+    payload = {
         "format": "repro-graph-json",
         "version": 1,
         "labels": [graph.label(v) for v in graph.nodes()],
         "edges": [[src, dst] for src, dst in graph.edges()],
         "attrs": {str(v): dict(graph.attrs(v)) for v in graph.nodes() if graph.attrs(v)},
     }
+    removed = [v for v in graph.nodes() if not graph.is_live(v)]
+    if removed:
+        # Tombstoned slots of an update session: kept so ids stay dense
+        # and the round trip preserves live-node semantics.
+        payload["removed"] = removed
+    return payload
 
 
 def from_json_dict(payload: dict[str, Any]) -> Graph:
@@ -42,6 +48,8 @@ def from_json_dict(payload: dict[str, Any]) -> Graph:
         graph.add_edge(int(src), int(dst))
     for node_str, attrs in payload.get("attrs", {}).items():
         graph.set_attrs(int(node_str), **attrs)
+    for node in payload.get("removed", ()):
+        graph.remove_node(int(node))
     return graph
 
 
@@ -58,13 +66,17 @@ def load_json(path: str | Path) -> Graph:
 def save_edge_list(graph: Graph, path: str | Path) -> None:
     """Write ``graph`` as a text edge list.
 
-    Format: a header line, one ``v <label>`` line per node, then one
+    Format: a header line, one ``v <id> <label>`` line per node, one
+    ``x <id>`` line per tombstoned (removed) slot, then one
     ``e <src> <dst>`` line per edge.  Node attributes are *not* stored in
     this format; use JSON when attributes matter.
     """
     lines = [_EDGE_LIST_HEADER]
     for node in graph.nodes():
         lines.append(f"v {node} {graph.label(node)}")
+    for node in graph.nodes():
+        if not graph.is_live(node):
+            lines.append(f"x {node}")
     for src, dst in graph.edges():
         lines.append(f"e {src} {dst}")
     Path(path).write_text("\n".join(lines) + "\n")
@@ -90,6 +102,10 @@ def load_edge_list(path: str | Path) -> Graph:
                 raise GraphError(f"{path}:{line_no}: node ids must be dense and ordered")
             graph.add_node(" ".join(parts[2:]))
             expected += 1
+        elif kind == "x":
+            if len(parts) != 2 or not parts[1].isdigit():
+                raise GraphError(f"{path}:{line_no}: malformed tombstone line")
+            graph.remove_node(int(parts[1]))
         elif kind == "e":
             if len(parts) != 3:
                 raise GraphError(f"{path}:{line_no}: malformed edge line")

@@ -49,15 +49,22 @@ class GraphStats:
 
 
 def graph_stats(graph: Graph) -> GraphStats:
-    """Compute :class:`GraphStats` for ``graph``."""
-    out_degrees = [graph.out_degree(v) for v in graph.nodes()]
-    in_degrees = [graph.in_degree(v) for v in graph.nodes()]
+    """Compute :class:`GraphStats` for ``graph``.
+
+    Tombstoned slots of an update session count as absent: they have no
+    edges, carry no label and contribute no degree-0 entries.
+    """
+    live = list(graph.live_nodes())
+    out_degrees = [graph.out_degree(v) for v in live]
+    in_degrees = [graph.in_degree(v) for v in live]
     components = strongly_connected_components(graph)
+    if graph.num_live_nodes != graph.num_nodes:
+        components = [c for c in components if graph.is_live(c[0])]
     largest = max((len(c) for c in components), default=0)
     return GraphStats(
-        num_nodes=graph.num_nodes,
+        num_nodes=graph.num_live_nodes,
         num_edges=graph.num_edges,
-        num_labels=len(set(graph.label_id(v) for v in graph.nodes())),
+        num_labels=len(set(graph.label_id(v) for v in live)),
         out_degree=DegreeStats.of(out_degrees),
         in_degree=DegreeStats.of(in_degrees),
         num_sccs=len(components),
@@ -69,7 +76,7 @@ def degree_histogram(graph: Graph, direction: str = "out") -> dict[int, int]:
     """Histogram degree -> node count; ``direction`` is ``"out"`` or ``"in"``."""
     degree_of = graph.out_degree if direction == "out" else graph.in_degree
     histogram: dict[int, int] = {}
-    for node in graph.nodes():
+    for node in graph.live_nodes():
         d = degree_of(node)
         histogram[d] = histogram.get(d, 0) + 1
     return histogram

@@ -1,0 +1,42 @@
+"""Incremental matching: materialized match views under graph updates.
+
+The batch algorithms of this library answer one query against one frozen
+graph.  This subsystem keeps a registered pattern's match relation —
+and its top-k / diversified ranking — *alive* while the graph mutates:
+
+* :class:`~repro.incremental.view.MatchView` materializes ``M(Q, G)``
+  and repairs it per update with the delta-simulation routines of
+  :mod:`repro.incremental.delta_sim` (localized re-expansion on edge
+  insertion, seeded refinement on deletion, full-recompute fallback
+  when the touched frontier is no longer local);
+* :class:`~repro.incremental.manager.MatchViewManager` multiplexes many
+  views over one graph, dispatching each change event only to the views
+  whose pattern labels it can affect.
+
+Entry points: ``repro.api.register_view`` / ``repro.api.update_graph``,
+the ``repro update-stream`` CLI command, and
+``benchmarks/bench_incremental.py`` for the update-throughput numbers.
+"""
+
+from repro.incremental.delta_sim import (
+    DeltaOutcome,
+    attrs_changed,
+    edge_added,
+    edge_removed,
+    node_added,
+    node_removed,
+)
+from repro.incremental.manager import MatchViewManager
+from repro.incremental.view import MatchView, ViewStats
+
+__all__ = [
+    "DeltaOutcome",
+    "MatchView",
+    "MatchViewManager",
+    "ViewStats",
+    "attrs_changed",
+    "edge_added",
+    "edge_removed",
+    "node_added",
+    "node_removed",
+]

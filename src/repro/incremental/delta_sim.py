@@ -1,0 +1,351 @@
+"""Delta maintenance of the maximal simulation ``M(Q, G)``.
+
+Given the greatest simulation ``sim`` of a pattern in a graph, these
+routines repair it *in place* after a single graph update, touching only
+the affected region instead of re-running the fixpoint from scratch.
+The two directions are asymmetric (simulation is a greatest fixpoint):
+
+**Edge deletion** can only *shrink* the relation.  The classic
+Henzinger-Henzinger-Kopke refinement loop applies, seeded from the pairs
+``(u, src)`` whose support through a pattern edge ``(u, u')`` may have
+been the deleted edge; removals cascade through graph predecessors until
+stable.  Because the new fixpoint is contained in the old one, the loop
+converges to exactly ``maximal_simulation`` of the updated graph.
+
+**Edge insertion** can only *grow* the relation.  Pairs that may rejoin
+are exactly the non-matching candidate pairs that can reach the inserted
+edge through non-matching candidate pairs (a chain of previously-missing
+support that the new edge completes).  We collect that *affected region*
+by a backward closure over candidate pairs, optimistically add it to
+``sim``, and run a localized refinement restricted to the added pairs —
+pairs of the old relation can never lose support from additions, so the
+refinement cannot escape the region.
+
+Both directions count the pairs they touch; when the count exceeds the
+caller's threshold they abort with ``overflowed=True`` and the caller
+falls back to a full recompute (the region-growing argument bounds work
+for *local* updates, but a hub edge can make the region the whole graph,
+at which point the fixpoint from scratch is cheaper).
+
+Node addition and removal reduce to candidate-set edits plus (for
+removal) the deletion refinement — the graph layer has already stripped
+a removed node's incident edges, one emitted event each, before the
+``remove_node`` event arrives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern
+from repro.simulation.candidates import WILDCARD_LABEL
+
+
+@dataclass
+class DeltaOutcome:
+    """What one incremental maintenance step did.
+
+    Attributes
+    ----------
+    changed:
+        True when the match relation actually changed.
+    pairs_touched:
+        Candidate pairs examined (the "touched frontier" the fallback
+        threshold is measured against).
+    added, removed:
+        Pairs that joined / left the relation.
+    overflowed:
+        True when the frontier exceeded the threshold and the caller
+        must recompute from scratch (``sim`` may be half-repaired).
+    """
+
+    changed: bool = False
+    pairs_touched: int = 0
+    added: int = 0
+    removed: int = 0
+    overflowed: bool = False
+
+
+def _has_support(graph: Graph, v: int, child_sim: set[int]) -> bool:
+    """Does ``v`` keep a successor inside ``child_sim``?"""
+    for child in graph.successors(v):
+        if child in child_sim:
+            return True
+    return False
+
+
+def _propagate_removals(
+    pattern: Pattern,
+    graph: Graph,
+    sim: list[set[int]],
+    queue: deque[tuple[int, int]],
+    threshold: int,
+    outcome: DeltaOutcome,
+) -> None:
+    """Cascade queued pair removals through graph predecessors.
+
+    The classic refinement loop: each removed ``(u', v')`` rechecks the
+    pairs ``(u, v)`` with a pattern edge into ``u'`` and a graph edge
+    into ``v'``.  Sets ``outcome.overflowed`` (leaving ``sim``
+    half-repaired) when the touched frontier exceeds ``threshold``.
+    """
+    while queue:
+        u_child, v_child = queue.popleft()
+        for u in pattern.predecessors(u_child):
+            child_sim = sim[u_child]
+            u_sim = sim[u]
+            for v in graph.predecessors(v_child):
+                if v not in u_sim:
+                    continue
+                outcome.pairs_touched += 1
+                if outcome.pairs_touched > threshold:
+                    outcome.overflowed = True
+                    outcome.changed = True
+                    return
+                if not _has_support(graph, v, child_sim):
+                    u_sim.discard(v)
+                    outcome.removed += 1
+                    queue.append((u, v))
+
+
+def _grow_from_seeds(
+    pattern: Pattern,
+    graph: Graph,
+    can_sets: list[set[int]],
+    sim: list[set[int]],
+    seeds: list[tuple[int, int]],
+    threshold: int,
+    outcome: DeltaOutcome,
+) -> None:
+    """Admit the affected region around ``seeds`` and refine within it.
+
+    ``seeds`` are the non-matching candidate pairs whose missing support
+    the update may have completed.  The backward closure through
+    non-matching candidate pairs over-approximates every pair that can
+    newly join the relation; old pairs cannot lose support from
+    additions, so refinement never leaves the admitted region.  Sets
+    ``outcome.overflowed`` — *before* touching ``sim`` — when the region
+    exceeds ``threshold``.
+    """
+    frontier = list(seeds)
+    affected: set[tuple[int, int]] = set(seeds)
+    while frontier:
+        u, v = frontier.pop()
+        outcome.pairs_touched += 1
+        if len(affected) > threshold:
+            outcome.overflowed = True
+            return
+        for u_parent in pattern.predecessors(u):
+            parent_can = can_sets[u_parent]
+            parent_sim = sim[u_parent]
+            for v_parent in graph.predecessors(v):
+                if v_parent in parent_can and v_parent not in parent_sim:
+                    pair = (u_parent, v_parent)
+                    if pair not in affected:
+                        affected.add(pair)
+                        frontier.append(pair)
+
+    if not affected:
+        return
+
+    for u, v in affected:
+        sim[u].add(v)
+    alive = set(affected)
+    changed = True
+    while changed:
+        changed = False
+        for u, v in tuple(alive):
+            outcome.pairs_touched += 1
+            for u_child in pattern.successors(u):
+                if not _has_support(graph, v, sim[u_child]):
+                    sim[u].discard(v)
+                    alive.discard((u, v))
+                    changed = True
+                    break
+
+    outcome.added += len(alive)
+
+
+def edge_removed(
+    pattern: Pattern,
+    graph: Graph,
+    sim: list[set[int]],
+    src: int,
+    dst: int,
+    threshold: int,
+) -> DeltaOutcome:
+    """Repair ``sim`` after the graph edge ``(src, dst)`` was deleted.
+
+    Seeds the refinement with every pattern edge ``(u, u')`` for which
+    the deleted edge may have supplied support (``src ∈ sim[u]`` and
+    ``dst ∈ sim[u']``), then propagates removals through graph
+    predecessors — each removal of ``(u', v')`` rechecks only the pairs
+    ``(u, v)`` with a pattern edge into ``u'`` and a graph edge into
+    ``v'``.
+    """
+    outcome = DeltaOutcome()
+    queue: deque[tuple[int, int]] = deque()
+
+    for u, u_child in pattern.edges():
+        if src in sim[u] and dst in sim[u_child]:
+            outcome.pairs_touched += 1
+            if not _has_support(graph, src, sim[u_child]):
+                sim[u].discard(src)
+                outcome.removed += 1
+                queue.append((u, src))
+
+    _propagate_removals(pattern, graph, sim, queue, threshold, outcome)
+    if not outcome.overflowed:
+        outcome.changed = outcome.removed > 0
+    return outcome
+
+
+def edge_added(
+    pattern: Pattern,
+    graph: Graph,
+    can_sets: list[set[int]],
+    sim: list[set[int]],
+    src: int,
+    dst: int,
+    threshold: int,
+) -> DeltaOutcome:
+    """Repair ``sim`` after the graph edge ``(src, dst)`` was inserted.
+
+    Collects the affected region (non-matching candidate pairs that
+    reach the new edge through non-matching candidate pairs), adds it to
+    the relation, and refines within the region until stable.
+    """
+    outcome = DeltaOutcome()
+
+    # Seed: (u, src) may gain its missing support through (u, u') if dst
+    # can match u'.  Candidate sets over-approximate the new relation.
+    seeds: list[tuple[int, int]] = []
+    seen: set[int] = set()
+    for u, u_child in pattern.edges():
+        if u in seen:
+            continue
+        if src in can_sets[u] and src not in sim[u] and dst in can_sets[u_child]:
+            seen.add(u)
+            seeds.append((u, src))
+
+    _grow_from_seeds(pattern, graph, can_sets, sim, seeds, threshold, outcome)
+    if not outcome.overflowed:
+        outcome.changed = outcome.added > 0
+    return outcome
+
+
+def node_added(
+    pattern: Pattern,
+    graph: Graph,
+    can_lists: list[list[int]],
+    can_sets: list[set[int]],
+    sim: list[set[int]],
+    node: int,
+) -> DeltaOutcome:
+    """Admit a freshly created node into candidate sets and ``sim``.
+
+    A new node is isolated (its edges arrive as separate ops), so it
+    matches exactly the query nodes whose search condition it satisfies
+    and that have no outgoing pattern edge; it cannot support any other
+    pair yet.
+    """
+    outcome = DeltaOutcome()
+    label = graph.label(node)
+    for u in pattern.nodes():
+        u_label = pattern.label(u)
+        if u_label != WILDCARD_LABEL and u_label != label:
+            continue
+        predicate = pattern.predicate(u)
+        if predicate is not None and not predicate.matches(graph, node):
+            continue
+        can_lists[u].append(node)
+        can_sets[u].add(node)
+        outcome.pairs_touched += 1
+        if pattern.out_degree(u) == 0:
+            sim[u].add(node)
+            outcome.added += 1
+    outcome.changed = outcome.added > 0
+    return outcome
+
+
+def attrs_changed(
+    pattern: Pattern,
+    graph: Graph,
+    can_lists: list[list[int]],
+    can_sets: list[set[int]],
+    sim: list[set[int]],
+    node: int,
+    threshold: int,
+) -> DeltaOutcome:
+    """Repair state after ``node``'s attributes changed.
+
+    Attribute values feed only the predicate half of search conditions,
+    so candidacy is re-evaluated for the predicated query nodes whose
+    label matches.  A lost candidacy removes the pair and cascades like
+    an edge deletion; a gained candidacy seeds the same localized
+    re-expansion as an edge insertion.
+    """
+    outcome = DeltaOutcome()
+    label = graph.label(node)
+    queue: deque[tuple[int, int]] = deque()
+    seeds: list[tuple[int, int]] = []
+    for u in pattern.nodes():
+        u_label = pattern.label(u)
+        if u_label != WILDCARD_LABEL and u_label != label:
+            continue
+        predicate = pattern.predicate(u)
+        if predicate is None:
+            continue
+        was_candidate = node in can_sets[u]
+        is_candidate = predicate.matches(graph, node)
+        if was_candidate and not is_candidate:
+            can_sets[u].discard(node)
+            can_lists[u].remove(node)
+            outcome.pairs_touched += 1
+            if node in sim[u]:
+                sim[u].discard(node)
+                outcome.removed += 1
+                queue.append((u, node))
+        elif is_candidate and not was_candidate:
+            can_lists[u].append(node)
+            can_sets[u].add(node)
+            outcome.pairs_touched += 1
+            seeds.append((u, node))
+
+    _propagate_removals(pattern, graph, sim, queue, threshold, outcome)
+    if outcome.overflowed:
+        return outcome
+    _grow_from_seeds(pattern, graph, can_sets, sim, seeds, threshold, outcome)
+    if not outcome.overflowed:
+        outcome.changed = (outcome.removed + outcome.added) > 0
+    return outcome
+
+
+def node_removed(
+    pattern: Pattern,
+    graph: Graph,
+    can_lists: list[list[int]],
+    can_sets: list[set[int]],
+    sim: list[set[int]],
+    node: int,
+) -> DeltaOutcome:
+    """Strip a removed node from candidate sets and ``sim``.
+
+    By the time this runs the graph layer has deleted all incident
+    edges (each already processed as an ``edge_removed`` step), so the
+    node is isolated and its pairs support nothing — no propagation is
+    possible.
+    """
+    outcome = DeltaOutcome()
+    for u in pattern.nodes():
+        if node in can_sets[u]:
+            can_sets[u].discard(node)
+            can_lists[u].remove(node)
+            outcome.pairs_touched += 1
+        if node in sim[u]:
+            sim[u].discard(node)
+            outcome.removed += 1
+    outcome.changed = outcome.removed > 0
+    return outcome

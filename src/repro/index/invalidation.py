@@ -1,0 +1,73 @@
+"""Invalidation hooks tying the index caches to the graph mutation API.
+
+Two kinds of index state must never serve stale answers once the graph
+layer's mutation API (``add_edge`` / ``remove_edge`` / ``add_node`` /
+``remove_node`` / ``apply_delta``) is in play:
+
+* the **label index** (``Graph._label_index``) — maintained *in place*
+  by the mutation methods themselves (append on ``add_node``, removal on
+  ``remove_node``; edge mutations cannot affect it), so it stays warm
+  across an update session;
+* the **descendant indexes** of :mod:`repro.index.descendants` and the
+  counting cache of :mod:`repro.index.label_index` — per-label count
+  arrays stored under ``graph.derived``.  Any edge mutation can change
+  any count, and node mutations change the id space the arrays are
+  indexed by, so these are invalidated wholesale.
+
+By default the graph blanket-clears ``graph.derived`` on every
+structural mutation — safe, but it also evicts any *mutation-stable*
+state other components keep there.  :func:`attach_index_invalidation`
+upgrades a graph to targeted invalidation: it registers an invalidator
+(:meth:`Graph.add_invalidator`) that drops exactly the descendant-index
+keys, and while any invalidator is registered the graph skips the
+blanket clear.  The :class:`repro.incremental.manager.MatchViewManager`
+attaches this for every update session.  :func:`invalidate_descendant_indexes`
+is the same targeted drop on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.digraph import Graph
+
+#: ``graph.derived`` key prefix owned by the descendant-count indexes.
+DESCENDANT_KEY_PREFIX = "descendant-index:"
+
+
+def descendant_cache_keys(graph: Graph) -> list[str]:
+    """The ``graph.derived`` keys currently held by descendant indexes."""
+    return [
+        key
+        for key in graph.derived
+        if isinstance(key, str) and key.startswith(DESCENDANT_KEY_PREFIX)
+    ]
+
+
+def invalidate_descendant_indexes(graph: Graph) -> int:
+    """Drop every descendant-index cache from ``graph.derived``.
+
+    Returns the number of cache entries dropped.  Non-index entries in
+    ``graph.derived`` are left untouched — this is the targeted
+    counterpart of the blanket clear the graph performs by default.
+    """
+    keys = descendant_cache_keys(graph)
+    for key in keys:
+        del graph.derived[key]
+    return len(keys)
+
+
+def attach_index_invalidation(graph: Graph) -> Callable[[], None]:
+    """Register targeted descendant-index invalidation on ``graph``.
+
+    Every structural mutation then drops the descendant-index caches —
+    and, because a registered invalidator replaces the graph's default
+    blanket clear, any *other* ``graph.derived`` entries survive the
+    mutation.  Returns the detacher (after which the graph falls back
+    to blanket clearing, unless other invalidators remain).
+    """
+
+    def _invalidate() -> None:
+        invalidate_descendant_indexes(graph)
+
+    return graph.add_invalidator(_invalidate)

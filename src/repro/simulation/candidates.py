@@ -58,7 +58,7 @@ def compute_candidates(pattern: Pattern, graph: Graph) -> CandidateSets:
     for u in pattern.nodes():
         label = pattern.label(u)
         if label == WILDCARD_LABEL:
-            base = list(graph.nodes())
+            base = list(graph.live_nodes())
         else:
             base = graph.nodes_with_label(label)
         predicate = pattern.predicate(u)

@@ -37,6 +37,7 @@ def top_k_dag(
     relevance_fn: RelevanceFunction | None = None,
     candidates: CandidateSets | None = None,
     presimulate: bool = True,
+    output_node: int | None = None,
 ) -> TopKResult:
     """Find top-k matches of the output node of a DAG pattern.
 
@@ -61,6 +62,7 @@ def top_k_dag(
         relevance_fn=relevance_fn,
         algorithm_name=name,
         presimulate=presimulate,
+        output_node=output_node,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

@@ -16,6 +16,11 @@ from repro.workloads.pattern_gen import (
     random_cyclic_pattern,
     random_dag_pattern,
 )
+from repro.workloads.update_stream import (
+    random_update_stream,
+    single_edge_stream,
+    stream_summary,
+)
 
 __all__ = [
     "AMAZON_CYCLIC_SHAPE",
@@ -28,6 +33,9 @@ __all__ = [
     "pattern_suite",
     "random_cyclic_pattern",
     "random_dag_pattern",
+    "random_update_stream",
+    "single_edge_stream",
+    "stream_summary",
     "youtube_q1",
     "youtube_q2",
 ]

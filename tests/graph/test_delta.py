@@ -1,0 +1,74 @@
+"""Tests for the delta-op vocabulary and its JSON-lines serialisation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.delta import (
+    DeltaOp,
+    load_delta_file,
+    op_from_json_dict,
+    save_delta_file,
+)
+
+
+class TestDeltaOp:
+    def test_constructors(self):
+        assert DeltaOp.add_edge(1, 2).kind == "add_edge"
+        assert DeltaOp.remove_edge(1, 2).dst == 2
+        assert DeltaOp.add_node("PM", salary=90).attrs == {"salary": 90}
+        assert DeltaOp.remove_node(5).node == 5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(GraphError):
+            DeltaOp("rename_node", node=1)
+
+    def test_missing_fields_rejected_at_construction(self):
+        with pytest.raises(GraphError):
+            DeltaOp("add_edge", src=0)  # no dst
+        with pytest.raises(GraphError):
+            DeltaOp("remove_node")  # no node
+        with pytest.raises(GraphError):
+            DeltaOp("add_node")  # no label
+        with pytest.raises(GraphError):
+            DeltaOp("set_attrs", attrs={"x": 1})  # no node
+
+    def test_json_round_trip(self):
+        ops = [
+            DeltaOp.add_node("DB", rate=4.5),
+            DeltaOp.add_node("PM"),
+            DeltaOp.add_edge(0, 1),
+            DeltaOp.remove_edge(0, 1),
+            DeltaOp.set_attrs(1, rate=2.5, views=10),
+            DeltaOp.remove_node(0),
+        ]
+        assert [op_from_json_dict(op.to_json_dict()) for op in ops] == ops
+
+    def test_bad_payloads_rejected(self):
+        with pytest.raises(GraphError):
+            op_from_json_dict({"op": "add_node"})  # no label
+        with pytest.raises(GraphError):
+            op_from_json_dict({"op": "nope"})
+
+
+class TestDeltaFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        ops = [DeltaOp.add_edge(3, 4), DeltaOp.add_node("A"), DeltaOp.remove_node(2)]
+        save_delta_file(ops, path)
+        assert load_delta_file(path) == ops
+
+    def test_blank_and_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        path.write_text('# churn\n\n{"op": "add_edge", "src": 0, "dst": 1}\n')
+        assert load_delta_file(path) == [DeltaOp.add_edge(0, 1)]
+
+    def test_bad_line_reports_location(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        path.write_text('{"op": "add_edge", "src": 0, "dst": 1}\nnot json\n')
+        with pytest.raises(GraphError, match=":2"):
+            load_delta_file(path)
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        save_delta_file([], path)
+        assert load_delta_file(path) == []

@@ -80,3 +80,23 @@ class TestEdgeList:
         path.write_text("# repro-graph v1\n\n# comment\nv 0 A\nv 1 B\ne 0 1\n")
         loaded = load_edge_list(path)
         assert loaded.num_nodes == 2 and loaded.has_edge(0, 1)
+
+    def test_tombstones_round_trip(self, sample, tmp_path):
+        sample.remove_node(1)
+        path = tmp_path / "g.txt"
+        save_edge_list(sample, path)
+        loaded = load_edge_list(path)
+        assert not loaded.is_live(1)
+        assert list(loaded.live_nodes()) == [0, 2]
+        assert set(loaded.edges()) == set(sample.edges())
+
+
+class TestJsonTombstones:
+    def test_removed_nodes_stay_removed(self, sample, tmp_path):
+        sample.remove_node(1)
+        path = tmp_path / "g.json"
+        save_json(sample, path)
+        loaded = load_json(path)
+        assert not loaded.is_live(1)
+        assert loaded.num_live_nodes == 2
+        assert set(loaded.edges()) == set(sample.edges())

@@ -1,0 +1,108 @@
+"""Tests for attribute-delta maintenance and manager lifecycle (GC)."""
+
+import gc
+import weakref
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.delta import DeltaOp
+from repro.graph.digraph import Graph
+from repro.incremental.manager import MatchViewManager
+from repro.patterns.pattern import Pattern
+from repro.patterns.predicates import AttrCompare
+from repro.simulation.match import maximal_simulation
+
+
+def predicate_setup():
+    """A PM -> DB pattern where the DB must have rate > 3."""
+    g = Graph()
+    pm = g.add_node("PM")
+    db_good = g.add_node("DB", rate=5)
+    db_bad = g.add_node("DB", rate=1)
+    g.add_edge(pm, db_good)
+    g.add_edge(pm, db_bad)
+
+    q = Pattern()
+    q_pm = q.add_node("PM", output=True)
+    q_db = q.add_node("DB", predicate=AttrCompare("rate", ">", 3))
+    q.add_edge(q_pm, q_db)
+    return g, q, (pm, db_good, db_bad)
+
+
+class TestAttrDeltas:
+    def test_losing_the_predicate_cascades(self):
+        g, q, (pm, db_good, db_bad) = predicate_setup()
+        manager = MatchViewManager(g)
+        view = manager.register(q, name="v")
+        assert view.matches() == {pm}
+        g.set_attrs(db_good, rate=2)  # now no DB satisfies rate > 3
+        assert view.simulation().sim == maximal_simulation(q, g).sim
+        assert not view.total and view.matches() == set()
+
+    def test_gaining_the_predicate_resurrects(self):
+        g, q, (pm, db_good, db_bad) = predicate_setup()
+        g.set_attrs(db_good, rate=2)
+        manager = MatchViewManager(g)
+        view = manager.register(q, name="v")
+        assert not view.total
+        g.set_attrs(db_bad, rate=9)
+        assert view.simulation().sim == maximal_simulation(q, g).sim
+        assert view.matches() == {pm}
+
+    def test_unpredicated_views_skip_attr_churn(self):
+        g, q, (pm, db_good, db_bad) = predicate_setup()
+        manager = MatchViewManager(g)
+        from repro.patterns.pattern import pattern_from_edges
+
+        plain = manager.register(
+            pattern_from_edges(["PM", "DB"], [(0, 1)], output=0), name="plain"
+        )
+        g.set_attrs(db_bad, rate=7)
+        assert plain.stats.ops_applied == 0
+        assert plain.stats.ops_skipped == 1
+
+    def test_attr_op_in_delta_batch(self):
+        g, q, (pm, db_good, db_bad) = predicate_setup()
+        manager = MatchViewManager(g)
+        view = manager.register(q, name="v")
+        manager.apply_delta(
+            [DeltaOp.set_attrs(db_good, rate=0), DeltaOp.set_attrs(db_bad, rate=8)]
+        )
+        assert view.simulation().sim == maximal_simulation(q, g).sim
+        assert view.matches() == {pm}
+
+    def test_set_attrs_on_frozen_graph_rejected(self):
+        g, _, (pm, db_good, _) = predicate_setup()
+        g.freeze()
+        with pytest.raises(GraphError):
+            g.set_attrs(db_good, rate=0)
+
+    def test_set_attrs_on_removed_node_rejected(self):
+        g, _, (pm, db_good, _) = predicate_setup()
+        g.remove_node(db_good)
+        with pytest.raises(GraphError):
+            g.set_attrs(db_good, rate=0)
+
+
+class TestManagerGc:
+    def test_dropping_the_graph_reclaims_manager_and_views(self):
+        g, q, _ = predicate_setup()
+        manager = MatchViewManager.for_graph(g)
+        manager.register(q, name="v")
+        graph_ref = weakref.ref(g)
+        del g, manager
+        gc.collect()
+        assert graph_ref() is None
+
+    def test_extension_slot_survives_mutation(self):
+        g, q, (pm, db_good, db_bad) = predicate_setup()
+        manager = MatchViewManager.for_graph(g)
+        g.remove_edge(pm, db_bad)
+        assert MatchViewManager.for_graph(g) is manager
+
+    def test_close_clears_the_extension_slot(self):
+        g, _, _ = predicate_setup()
+        manager = MatchViewManager.for_graph(g)
+        manager.close()
+        assert MatchViewManager.for_graph(g) is not manager

@@ -1,0 +1,114 @@
+"""Tests for MatchViewManager: dispatch, filtering, lifecycle."""
+
+import pytest
+
+from repro.datasets.examples import figure1
+from repro.errors import MatchingError
+from repro.graph.delta import DeltaOp
+from repro.incremental.manager import MatchViewManager
+from repro.patterns.pattern import pattern_from_edges
+from repro.simulation.match import maximal_simulation
+
+
+@pytest.fixture()
+def fig():
+    fig = figure1()
+    fig.graph.thaw()
+    return fig
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, fig):
+        manager = MatchViewManager(fig.graph)
+        view = manager.register(fig.pattern, k=2, name="teams")
+        assert manager.view("teams") is view
+        assert view.k == 2
+
+    def test_auto_names_are_unique(self, fig):
+        manager = MatchViewManager(fig.graph)
+        first = manager.register(fig.pattern)
+        second = manager.register(fig.pattern)
+        assert first.name != second.name
+        assert len(manager.views) == 2
+
+    def test_unregister(self, fig):
+        manager = MatchViewManager(fig.graph)
+        manager.register(fig.pattern, name="q")
+        manager.unregister("q")
+        with pytest.raises(MatchingError):
+            manager.view("q")
+
+    def test_for_graph_is_shared(self, fig):
+        manager = MatchViewManager.for_graph(fig.graph)
+        assert MatchViewManager.for_graph(fig.graph) is manager
+
+
+class TestDispatch:
+    def test_mutations_reach_views_automatically(self, fig):
+        manager = MatchViewManager(fig.graph)
+        view = manager.register(fig.pattern, name="q")
+        fig.graph.remove_edge(fig.node("PRG1"), fig.node("DB1"))
+        assert view.simulation().sim == maximal_simulation(fig.pattern, fig.graph).sim
+        assert fig.names(view.matches()) == {"PM2", "PM3", "PM4"}
+
+    def test_label_filter_skips_unrelated_ops(self, fig):
+        manager = MatchViewManager(fig.graph)
+        view = manager.register(fig.pattern, name="q")
+        # BA/UD churn can never touch a PM/DB/PRG/ST pattern.
+        fig.graph.remove_edge(fig.node("BA1"), fig.node("UD1"))
+        fig.graph.add_edge(fig.node("UD1"), fig.node("UD2"))
+        assert view.stats.ops_applied == 0
+        assert view.stats.ops_skipped == 2
+
+    def test_each_view_sees_only_its_labels(self, fig):
+        manager = MatchViewManager(fig.graph)
+        teams = manager.register(fig.pattern, name="teams")
+        analysts = manager.register(
+            pattern_from_edges(["BA", "UD"], [(0, 1)], output=0), name="analysts"
+        )
+        fig.graph.remove_edge(fig.node("BA1"), fig.node("UD1"))
+        assert analysts.stats.ops_applied == 1
+        assert teams.stats.ops_applied == 0
+        # BA1 still matches through its remaining UD2 edge.
+        assert fig.node("BA1") in analysts.matches()
+        fig.graph.remove_edge(fig.node("BA1"), fig.node("UD2"))
+        assert fig.node("BA1") not in analysts.matches()
+        assert not analysts.total
+
+    def test_batched_delta_keeps_views_consistent(self, fig):
+        manager = MatchViewManager(fig.graph)
+        view = manager.register(fig.pattern, name="q")
+        prg1, db1, pm1 = fig.node("PRG1"), fig.node("DB1"), fig.node("PM1")
+        manager.apply_delta(
+            [
+                DeltaOp.remove_edge(prg1, db1),
+                DeltaOp.add_node("PRG"),
+                DeltaOp.add_edge(pm1, fig.node("PRG3")),
+            ]
+        )
+        assert view.simulation().sim == maximal_simulation(fig.pattern, fig.graph).sim
+
+    def test_wildcard_views_see_everything(self, fig):
+        manager = MatchViewManager(fig.graph)
+        view = manager.register(
+            pattern_from_edges(["PM", "*"], [(0, 1)], output=0), name="wild"
+        )
+        fig.graph.remove_edge(fig.node("BA1"), fig.node("UD1"))
+        assert view.stats.ops_applied == 1
+
+
+class TestLifecycle:
+    def test_close_detaches(self, fig):
+        manager = MatchViewManager(fig.graph)
+        view = manager.register(fig.pattern, name="q")
+        manager.close()
+        fig.graph.remove_edge(fig.node("PRG1"), fig.node("DB1"))
+        assert view.stats.ops_applied == 0
+        with pytest.raises(MatchingError):
+            manager.register(fig.pattern)
+
+    def test_for_graph_replaces_closed_manager(self, fig):
+        manager = MatchViewManager.for_graph(fig.graph)
+        manager.close()
+        fresh = MatchViewManager.for_graph(fig.graph)
+        assert fresh is not manager

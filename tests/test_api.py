@@ -78,3 +78,30 @@ class TestMultiOutput:
         pattern.set_output()
         with pytest.raises(MatchingError):
             api.top_k_matches_multi(pattern, fig1.graph, 2)
+
+    def test_relevance_fn_forwarded(self, fig1):
+        import copy
+
+        from repro.ranking.relevance import NormalisedRelevance
+
+        pattern = copy.deepcopy(fig1.pattern)
+        pm, db = fig1.query_nodes["PM"], fig1.query_nodes["DB"]
+        pattern.set_output(pm, db)
+        results = api.top_k_matches_multi(
+            pattern, fig1.graph, 2, relevance_fn=NormalisedRelevance()
+        )
+        for result in results.values():
+            assert all(0.0 <= s <= 1.0 for s in result.scores.values())
+
+    def test_dag_patterns_route_through_topkdag(self, fig1, q1_dag):
+        import copy
+
+        pattern = copy.deepcopy(q1_dag)
+        pattern.set_output(0, 2)  # PM and PRG
+        multi = api.top_k_matches_multi(pattern, fig1.graph, 2)
+        assert all(r.algorithm == "TopKDAG" for r in multi.values())
+        # Per-output answers agree with dedicated single-output runs.
+        single = copy.deepcopy(q1_dag)
+        single.set_output(2)
+        expected = api.top_k_matches(single, fig1.graph, 2)
+        assert multi[2].total_relevance() == expected.total_relevance()

@@ -1,0 +1,48 @@
+"""Tests for the incremental entry points of the public API."""
+
+import pytest
+
+from repro import api
+from repro.datasets.examples import figure1
+from repro.graph.delta import DeltaOp
+from repro.simulation.match import maximal_simulation
+
+
+@pytest.fixture()
+def fig():
+    fig = figure1()
+    fig.graph.thaw()
+    return fig
+
+
+class TestRegisterView:
+    def test_view_follows_updates(self, fig):
+        view = api.register_view(fig.pattern, fig.graph, k=2, name="teams")
+        api.update_graph(
+            fig.graph, [DeltaOp.remove_edge(fig.node("PRG1"), fig.node("DB1"))]
+        )
+        assert view.simulation().sim == maximal_simulation(fig.pattern, fig.graph).sim
+        assert fig.names(view.matches()) == {"PM2", "PM3", "PM4"}
+
+    def test_update_graph_returns_assigned_ids(self, fig):
+        api.register_view(fig.pattern, fig.graph, name="teams")
+        results = api.update_graph(
+            fig.graph,
+            [DeltaOp.add_node("PM"), DeltaOp.add_edge(0, 1)],
+        )
+        assert results[0] == 18 and results[1] is None
+
+    def test_view_manager_is_shared(self, fig):
+        manager = api.view_manager(fig.graph)
+        view = api.register_view(fig.pattern, fig.graph, name="q")
+        assert manager.view("q") is view
+
+    def test_static_answers_agree_with_batch_api(self, fig):
+        view = api.register_view(fig.pattern, fig.graph, k=3, name="q")
+        batch = api.baseline_matches(fig.pattern, fig.graph, 3)
+        assert view.top_k().matches == batch.matches
+
+    def test_direct_mutation_calls_also_dispatch(self, fig):
+        view = api.register_view(fig.pattern, fig.graph, name="q")
+        fig.graph.remove_edge(fig.node("PRG1"), fig.node("DB1"))
+        assert view.stats.ops_applied == 1

@@ -84,3 +84,57 @@ class TestMatch:
                      str(pattern_file), "--k", "2"]) == 0
         out = capsys.readouterr().out
         assert "matches in" in out
+
+
+class TestUpdateStream:
+    def _inputs(self, tmp_path, graph_file):
+        from repro.graph.delta import save_delta_file
+        from repro.workloads.pattern_gen import random_dag_pattern
+        from repro.workloads.update_stream import random_update_stream
+
+        g = load_json(graph_file)
+        pattern = random_dag_pattern(g, 3, 2, seed=1)
+        pattern_file = tmp_path / "q.json"
+        save_pattern(pattern, pattern_file)
+        delta_file = tmp_path / "d.jsonl"
+        save_delta_file(random_update_stream(g, 40, seed=2), delta_file)
+        return pattern_file, delta_file
+
+    def test_replay_reports_view_state(self, tmp_path, graph_file, capsys):
+        pattern_file, delta_file = self._inputs(tmp_path, graph_file)
+        assert main(["update-stream", "--graph", str(graph_file),
+                     "--pattern", str(pattern_file), "--deltas", str(delta_file),
+                     "--k", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "MatchView"
+        assert payload["ops_replayed"] == 40
+        view = payload["view"]
+        # remove_node ops expand into per-edge events, so the view sees
+        # at least one event per replayed op.
+        assert view["ops_applied"] + view["ops_skipped"] >= 40
+        assert len(payload["matches"]) <= 3
+
+    def test_final_answer_matches_batch_rerun(self, tmp_path, graph_file, capsys):
+        from repro import api
+        from repro.graph.delta import load_delta_file
+
+        pattern_file, delta_file = self._inputs(tmp_path, graph_file)
+        out_file = tmp_path / "after.json"
+        assert main(["update-stream", "--graph", str(graph_file),
+                     "--pattern", str(pattern_file), "--deltas", str(delta_file),
+                     "--k", "3", "--json", "--out", str(out_file)]) == 0
+        payload = json.loads(capsys.readouterr().out.split("wrote")[0])
+        updated = load_json(out_file)
+        from repro.patterns.io import load_pattern
+
+        expected = api.baseline_matches(load_pattern(pattern_file), updated, 3)
+        assert [m["node"] for m in payload["matches"]] == expected.matches
+
+    def test_diversified_replay(self, tmp_path, graph_file, capsys):
+        pattern_file, delta_file = self._inputs(tmp_path, graph_file)
+        assert main(["update-stream", "--graph", str(graph_file),
+                     "--pattern", str(pattern_file), "--deltas", str(delta_file),
+                     "--k", "3", "--diversify", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "MatchView/TopKDiv"
+        assert "objective_value" in payload

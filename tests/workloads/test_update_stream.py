@@ -1,0 +1,73 @@
+"""Tests for the random update-stream generator."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.graph.digraph import Graph
+from repro.workloads.update_stream import (
+    random_update_stream,
+    single_edge_stream,
+    stream_summary,
+)
+
+from tests.conftest import make_random_graph
+
+
+class TestValidity:
+    def test_stream_applies_cleanly(self):
+        graph = make_random_graph(3, num_nodes=20, num_edges=40)
+        ops = random_update_stream(graph, 60, seed=1)
+        assert len(ops) == 60
+        graph.apply_delta(ops)  # raises on any invalid op
+
+    def test_deterministic_in_seed(self):
+        graph = make_random_graph(4, num_nodes=15, num_edges=30)
+        assert random_update_stream(graph, 30, seed=9) == random_update_stream(
+            graph, 30, seed=9
+        )
+        assert random_update_stream(graph, 30, seed=9) != random_update_stream(
+            graph, 30, seed=10
+        )
+
+    def test_generation_does_not_mutate_the_graph(self):
+        graph = make_random_graph(5, num_nodes=15, num_edges=30)
+        before = (graph.num_nodes, set(graph.edges()))
+        random_update_stream(graph, 40, seed=0)
+        assert (graph.num_nodes, set(graph.edges())) == before
+
+
+class TestMixes:
+    def test_single_edge_stream_has_only_edge_ops(self):
+        graph = make_random_graph(6, num_nodes=20, num_edges=40)
+        ops = single_edge_stream(graph, 50, seed=2)
+        summary = stream_summary(ops)
+        assert set(summary) <= {"add_edge", "remove_edge"}
+        assert sum(summary.values()) == 50
+        graph.apply_delta(ops)
+
+    def test_churn_labels_restrict_edge_endpoints(self):
+        graph = make_random_graph(7, num_nodes=20, num_edges=40, labels="ABC")
+        ops = single_edge_stream(graph, 40, seed=3, churn_labels=["A", "B"])
+        for op in ops:
+            assert graph.label(op.src) in {"A", "B"}
+            assert graph.label(op.dst) in {"A", "B"}
+
+    def test_bad_mix_rejected(self):
+        graph = make_random_graph(8)
+        with pytest.raises(BenchmarkError):
+            random_update_stream(
+                graph, 10, p_add_edge=0, p_remove_edge=0, p_add_node=0, p_remove_node=0
+            )
+
+    def test_unsatisfiable_stream_raises_instead_of_spinning(self):
+        # Edges-only churn restricted to a label that does not exist:
+        # no op kind ever has a valid move.
+        graph = make_random_graph(8, labels="ABC")
+        with pytest.raises(BenchmarkError, match="stalled"):
+            single_edge_stream(graph, 5, churn_labels=["Z"])
+
+    def test_node_ops_present_in_default_mix(self):
+        graph = make_random_graph(9, num_nodes=30, num_edges=60)
+        summary = stream_summary(random_update_stream(graph, 400, seed=4))
+        assert summary.get("add_node", 0) > 0
+        assert summary.get("remove_node", 0) > 0
