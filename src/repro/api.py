@@ -43,16 +43,23 @@ from repro.topk.match_all import match_baseline
 from repro.topk.result import TopKResult
 
 
-def find_matches(pattern: Pattern, graph: Graph) -> SimulationResult:
-    """Compute the full match relation ``M(Q, G)`` by graph simulation."""
+def find_matches(
+    pattern: Pattern, graph: Graph, optimized: bool = True
+) -> SimulationResult:
+    """Compute the full match relation ``M(Q, G)`` by graph simulation.
+
+    ``optimized`` (the default) runs the fixpoint over the graph's
+    compiled CSR snapshot; ``False`` forces the dict-of-sets reference
+    path.  Both return the identical relation.
+    """
     pattern.validate(require_output=False)
-    return maximal_simulation(pattern, graph)
+    return maximal_simulation(pattern, graph, optimized=optimized)
 
 
-def output_matches(pattern: Pattern, graph: Graph) -> set[int]:
+def output_matches(pattern: Pattern, graph: Graph, optimized: bool = True) -> set[int]:
     """``Mu(Q, G, uo)`` — all matches of the designated output node."""
     pattern.validate()
-    return find_matches(pattern, graph).output_matches()
+    return find_matches(pattern, graph, optimized=optimized).output_matches()
 
 
 def top_k_matches(
@@ -78,9 +85,12 @@ def baseline_matches(
     graph: Graph,
     k: int,
     relevance_fn: RelevanceFunction | None = None,
+    optimized: bool = True,
 ) -> TopKResult:
     """The ``Match`` baseline: compute everything, then rank."""
-    return match_baseline(pattern, graph, k, relevance_fn=relevance_fn)
+    return match_baseline(
+        pattern, graph, k, relevance_fn=relevance_fn, optimized=optimized
+    )
 
 
 def diversified_matches(
@@ -90,21 +100,25 @@ def diversified_matches(
     lam: float = 0.5,
     method: str = "heuristic",
     objective: DiversificationObjective | None = None,
+    optimized: bool = True,
     **options,
 ) -> TopKResult:
     """topKDP: diversified top-k matches of the output node.
 
     ``method="heuristic"`` runs the early-terminating ``TopKDH`` /
     ``TopKDAGDH``; ``method="approx"`` runs the 2-approximation
-    ``TopKDiv``.
+    ``TopKDiv``.  ``optimized=False`` selects the full dict-of-sets
+    reference path (and, for the heuristic, random seed selection).
     """
     if method == "heuristic":
         return top_k_diversified_heuristic(
-            pattern, graph, k, lam=lam, objective=objective, **options
+            pattern, graph, k, lam=lam, objective=objective, optimized=optimized,
+            **options,
         )
     if method == "approx":
         return top_k_diversified_approx(
-            pattern, graph, k, lam=lam, objective=objective, **options
+            pattern, graph, k, lam=lam, objective=objective, optimized=optimized,
+            **options,
         )
     raise MatchingError(f"unknown diversification method {method!r}")
 
@@ -129,7 +143,7 @@ def register_view(
     delta simulation instead of per-query recomputation.  ``graph`` must
     be mutable — call :meth:`Graph.thaw` on frozen dataset graphs first.
     Options forward to :class:`MatchView` (``lam``, ``relevance_fn``,
-    ``recompute_threshold``).
+    ``recompute_threshold``, ``optimized``).
     """
     return view_manager(graph).register(pattern, k=k, name=name, **view_options)
 
@@ -145,10 +159,12 @@ def update_graph(graph: Graph, ops: Iterable[DeltaOp]) -> list[int | None]:
     return graph.apply_delta(ops)
 
 
-def ranking_context(pattern: Pattern, graph: Graph) -> RankingContext:
+def ranking_context(
+    pattern: Pattern, graph: Graph, optimized: bool = True
+) -> RankingContext:
     """A fully evaluated :class:`RankingContext` (relevant sets, ``C_uo``)."""
     pattern.validate()
-    return RankingContext(pattern, graph)
+    return RankingContext(pattern, graph, optimized=optimized)
 
 
 def top_k_matches_multi(

@@ -67,7 +67,16 @@ def _cmd_match(args: argparse.Namespace) -> int:
     else:
         algorithm = "TopKDAG" if pattern.is_dag() else "TopK"
 
-    record = run_algorithm(algorithm, pattern, graph, args.k, args.lam)
+    options = {}
+    if args.no_csr:
+        # Force the dict-of-sets reference path.  ``Match`` / ``TopKDiv``
+        # gate it on ``optimized``; the engine family has a dedicated
+        # ``use_csr`` toggle (``optimized`` there picks seed selection).
+        if algorithm in ("Match", "TopKDiv"):
+            options["optimized"] = False
+        else:
+            options["use_csr"] = False
+    record = run_algorithm(algorithm, pattern, graph, args.k, args.lam, **options)
     payload = {
         "algorithm": record.algorithm,
         "k": args.k,
@@ -110,6 +119,7 @@ def _cmd_update_stream(args: argparse.Namespace) -> int:
         name="cli",
         lam=args.lam,
         recompute_threshold=args.recompute_threshold,
+        optimized=not args.no_csr,
     )
     api.update_graph(graph, ops)
     result = view.diversified() if args.diversify else view.top_k()
@@ -186,6 +196,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="optimise F (topKDP) instead of relevance alone")
     match.add_argument("--algorithm", choices=list(ALGORITHMS),
                        help="force a specific algorithm")
+    match.add_argument("--no-csr", action="store_true",
+                       help="disable the CSR snapshot fast path (reference run)")
     match.add_argument("--json", action="store_true", help="machine-readable output")
     match.set_defaults(func=_cmd_match)
 
@@ -203,6 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rank the final answer with topKDP instead of topKP")
     stream.add_argument("--recompute-threshold", type=int, default=None,
                         help="touched-frontier size forcing a full recompute")
+    stream.add_argument("--no-csr", action="store_true",
+                        help="rebuild the view over the dict reference path")
     stream.add_argument("--out", help="write the updated graph JSON here")
     stream.add_argument("--json", action="store_true", help="machine-readable output")
     stream.set_defaults(func=_cmd_update_stream)

@@ -37,12 +37,14 @@ def top_k_diversified_approx(
     lam: float = 0.5,
     objective: DiversificationObjective | None = None,
     context: RankingContext | None = None,
+    optimized: bool = True,
 ) -> TopKResult:
     """Run ``TopKDiv``; returns a set with ``F(S) ≥ F(S*) / 2``.
 
     ``objective`` overrides the default (normalised δ'r + Jaccard δd) with
     a generalised ``F*`` (Proposition 6 preserves the ratio).  ``context``
-    reuses an existing full evaluation.
+    reuses an existing full evaluation.  ``optimized=False`` forces the
+    dict-of-sets reference simulation.
     """
     if k < 1:
         raise MatchingError(f"k must be positive; got {k}")
@@ -50,7 +52,7 @@ def top_k_diversified_approx(
     started = time.perf_counter()
 
     if context is None:
-        context = RankingContext(pattern, graph)
+        context = RankingContext(pattern, graph, optimized=optimized)
     stats = EngineStats()
     if not context.simulation.total:
         stats.total_matches = 0

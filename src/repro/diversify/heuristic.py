@@ -41,11 +41,14 @@ def top_k_diversified_heuristic(
     batch_size: int | None = None,
     candidates: CandidateSets | None = None,
     presimulate: bool = True,
+    use_csr: bool | None = None,
 ) -> TopKResult:
     """Run the early-terminating diversified heuristic.
 
     The algorithm name in the result follows the paper's convention:
-    ``TopKDAGDH`` on DAG patterns, ``TopKDH`` otherwise.
+    ``TopKDAGDH`` on DAG patterns, ``TopKDH`` otherwise.  ``use_csr``
+    toggles the engine's CSR fast path; it defaults to following
+    ``optimized``, so ``optimized=False`` is the dict reference path.
     """
     obj = objective if objective is not None else DiversificationObjective(lam=lam, k=k)
     if obj.k != k:
@@ -64,6 +67,7 @@ def top_k_diversified_heuristic(
         candidates=candidates,
         algorithm_name=name,
         presimulate=presimulate,
+        use_csr=optimized if use_csr is None else use_csr,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

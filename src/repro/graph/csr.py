@@ -1,0 +1,322 @@
+"""Compiled CSR snapshots of a :class:`~repro.graph.digraph.Graph`.
+
+The matching hot paths — candidate computation, the HHK simulation
+fixpoint, and the top-k propagation engine — are ``O(|Q||G|)`` scans over
+adjacency.  The mutable graph stores adjacency as Python list-of-lists,
+which is the right shape for the incremental update API but the wrong
+shape for those scans: every inner step pays a dict/set lookup and a
+pointer chase.
+
+A :class:`CSRSnapshot` is a *frozen*, array-backed view of one graph
+state:
+
+* ``int32`` CSR arrays for out- and in-adjacency (``out_offsets`` /
+  ``out_targets``, ``in_offsets`` / ``in_sources``);
+* a contiguous ``int32`` label-id array (``label_ids``);
+* a live mask plus a dense remap of live node ids (``live_mask``,
+  ``live_nodes``, ``compact_of``) so tombstoned slots cost nothing;
+* a label-bucket CSR (``label_offsets`` / ``label_nodes``) replacing the
+  per-label dict index with one contiguous scan per label.
+
+Snapshots are produced by :meth:`Graph.snapshot`, cached under
+``graph.derived`` and dropped by the same invalidation hooks that guard
+the descendant indexes (:mod:`repro.index.invalidation`): any structural
+``DeltaOp`` invalidates the snapshot, while attribute-only updates leave
+it warm (snapshots carry no attribute state).
+
+NumPy is the only backing considered; when it is unavailable the callers
+fall back to the dict-of-sets reference path (see ``available()``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+try:  # pragma: no cover - numpy is part of the supported environment
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.digraph import Graph
+
+#: ``graph.derived`` key prefix owned by CSR snapshots (see
+#: :mod:`repro.index.invalidation` for the hook that drops it).
+CSR_KEY_PREFIX = "csr-snapshot:"
+
+#: The cache key of the graph's primary snapshot.
+CSR_SNAPSHOT_KEY = CSR_KEY_PREFIX + "graph"
+
+
+def available() -> bool:
+    """True when the array backend (numpy) is importable."""
+    return np is not None
+
+
+class CSRSnapshot:
+    """A frozen, array-backed view of one graph state.
+
+    Instances are immutable by convention: every array is owned by the
+    snapshot and must not be written to.  Build through
+    :meth:`Graph.snapshot` (cached) or :meth:`CSRSnapshot.build`.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "num_edges",
+        "num_labels",
+        "num_live",
+        "out_offsets",
+        "out_targets",
+        "in_offsets",
+        "in_sources",
+        "label_ids",
+        "live_mask",
+        "live_nodes",
+        "compact_of",
+        "label_offsets",
+        "label_nodes",
+        "_out_lists",
+        "_in_lists",
+        "_out_adjacency",
+        "_in_adjacency",
+        "_cum_scratch",
+    )
+
+    def __init__(self) -> None:
+        # Populated by build(); kept assignable for __slots__.
+        self._out_lists: tuple[list[int], list[int]] | None = None
+        self._in_lists: tuple[list[int], list[int]] | None = None
+        self._out_adjacency: list[list[int]] | None = None
+        self._in_adjacency: list[list[int]] | None = None
+        self._cum_scratch = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: "Graph") -> "CSRSnapshot":
+        """Compile ``graph``'s current state into a snapshot."""
+        if np is None:  # pragma: no cover - guarded by available()
+            raise RuntimeError("CSR snapshots require numpy")
+        snap = cls()
+        n = graph.num_nodes
+        out_adj = graph._out
+        in_adj = graph._in
+        snap.num_nodes = n
+        snap.num_labels = len(graph.labels)
+
+        out_deg = np.fromiter((len(a) for a in out_adj), dtype=np.int64, count=n)
+        in_deg = np.fromiter((len(a) for a in in_adj), dtype=np.int64, count=n)
+        m = int(out_deg.sum())
+        snap.num_edges = m
+
+        out_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(out_deg, out=out_offsets[1:])
+        in_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(in_deg, out=in_offsets[1:])
+        snap.out_offsets = out_offsets
+        snap.in_offsets = in_offsets
+        snap.out_targets = np.fromiter(
+            (dst for adj in out_adj for dst in adj), dtype=np.int32, count=m
+        )
+        snap.in_sources = np.fromiter(
+            (src for adj in in_adj for src in adj), dtype=np.int32, count=m
+        )
+
+        snap.label_ids = np.fromiter(graph._label_of, dtype=np.int32, count=n)
+        live_mask = np.ones(n, dtype=np.uint8)
+        if graph._removed:
+            live_mask[list(graph._removed)] = 0
+        snap.live_mask = live_mask
+        live_nodes = np.nonzero(live_mask)[0].astype(np.int32)
+        snap.live_nodes = live_nodes
+        snap.num_live = int(live_nodes.size)
+        compact_of = np.full(n, -1, dtype=np.int32)
+        compact_of[live_nodes] = np.arange(live_nodes.size, dtype=np.int32)
+        snap.compact_of = compact_of
+
+        # Label buckets: live nodes sorted by (label id, node id).  A
+        # stable sort on label ids preserves ascending node order inside
+        # each bucket, matching the mutable graph's label index.
+        live_labels = snap.label_ids[live_nodes]
+        order = np.argsort(live_labels, kind="stable")
+        snap.label_nodes = live_nodes[order]
+        counts = np.bincount(live_labels, minlength=snap.num_labels)
+        label_offsets = np.zeros(snap.num_labels + 1, dtype=np.int64)
+        if counts.size:
+            np.cumsum(counts, out=label_offsets[1 : counts.size + 1])
+            label_offsets[counts.size + 1 :] = label_offsets[counts.size]
+        snap.label_offsets = label_offsets
+        return snap
+
+    # ------------------------------------------------------------------
+    # array accessors
+    # ------------------------------------------------------------------
+    def successors(self, node: int):
+        """The out-neighbours of ``node`` as an ``int32`` array view."""
+        return self.out_targets[self.out_offsets[node] : self.out_offsets[node + 1]]
+
+    def predecessors(self, node: int):
+        """The in-neighbours of ``node`` as an ``int32`` array view."""
+        return self.in_sources[self.in_offsets[node] : self.in_offsets[node + 1]]
+
+    def nodes_with_label_id(self, label_id: int):
+        """Live nodes carrying ``label_id``, ascending, as an array view."""
+        if not (0 <= label_id < self.num_labels):
+            return self.label_nodes[0:0]
+        return self.label_nodes[
+            self.label_offsets[label_id] : self.label_offsets[label_id + 1]
+        ]
+
+    def label_bucket_list(self, label_id: int) -> list[int]:
+        """Live nodes carrying ``label_id`` as a plain list of ints."""
+        return self.nodes_with_label_id(label_id).tolist()
+
+    def live_list(self) -> list[int]:
+        """All live node ids, ascending, as a plain list of ints."""
+        return self.live_nodes.tolist()
+
+    # ------------------------------------------------------------------
+    # bulk kernels
+    # ------------------------------------------------------------------
+    def out_counts(self, membership) -> "np.ndarray":
+        """Per node: how many successors have a nonzero ``membership`` flag.
+
+        ``membership`` is a length-``num_nodes`` ``uint8`` array.  This is
+        the vectorised form of the counter initialisation the simulation
+        fixpoint and the propagation engine both start from.
+        """
+        if self.num_edges == 0:
+            return np.zeros(self.num_nodes, dtype=np.int64)
+        cum = self._cumsum_scratch()
+        np.cumsum(membership[self.out_targets], dtype=np.int64, out=cum[1:])
+        return cum[self.out_offsets[1:]] - cum[self.out_offsets[:-1]]
+
+    def in_counts(self, membership) -> "np.ndarray":
+        """Per node: how many predecessors have a nonzero ``membership`` flag."""
+        if self.num_edges == 0:
+            return np.zeros(self.num_nodes, dtype=np.int64)
+        cum = self._cumsum_scratch()
+        np.cumsum(membership[self.in_sources], dtype=np.int64, out=cum[1:])
+        return cum[self.in_offsets[1:]] - cum[self.in_offsets[:-1]]
+
+    def _cumsum_scratch(self) -> "np.ndarray":
+        """Reusable prefix-sum buffer (counting scans are hot-path calls).
+
+        Only the scratch is shared; every public kernel returns freshly
+        allocated arrays, so callers may keep references.
+        """
+        if self._cum_scratch is None:
+            self._cum_scratch = np.empty(self.num_edges + 1, dtype=np.int64)
+            self._cum_scratch[0] = 0
+        return self._cum_scratch
+
+    def gather_in_slices(self, nodes) -> "np.ndarray":
+        """Concatenated predecessor slices of ``nodes`` (with multiplicity).
+
+        Equivalent to ``np.concatenate([predecessors(v) for v in nodes])``
+        but built with one vectorised index expansion — the batched
+        removal cascade feeds whole fronts through this.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if not nodes.size:
+            return self.in_sources[0:0]
+        starts = self.in_offsets[nodes]
+        lengths = self.in_offsets[nodes + 1] - starts
+        nonempty = lengths > 0
+        starts = starts[nonempty]
+        lengths = lengths[nonempty]
+        total = int(lengths.sum())
+        if total == 0:
+            return self.in_sources[0:0]
+        step = np.ones(total, dtype=np.int64)
+        step[0] = starts[0]
+        if starts.size > 1:
+            boundaries = np.cumsum(lengths[:-1])
+            step[boundaries] = starts[1:] - (starts[:-1] + lengths[:-1]) + 1
+        return self.in_sources[np.cumsum(step)]
+
+    def in_max(self, values) -> "np.ndarray":
+        """Per node: max of ``values`` over its predecessors (0 when none).
+
+        ``values`` is a length-``num_nodes`` float array.  Used by the
+        greedy seed-selection sweep (owner-directed best-first scores).
+        """
+        result = np.zeros(self.num_nodes, dtype=np.float64)
+        if self.num_edges == 0:
+            return result
+        starts = self.in_offsets[:-1]
+        degrees = self.in_offsets[1:] - starts
+        nonempty = degrees > 0
+        if not nonempty.any():
+            return result
+        gathered = values[self.in_sources]
+        # reduceat over the starts of the *non-empty* segments only: each
+        # group then spans exactly one node's predecessor slice (empty
+        # segments contribute no elements between consecutive starts).
+        result[nonempty] = np.maximum.reduceat(gathered, starts[nonempty])
+        return result
+
+    # ------------------------------------------------------------------
+    # scalar-loop mirrors
+    # ------------------------------------------------------------------
+    def out_csr_lists(self) -> tuple[list[int], list[int]]:
+        """``(offsets, targets)`` as plain Python int lists (cached).
+
+        Scalar propagation loops iterate ``targets[offsets[v]:offsets[v+1]]``;
+        list slices of Python ints iterate several times faster than
+        numpy views in the interpreter.
+        """
+        if self._out_lists is None:
+            self._out_lists = (self.out_offsets.tolist(), self.out_targets.tolist())
+        return self._out_lists
+
+    def in_csr_lists(self) -> tuple[list[int], list[int]]:
+        """``(offsets, sources)`` as plain Python int lists (cached)."""
+        if self._in_lists is None:
+            self._in_lists = (self.in_offsets.tolist(), self.in_sources.tolist())
+        return self._in_lists
+
+    def out_adjacency_lists(self) -> list[list[int]]:
+        """Per-node successor slices as plain int lists (cached).
+
+        Shared by every engine run on this snapshot — materialised once,
+        not per query.
+        """
+        if self._out_adjacency is None:
+            offsets, targets = self.out_csr_lists()
+            self._out_adjacency = [
+                targets[offsets[v] : offsets[v + 1]] for v in range(self.num_nodes)
+            ]
+        return self._out_adjacency
+
+    def in_adjacency_lists(self) -> list[list[int]]:
+        """Per-node predecessor slices as plain int lists (cached)."""
+        if self._in_adjacency is None:
+            offsets, sources = self.in_csr_lists()
+            self._in_adjacency = [
+                sources[offsets[v] : offsets[v + 1]] for v in range(self.num_nodes)
+            ]
+        return self._in_adjacency
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRSnapshot(|V|={self.num_nodes}, |E|={self.num_edges}, "
+            f"live={self.num_live}, labels={self.num_labels})"
+        )
+
+
+def snapshot_of(graph: "Graph") -> CSRSnapshot:
+    """The cached snapshot of ``graph``, building it on first use.
+
+    The cache lives in ``graph.derived`` under :data:`CSR_SNAPSHOT_KEY`,
+    so the graph's structural-mutation invalidation (blanket clear, or
+    the targeted invalidators of :mod:`repro.index.invalidation`) drops
+    it exactly when it goes stale.
+    """
+    snap = graph.derived.get(CSR_SNAPSHOT_KEY)
+    if snap is None:
+        snap = CSRSnapshot.build(graph)
+        graph.derived[CSR_SNAPSHOT_KEY] = snap
+    return snap

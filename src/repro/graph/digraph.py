@@ -196,6 +196,11 @@ class Graph:
             bucket = self._label_index.get(self._label_of[node])
             if bucket is not None and node in bucket:
                 bucket.remove(node)
+        # Invalidate again *after* the tombstone lands: listeners on the
+        # per-edge removal events above may have rebuilt derived caches
+        # (e.g. the CSR snapshot) mid-removal, while the node still
+        # counted as live.
+        self._invalidate_caches()
         self._emit(DeltaOp(REMOVE_NODE, node=node))
 
     def apply_delta(self, ops: Iterable[DeltaOp]) -> list[int | None]:
@@ -394,6 +399,27 @@ class Graph:
             name = self.labels.name(label_id)
             histogram[name] = histogram.get(name, 0) + 1
         return histogram
+
+    # ------------------------------------------------------------------
+    # compiled snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """The graph's compiled CSR snapshot (cached until a mutation).
+
+        Returns a :class:`repro.graph.csr.CSRSnapshot` — a frozen,
+        array-backed view of the current state that the matching hot
+        paths scan instead of the mutable dict-of-lists adjacency.  The
+        snapshot is cached in :attr:`derived` and dropped by the same
+        invalidation that guards every other structural cache, so it is
+        always consistent with the graph.  Raises :class:`GraphError`
+        when the array backend (numpy) is unavailable; call
+        :func:`repro.graph.csr.available` to probe first.
+        """
+        from repro.graph import csr
+
+        if not csr.available():
+            raise GraphError("CSR snapshots require numpy; install it or use the dict path")
+        return csr.snapshot_of(self)
 
     # ------------------------------------------------------------------
     # derived graphs

@@ -188,13 +188,25 @@ def edge_removed(
     outcome = DeltaOutcome()
     queue: deque[tuple[int, int]] = deque()
 
-    for u, u_child in pattern.edges():
-        if src in sim[u] and dst in sim[u_child]:
-            outcome.pairs_touched += 1
-            if not _has_support(graph, src, sim[u_child]):
-                sim[u].discard(src)
-                outcome.removed += 1
-                queue.append((u, src))
+    # Collect the affected pattern edges against the *pre-removal*
+    # relation before discarding anything: for a self-loop deletion
+    # (``src == dst``) an earlier seed's discard would otherwise make
+    # the ``dst in sim[u_child]`` guard of a later pattern edge fail,
+    # skipping a seed that the propagation loop cannot recover (the
+    # deleted edge is already gone from the graph's adjacency).
+    affected = [
+        (u, u_child)
+        for u, u_child in pattern.edges()
+        if src in sim[u] and dst in sim[u_child]
+    ]
+    for u, u_child in affected:
+        if src not in sim[u]:
+            continue  # already removed and queued via an earlier edge
+        outcome.pairs_touched += 1
+        if not _has_support(graph, src, sim[u_child]):
+            sim[u].discard(src)
+            outcome.removed += 1
+            queue.append((u, src))
 
     _propagate_removals(pattern, graph, sim, queue, threshold, outcome)
     if not outcome.overflowed:

@@ -95,6 +95,12 @@ class MatchView:
         Touched-frontier size above which one update falls back to a
         full fixpoint recompute.  ``None`` picks a size-scaled default
         (roughly the initialisation cost of the from-scratch fixpoint).
+    optimized:
+        Run full rebuilds (the initial build and every threshold
+        fallback) over the graph's compiled CSR snapshot.  The snapshot
+        is cached on the graph, so the rebuilds a single update triggers
+        across many registered views all share one compilation pass.
+        ``False`` forces the dict-of-sets reference path.
 
     >>> from repro.datasets.examples import figure1
     >>> fig = figure1()
@@ -112,6 +118,7 @@ class MatchView:
         relevance_fn: RelevanceFunction | None = None,
         recompute_threshold: int | None = None,
         name: str | None = None,
+        optimized: bool = True,
     ) -> None:
         pattern.validate()
         if k < 1:
@@ -121,14 +128,17 @@ class MatchView:
         self.k = k
         self.lam = lam
         self.name = name
+        self.optimized = optimized
         self.relevance_fn = (
             relevance_fn if relevance_fn is not None else CardinalityRelevance()
         )
         self.stats = ViewStats()
         self._threshold = recompute_threshold
         # Label-based affectedness: the ordered label pairs of pattern
-        # edges (for edge ops) and the node labels (for node ops), with
-        # the wildcard collapsing each test to "always affected".
+        # edges (for edge ops) and the node labels (for node ops).  A
+        # wildcard query node matches every label, so node-op tests
+        # collapse to "always affected" and edge-pair tests treat the
+        # wildcard as matching either endpoint.
         self._node_labels = frozenset(pattern.label(u) for u in pattern.nodes())
         self._has_wildcard = WILDCARD_LABEL in self._node_labels
         self._edge_label_pairs = frozenset(
@@ -139,6 +149,7 @@ class MatchView:
             for u in pattern.nodes()
             if pattern.predicate(u) is not None
         )
+        self._predicated_wildcard = WILDCARD_LABEL in self._predicated_labels
         self._can_lists: list[list[int]] = []
         self._can_sets: list[set[int]] = []
         self._sim: list[set[int]] = []
@@ -248,22 +259,33 @@ class MatchView:
         Label-based filter: an edge op matters only when some pattern
         edge joins the endpoint labels; a node op only when the node's
         label is a pattern label; an attrs op only when a *predicated*
-        query node carries that label.  Wildcard patterns match
-        everything.
+        query node carries that label.  A wildcard query node matches
+        every label — node-op tests treat a wildcard pattern as
+        match-all, and edge-pair tests accept a pattern edge whose
+        endpoint is the wildcard (a plain ``label in pattern_labels``
+        membership test would never match ``"*"`` and would starve
+        wildcard views of their update stream).
         """
-        if self._has_wildcard:
-            return True
         if op.kind in (ADD_EDGE, REMOVE_EDGE):
             assert op.src is not None and op.dst is not None
             src_label = self.graph.label(op.src)
             dst_label = self.graph.label(op.dst)
-            return (src_label, dst_label) in self._edge_label_pairs
+            pairs = self._edge_label_pairs
+            return (
+                (src_label, dst_label) in pairs
+                or (WILDCARD_LABEL, dst_label) in pairs
+                or (src_label, WILDCARD_LABEL) in pairs
+                or (WILDCARD_LABEL, WILDCARD_LABEL) in pairs
+            )
         if op.kind == ADD_NODE:
-            return op.label in self._node_labels
+            return self._has_wildcard or op.label in self._node_labels
         assert op.node is not None
         if op.kind == SET_ATTRS:
-            return self.graph.label(op.node) in self._predicated_labels
-        return self.graph.label(op.node) in self._node_labels
+            return (
+                self._predicated_wildcard
+                or self.graph.label(op.node) in self._predicated_labels
+            )
+        return self._has_wildcard or self.graph.label(op.node) in self._node_labels
 
     def apply(self, op: DeltaOp) -> delta_sim.DeltaOutcome:
         """Repair the view after ``op`` was applied to the graph.
@@ -282,6 +304,7 @@ class MatchView:
         *edge* events alone cannot be detected, so don't hand-feed ops.
         """
         self.stats.ops_applied += 1
+        pre_rebuild_sim: list[set[int]] | None = None
         if op.kind == ADD_EDGE:
             assert op.src is not None and op.dst is not None
             outcome = delta_sim.edge_added(
@@ -312,6 +335,11 @@ class MatchView:
         elif op.kind == REMOVE_NODE:
             assert op.node is not None
             if self._edge_events_missed(op.node):
+                # The delta routines never ran, so the maintained
+                # relation is exactly the pre-rebuild one — keep a copy
+                # to compare against, instead of conservatively counting
+                # a relation change that may not happen.
+                pre_rebuild_sim = [set(s) for s in self._sim]
                 outcome = delta_sim.DeltaOutcome(changed=True, overflowed=True)
             else:
                 outcome = delta_sim.node_removed(
@@ -325,7 +353,15 @@ class MatchView:
         if outcome.overflowed:
             self._rebuild()
             self.stats.full_recomputes += 1
-            self.stats.relation_changes += 1  # conservatively
+            if pre_rebuild_sim is None:
+                # Threshold overflow mid-repair: ``sim`` was left
+                # half-repaired, so no trustworthy pre-state exists —
+                # count conservatively.
+                self.stats.relation_changes += 1
+            elif pre_rebuild_sim != self._sim:
+                self.stats.relation_changes += 1
+            else:
+                outcome.changed = False
         else:
             self.stats.incremental_ops += 1
             if outcome.changed:
@@ -375,8 +411,13 @@ class MatchView:
         self.stats.full_recomputes += 1
 
     def _rebuild(self) -> None:
-        candidates = compute_candidates(self.pattern, self.graph)
-        result = maximal_simulation(self.pattern, self.graph, candidates)
+        # With ``optimized`` both passes run over graph.snapshot() —
+        # cached on the graph, so a threshold overflow that rebuilds
+        # several registered views compiles the snapshot only once.
+        candidates = compute_candidates(self.pattern, self.graph, optimized=self.optimized)
+        result = maximal_simulation(
+            self.pattern, self.graph, candidates, optimized=self.optimized
+        )
         self._can_lists = [list(lst) for lst in candidates.lists]
         self._can_sets = [set(s) for s in candidates.sets]
         self._sim = result.sim

@@ -12,7 +12,10 @@ layer's mutation API (``add_edge`` / ``remove_edge`` / ``add_node`` /
   counting cache of :mod:`repro.index.label_index` — per-label count
   arrays stored under ``graph.derived``.  Any edge mutation can change
   any count, and node mutations change the id space the arrays are
-  indexed by, so these are invalidated wholesale.
+  indexed by, so these are invalidated wholesale;
+* the **CSR snapshots** of :mod:`repro.graph.csr` — the compiled
+  array views the matching fast paths scan.  Any structural mutation
+  (including the tombstone flip of ``remove_node``) invalidates them.
 
 By default the graph blanket-clears ``graph.derived`` on every
 structural mutation — safe, but it also evicts any *mutation-stable*
@@ -29,19 +32,42 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.graph.csr import CSR_KEY_PREFIX
 from repro.graph.digraph import Graph
 
 #: ``graph.derived`` key prefix owned by the descendant-count indexes.
 DESCENDANT_KEY_PREFIX = "descendant-index:"
 
+#: Every ``graph.derived`` key prefix that a structural mutation must
+#: drop.  CSR snapshots (:mod:`repro.graph.csr`) join the descendant
+#: indexes here: both compile the current structure into arrays.
+STRUCTURAL_KEY_PREFIXES = (DESCENDANT_KEY_PREFIX, CSR_KEY_PREFIX)
 
-def descendant_cache_keys(graph: Graph) -> list[str]:
-    """The ``graph.derived`` keys currently held by descendant indexes."""
+
+def _prefixed_keys(graph: Graph, prefix: str) -> list[str]:
     return [
         key
         for key in graph.derived
-        if isinstance(key, str) and key.startswith(DESCENDANT_KEY_PREFIX)
+        if isinstance(key, str) and key.startswith(prefix)
     ]
+
+
+def descendant_cache_keys(graph: Graph) -> list[str]:
+    """The ``graph.derived`` keys currently held by descendant indexes."""
+    return _prefixed_keys(graph, DESCENDANT_KEY_PREFIX)
+
+
+def csr_cache_keys(graph: Graph) -> list[str]:
+    """The ``graph.derived`` keys currently held by CSR snapshots."""
+    return _prefixed_keys(graph, CSR_KEY_PREFIX)
+
+
+def invalidate_csr_snapshots(graph: Graph) -> int:
+    """Drop every CSR snapshot from ``graph.derived``; returns the count."""
+    keys = csr_cache_keys(graph)
+    for key in keys:
+        del graph.derived[key]
+    return len(keys)
 
 
 def invalidate_descendant_indexes(graph: Graph) -> int:
@@ -58,16 +84,18 @@ def invalidate_descendant_indexes(graph: Graph) -> int:
 
 
 def attach_index_invalidation(graph: Graph) -> Callable[[], None]:
-    """Register targeted descendant-index invalidation on ``graph``.
+    """Register targeted structural-cache invalidation on ``graph``.
 
-    Every structural mutation then drops the descendant-index caches —
-    and, because a registered invalidator replaces the graph's default
-    blanket clear, any *other* ``graph.derived`` entries survive the
-    mutation.  Returns the detacher (after which the graph falls back
-    to blanket clearing, unless other invalidators remain).
+    Every structural mutation then drops the descendant-index caches and
+    any cached CSR snapshot — and, because a registered invalidator
+    replaces the graph's default blanket clear, any *other*
+    ``graph.derived`` entries survive the mutation.  Returns the
+    detacher (after which the graph falls back to blanket clearing,
+    unless other invalidators remain).
     """
 
     def _invalidate() -> None:
         invalidate_descendant_indexes(graph)
+        invalidate_csr_snapshots(graph)
 
     return graph.add_invalidator(_invalidate)

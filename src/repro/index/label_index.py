@@ -256,10 +256,15 @@ class SimBoundIndex:
         pattern: Pattern,
         graph: Graph,
         sim: list[set[int]],
+        snapshot=None,
     ) -> None:
         self.pattern = pattern
         self.graph = graph
         self.sim = sim
+        #: Optional :class:`repro.graph.csr.CSRSnapshot`; when present the
+        #: restricted-reachability structures and the hop-count DP run as
+        #: vectorised array scans (identical values, numpy speed).
+        self.snapshot = snapshot
         analysis = pattern.analysis
         self._global_bound: list[int] = []
         for u in pattern.nodes():
@@ -268,21 +273,50 @@ class SimBoundIndex:
         self._sources: dict[int, list[tuple[int, Sequence[int]]]] = {}
         self._allowed: list[int] | None = None
         self._adjacency: list[tuple[int, ...]] | None = None
+        self._restricted: tuple | None = None
         self._condensation = None
 
     # -- shared restricted structure ----------------------------------
+    def _restricted_csr(self):
+        """Match-restricted adjacency as CSR arrays (snapshot mode only)."""
+        if self._restricted is None:
+            import numpy as np
+
+            snap = self.snapshot
+            n = snap.num_nodes
+            allowed = np.zeros(n, dtype=np.uint8)
+            for matched in self.sim:
+                if matched:
+                    allowed[list(matched)] = 1
+            r_targets = snap.out_targets[allowed[snap.out_targets].astype(bool)]
+            kept = snap.out_counts(allowed)
+            r_offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(kept, out=r_offsets[1:])
+            self._restricted = (r_offsets, r_targets)
+        return self._restricted
+
     def _restricted_adjacency(self) -> list[tuple[int, ...]]:
         if self._adjacency is None:
-            allowed: set[int] = set()
-            for matched in self.sim:
-                allowed |= matched
-            graph = self.graph
-            # Only hops landing on match nodes are traversable (any source
-            # may take its first hop; everything beyond is a match path).
-            self._adjacency = [
-                tuple(c for c in graph.successors(v) if c in allowed)
-                for v in graph.nodes()
-            ]
+            if self.snapshot is not None:
+                r_offsets, r_targets = self._restricted_csr()
+                offsets = r_offsets.tolist()
+                targets = r_targets.tolist()
+                self._adjacency = [
+                    tuple(targets[offsets[v] : offsets[v + 1]])
+                    for v in range(self.graph.num_nodes)
+                ]
+            else:
+                allowed: set[int] = set()
+                for matched in self.sim:
+                    allowed |= matched
+                graph = self.graph
+                # Only hops landing on match nodes are traversable (any
+                # source may take its first hop; everything beyond is a
+                # match path).
+                self._adjacency = [
+                    tuple(c for c in graph.successors(v) if c in allowed)
+                    for v in graph.nodes()
+                ]
         return self._adjacency
 
     def _restricted_condensation(self):
@@ -337,17 +371,58 @@ class SimBoundIndex:
                 can_sum + len(self.sim[target]),
             )
 
-        adjacency = self._restricted_adjacency()
         n = graph.num_nodes
+        adjacency: list[tuple[int, ...]] | None = None
         sources: list[tuple[int, Sequence[int]]] = []
         for label, (targets, depth, can_sum) in grouped.items():
             positions = {node: i for i, node in enumerate(sorted(targets))}
             if depth is not None:
-                counts = self._hop_counts(adjacency, positions, depth, n)
+                if self.snapshot is not None:
+                    counts = self._hop_counts_csr(positions, depth, n)
+                else:
+                    if adjacency is None:
+                        adjacency = self._restricted_adjacency()
+                    counts = self._hop_counts(adjacency, positions, depth, n)
             else:
                 counts = self._unbounded_counts(positions)
             sources.append((can_sum, counts))
         return sources
+
+    def _hop_counts_csr(
+        self, positions: dict[int, int], depth: int, n: int
+    ) -> Sequence[int]:
+        """Vectorised counterpart of :meth:`_hop_counts` (identical values).
+
+        The per-node reachable-target bitsets become a packed ``uint64``
+        matrix; one hop is a gather of the child rows plus a segmented
+        OR over the restricted CSR (``bitwise_or.reduceat`` on the
+        starts of the non-empty adjacency slices).
+        """
+        import numpy as np
+
+        num_bits = len(positions)
+        if num_bits == 0:
+            return np.zeros(n, dtype=np.int64)
+        r_offsets, r_targets = self._restricted_csr()
+        words = (num_bits + 63) // 64
+        bit_rows = np.zeros((n, words), dtype=np.uint64)
+        nodes = np.fromiter(positions.keys(), dtype=np.int64, count=num_bits)
+        bits = np.fromiter(positions.values(), dtype=np.int64, count=num_bits)
+        bit_rows[nodes, bits >> 6] = np.uint64(1) << (bits & 63).astype(np.uint64)
+        starts = r_offsets[:-1]
+        nonempty = (r_offsets[1:] - starts) > 0
+        ne_starts = starts[nonempty]
+        masks = np.zeros((n, words), dtype=np.uint64)
+        for _ in range(max(1, depth)):
+            fresh = np.zeros((n, words), dtype=np.uint64)
+            if r_targets.size:
+                gathered = (masks | bit_rows)[r_targets]
+                fresh[nonempty] = np.bitwise_or.reduceat(gathered, ne_starts, axis=0)
+            masks = fresh
+        if hasattr(np, "bitwise_count"):
+            return np.bitwise_count(masks).sum(axis=1, dtype=np.int64)
+        bytes_view = masks.view(np.uint8).reshape(n, words * 8)
+        return np.unpackbits(bytes_view, axis=1).sum(axis=1, dtype=np.int64)
 
     def _hop_counts(
         self,

@@ -28,10 +28,15 @@ class RankingContext:
         graph: Graph,
         simulation: SimulationResult | None = None,
         query_node: int | None = None,
+        optimized: bool = True,
     ) -> None:
         self.pattern = pattern
         self.graph = graph
-        self.simulation = simulation if simulation is not None else maximal_simulation(pattern, graph)
+        self.simulation = (
+            simulation
+            if simulation is not None
+            else maximal_simulation(pattern, graph, optimized=optimized)
+        )
         self.query_node = query_node if query_node is not None else pattern.output_node
 
     @property

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.graph import csr
 from repro.graph.digraph import Graph
 from repro.patterns.pattern import Pattern
 
@@ -47,17 +48,30 @@ class CandidateSets:
         return any(not lst for lst in self.lists)
 
 
-def compute_candidates(pattern: Pattern, graph: Graph) -> CandidateSets:
+def compute_candidates(
+    pattern: Pattern, graph: Graph, optimized: bool = True
+) -> CandidateSets:
     """Compute ``can(u)`` for every query node ``u``.
 
-    Uses the graph's label index for the label filter, then applies the
-    node predicate (if any).  The wildcard label ``"*"`` matches any node.
+    With ``optimized`` (the default) the label filter is a contiguous
+    bucket scan over the graph's compiled CSR snapshot
+    (:meth:`Graph.snapshot`); the reference path walks the per-label
+    dict index.  Both produce identical candidate lists (live nodes in
+    ascending id order).  The node predicate (if any) is applied on top;
+    the wildcard label ``"*"`` matches any live node.
     """
+    snapshot = graph.snapshot() if optimized and csr.available() else None
     lists: list[list[int]] = []
     sets: list[set[int]] = []
     for u in pattern.nodes():
         label = pattern.label(u)
-        if label == WILDCARD_LABEL:
+        if snapshot is not None:
+            if label == WILDCARD_LABEL:
+                base = snapshot.live_list()
+            else:
+                label_id = graph.labels.get(label)
+                base = [] if label_id is None else snapshot.label_bucket_list(label_id)
+        elif label == WILDCARD_LABEL:
             base = list(graph.live_nodes())
         else:
             base = graph.nodes_with_label(label)

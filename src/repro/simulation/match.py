@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.graph import csr
 from repro.graph.digraph import Graph
 from repro.patterns.pattern import Pattern
 from repro.simulation.candidates import CandidateSets, compute_candidates
@@ -91,14 +92,26 @@ def maximal_simulation(
     pattern: Pattern,
     graph: Graph,
     candidates: CandidateSets | None = None,
+    optimized: bool = True,
 ) -> SimulationResult:
     """Compute the maximum simulation of ``pattern`` in ``graph``.
 
     ``candidates`` may be supplied to reuse a previously computed
-    :class:`CandidateSets` (the top-k engines do this).
+    :class:`CandidateSets` (the top-k engines do this).  With
+    ``optimized`` (the default) the fixpoint runs over the graph's
+    compiled CSR snapshot (:mod:`repro.simulation.csr_kernel`);
+    ``optimized=False`` forces the dict-of-sets reference path.  Both
+    compute the identical greatest fixpoint.
     """
     if candidates is None:
-        candidates = compute_candidates(pattern, graph)
+        candidates = compute_candidates(pattern, graph, optimized=optimized)
+
+    if optimized and csr.available():
+        from repro.simulation.csr_kernel import simulation_fixpoint_csr
+
+        sim = simulation_fixpoint_csr(pattern, graph, candidates)
+        total = all(sim[u] for u in pattern.nodes()) and pattern.num_nodes > 0
+        return SimulationResult(pattern, graph, sim, total, candidates)
 
     sim: list[set[int]] = [set(lst) for lst in candidates.lists]
     edges = list(pattern.edges())

@@ -37,11 +37,14 @@ def top_k(
     candidates: CandidateSets | None = None,
     presimulate: bool = True,
     output_node: int | None = None,
+    use_csr: bool | None = None,
 ) -> TopKResult:
     """Find top-k matches of the output node of any pattern.
 
     ``optimized=False`` gives the paper's ``TopKnopt`` (random seed
-    selection); everything else is shared.
+    selection); ``use_csr`` toggles the engine's CSR fast path and
+    defaults to following ``optimized``, so ``optimized=False`` is the
+    full dict-of-sets reference algorithm.
     """
     strategy = GreedySelection() if optimized else RandomSelection(seed)
     name = "TopK" if optimized else "TopKnopt"
@@ -59,6 +62,7 @@ def top_k(
         algorithm_name=name,
         presimulate=presimulate,
         output_node=output_node,
+        use_csr=optimized if use_csr is None else use_csr,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

@@ -38,8 +38,13 @@ def top_k_dag(
     candidates: CandidateSets | None = None,
     presimulate: bool = True,
     output_node: int | None = None,
+    use_csr: bool | None = None,
 ) -> TopKResult:
     """Find top-k matches of the output node of a DAG pattern.
+
+    ``use_csr`` toggles the engine's CSR fast path independently of the
+    seed-selection strategy; it defaults to following ``optimized``, so
+    ``optimized=False`` is the full dict-of-sets reference algorithm.
 
     Raises :class:`MatchingError` when the pattern is cyclic — use
     :func:`repro.topk.cyclic.top_k` there (it subsumes this algorithm but
@@ -63,6 +68,7 @@ def top_k_dag(
         algorithm_name=name,
         presimulate=presimulate,
         output_node=output_node,
+        use_csr=optimized if use_csr is None else use_csr,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

@@ -51,6 +51,7 @@ import time
 from collections import deque
 
 from repro.errors import MatchingError
+from repro.graph import csr
 from repro.graph.digraph import Graph
 from repro.index.label_index import BoundIndex, SimBoundIndex
 from repro.patterns.pattern import Pattern
@@ -90,6 +91,7 @@ class TopKEngine:
         algorithm_name: str = "TopK",
         presimulate: bool = True,
         output_node: int | None = None,
+        use_csr: bool | None = None,
     ) -> None:
         if k < 1:
             raise MatchingError(f"k must be positive; got {k}")
@@ -106,8 +108,17 @@ class TopKEngine:
         self.uo = output_node if output_node is not None else pattern.output_node
         self.analysis = pattern.analysis
         self.presimulate = presimulate and bound_strategy == "sim"
+        # The CSR fast path (default on): initialisation scans, bound
+        # construction and pid lookups run over the graph's compiled
+        # snapshot; ``use_csr=False`` forces the dict reference path.
+        self._snapshot = (
+            graph.snapshot() if use_csr is not False and csr.available() else None
+        )
+        self.use_csr = self._snapshot is not None
         self.candidates = (
-            candidates if candidates is not None else compute_candidates(pattern, graph)
+            candidates
+            if candidates is not None
+            else compute_candidates(pattern, graph, optimized=self.use_csr)
         )
         self.relevance_fn = relevance_fn if relevance_fn is not None else CardinalityRelevance()
         self._fast_cardinality = isinstance(self.relevance_fn, CardinalityRelevance)
@@ -123,7 +134,9 @@ class TopKEngine:
             # incrementally below.
             from repro.simulation.match import maximal_simulation
 
-            simulation = maximal_simulation(pattern, graph, self.candidates)
+            simulation = maximal_simulation(
+                pattern, graph, self.candidates, optimized=self.use_csr
+            )
             if not simulation.total:
                 self._infeasible = True
             else:
@@ -134,7 +147,10 @@ class TopKEngine:
         if not self._infeasible:
             if self.presimulate:
                 self._bounds = SimBoundIndex(
-                    pattern, graph, [set(s) for s in self.candidates.sets]
+                    pattern,
+                    graph,
+                    [set(s) for s in self.candidates.sets],
+                    snapshot=self._snapshot,
                 )
             else:
                 if bound_strategy == "sim":
@@ -174,12 +190,18 @@ class TopKEngine:
             for u in pattern.nodes()
         ]
 
-        # Pair tables.
+        # Pair tables.  Pids are assigned contiguously per query node in
+        # candidate-list order, so ``_pid_start[u] + i`` is the pid of
+        # the i-th candidate of ``u`` (the vectorised init relies on
+        # this).  ``_pid_arr`` (CSR mode) is the array counterpart of
+        # the ``_pid_of`` dicts: ``_pid_arr[u][v]`` is the pid or -1.
         self._pid_of: list[dict[int, int]] = [dict() for _ in pattern.nodes()]
+        self._pid_start: list[int] = []
         pair_u: list[int] = []
         pair_v: list[int] = []
         for u in pattern.nodes():
             pid_map = self._pid_of[u]
+            self._pid_start.append(len(pair_u))
             for v in self.candidates.lists[u]:
                 pid_map[v] = len(pair_u)
                 pair_u.append(u)
@@ -188,6 +210,22 @@ class TopKEngine:
         self._pair_v = pair_v
         n_pairs = len(pair_u)
         self.stats.pairs_created = n_pairs
+
+        self._pid_arr: list[list[int]] | None = None
+        self._adj_out: list | None = None
+        self._adj_in: list | None = None
+        if self._snapshot is not None:
+            num_nodes = graph.num_nodes
+            pid_arr = []
+            for u in pattern.nodes():
+                arr = [-1] * num_nodes
+                start = self._pid_start[u]
+                for i, v in enumerate(self.candidates.lists[u]):
+                    arr[v] = start + i
+                pid_arr.append(arr)
+            self._pid_arr = pid_arr
+            self._adj_out = self._snapshot.out_adjacency_lists()
+            self._adj_in = self._snapshot.in_adjacency_lists()
 
         self._status = [PENDING] * n_pairs
         self._finalized = [False] * n_pairs
@@ -241,9 +279,50 @@ class TopKEngine:
         self._decisive_queue: deque[int] = deque()
 
         # Initial scan: dead pairs, unsat / pending counters, comp membership.
+        if self._snapshot is not None:
+            dead_at_init = self._init_pair_state_csr(comp_of, nontrivial, comp_rank)
+        else:
+            dead_at_init = self._init_pair_state_dict(comp_of, nontrivial, comp_rank)
+
+        # Component counters count live (non-dead) pairs only.
+        dead_set = set(dead_at_init)
+        for comp in nontrivial:
+            live = [p for p in self._comp_pairs[comp] if p not in dead_set]
+            self._comp_ext_pending[comp] = sum(self._pending[p] for p in live)
+            if comp_rank[comp] == 0:
+                self._comp_unvisited[comp] = len(live)
+
+        # Seeds: live candidates of rank-0 query nodes, in strategy order.
+        seeds: list[int] = []
+        for u in pattern.nodes():
+            if analysis.ranks[u] == 0:
+                for v in self.candidates.lists[u]:
+                    pid = self._pid_of[u][v]
+                    if pid not in dead_set:
+                        seeds.append(pid)
+        self._seeds = self.strategy.order(self, seeds)
+        self._seed_cursor = 0
+
+        # Kill the dead pairs (this finalises them and notifies parents).
+        # Their pending counts were never added to the component sums, so
+        # zero them before the finalisation cascade runs.
+        for pid in dead_at_init:
+            self._status[pid] = DEAD
+            self._pending[pid] = 0
+            self._finalize_pair(pid)
+        for comp in nontrivial:
+            if self._decisive_ready(comp):
+                self._decisive_queue.append(comp)
+        self._drain()
+
+    def _init_pair_state_dict(
+        self, comp_of: list[int], nontrivial: set[int], comp_rank: list[int]
+    ) -> list[int]:
+        """Reference per-pair init scan (dict adjacency, set membership)."""
+        graph = self.graph
         dead_at_init: list[int] = []
-        for pid in range(n_pairs):
-            u, v = pair_u[pid], pair_v[pid]
+        for pid in range(len(self._pair_u)):
+            u, v = self._pair_u[pid], self._pair_v[pid]
             comp = comp_of[u]
             is_comp_pair = comp in nontrivial
             out_edges = self._out_edges[u]
@@ -276,37 +355,97 @@ class TopKEngine:
                 self._activated[pid] = True
                 self._comp_pending_act[comp].add(pid)
                 self._comp_events[comp] += 1
+        return dead_at_init
 
-        # Component counters count live (non-dead) pairs only.
-        dead_set = set(dead_at_init)
-        for comp in nontrivial:
-            live = [p for p in self._comp_pairs[comp] if p not in dead_set]
-            self._comp_ext_pending[comp] = sum(self._pending[p] for p in live)
-            if comp_rank[comp] == 0:
-                self._comp_unvisited[comp] = len(live)
+    def _init_pair_state_csr(
+        self, comp_of: list[int], nontrivial: set[int], comp_rank: list[int]
+    ) -> list[int]:
+        """Vectorised init scan over the CSR snapshot.
 
-        # Seeds: live candidates of rank-0 query nodes, in strategy order.
-        seeds: list[int] = []
+        Computes the same per-pair state as the reference scan —
+        candidate-child counts per pattern edge (one prefix-sum pass per
+        distinct child query node), dead flags, unsat / pending
+        counters, comp membership and immediate activations — with one
+        numpy pass per (query node, pattern edge) instead of a Python
+        loop per (pair, graph edge).
+        """
+        import numpy as np
+
+        snap = self._snapshot
+        assert snap is not None
+        pattern = self.pattern
+        dead_at_init: list[int] = []
+        child_counts: dict[int, "np.ndarray"] = {}
         for u in pattern.nodes():
-            if analysis.ranks[u] == 0:
-                for v in self.candidates.lists[u]:
-                    pid = self._pid_of[u][v]
-                    if pid not in dead_set:
-                        seeds.append(pid)
-        self._seeds = self.strategy.order(self, seeds)
-        self._seed_cursor = 0
+            k = len(self.candidates.lists[u])
+            start = self._pid_start[u]
+            out_edges = self._out_edges[u]
+            external_flags = self._edge_external[u]
+            n_out = len(out_edges)
+            for pid in range(start, start + k):
+                self._conf_count[pid] = [0] * n_out
+            # ``unsat`` counts the external out-edges — identical for
+            # every pair of ``u``.
+            unsat = sum(1 for flag in external_flags if flag)
+            if unsat:
+                self._unsat[start : start + k] = [unsat] * k
+            comp = comp_of[u]
+            is_comp_pair = comp in nontrivial
+            if is_comp_pair:
+                self._comp_pairs[comp].extend(range(start, start + k))
+            if k == 0:
+                continue
+            cand_arr = np.asarray(self.candidates.lists[u], dtype=np.int64)
+            dead = np.zeros(k, dtype=bool)
+            pending = np.zeros(k, dtype=np.int64)
+            for local_idx, u_child in enumerate(out_edges):
+                counts = child_counts.get(u_child)
+                if counts is None:
+                    membership = np.zeros(snap.num_nodes, dtype=np.uint8)
+                    child_list = self.candidates.lists[u_child]
+                    if child_list:
+                        membership[child_list] = 1
+                    counts = snap.out_counts(membership)
+                    child_counts[u_child] = counts
+                edge_counts = counts[cand_arr]
+                dead |= edge_counts == 0
+                if external_flags[local_idx]:
+                    pending += edge_counts
+            if pending.any():
+                self._pending[start : start + k] = pending.tolist()
+            if dead.any():
+                dead_at_init.extend((start + np.nonzero(dead)[0]).tolist())
+            if is_comp_pair and unsat == 0 and comp_rank[comp] > 0:
+                for offset in np.nonzero(~dead)[0].tolist():
+                    pid = start + offset
+                    self._activated[pid] = True
+                    self._comp_pending_act[comp].add(pid)
+                    self._comp_events[comp] += 1
+        return dead_at_init
 
-        # Kill the dead pairs (this finalises them and notifies parents).
-        # Their pending counts were never added to the component sums, so
-        # zero them before the finalisation cascade runs.
-        for pid in dead_at_init:
-            self._status[pid] = DEAD
-            self._pending[pid] = 0
-            self._finalize_pair(pid)
-        for comp in nontrivial:
-            if self._decisive_ready(comp):
-                self._decisive_queue.append(comp)
-        self._drain()
+    # ------------------------------------------------------------------
+    # adjacency / pair lookups (CSR fast path vs dict reference path)
+    # ------------------------------------------------------------------
+    def _succs(self, v: int):
+        """Successors of data node ``v`` (CSR slice or graph adjacency)."""
+        if self._adj_out is not None:
+            return self._adj_out[v]
+        return self.graph.successors(v)
+
+    def _preds(self, v: int):
+        """Predecessors of data node ``v`` (CSR slice or graph adjacency)."""
+        if self._adj_in is not None:
+            return self._adj_in[v]
+        return self.graph.predecessors(v)
+
+    def _pair_ids(self, u: int, nodes) -> list[int]:
+        """Pids of ``u``'s candidate pairs among ``nodes`` (order kept)."""
+        pid_arr = self._pid_arr
+        if pid_arr is not None:
+            arr = pid_arr[u]
+            return [pid for w in nodes if (pid := arr[w]) >= 0]
+        pid_map = self._pid_of[u]
+        return [pid for w in nodes if (pid := pid_map.get(w)) is not None]
 
     # ------------------------------------------------------------------
     # relevant-set groups
@@ -492,19 +631,32 @@ class TopKEngine:
             return
         self._status[pid] = CONFIRMED
         u, v = self._pair_u[pid], self._pair_v[pid]
-        graph = self.graph
         gid = self._new_group(pid)
         rset = self._g_set[gid]
 
         # Collect contributions of already-confirmed children, linking
         # their groups to ours for future delta propagation.
         status = self._status
+        pid_arr = self._pid_arr
+        successors = self._succs(v)
         seen_child_groups: set[int] = set()
         for u_child in self._out_edges[u]:
-            pid_map = self._pid_of[u_child]
-            for v_child in graph.successors(v):
-                q = pid_map.get(v_child)
-                if q is not None and status[q] == CONFIRMED:
+            if pid_arr is not None:
+                child_pids = pid_arr[u_child]
+                found = [
+                    (v_child, q)
+                    for v_child in successors
+                    if (q := child_pids[v_child]) >= 0
+                ]
+            else:
+                pid_map = self._pid_of[u_child]
+                found = [
+                    (v_child, q)
+                    for v_child in successors
+                    if (q := pid_map.get(v_child)) is not None
+                ]
+            for v_child, q in found:
+                if status[q] == CONFIRMED:
                     rset.add(v_child)
                     child_gid = self._find(self._group_of[q])
                     if child_gid not in seen_child_groups:
@@ -529,13 +681,12 @@ class TopKEngine:
         # Notify parents: edge counters, activation, and deltas.
         contribution: set[int] = {v} | rset
         parent_gids: set[int] = set()
+        predecessors = self._preds(v)
         for u_parent, local_idx in self._in_edges[u]:
-            pid_map = self._pid_of[u_parent]
             parent_comp = self._comp_of_node[u_parent]
             external = parent_comp != comp or parent_comp not in self._nontrivial
-            for v_parent in graph.predecessors(v):
-                pp = pid_map.get(v_parent)
-                if pp is None or self._status[pp] == DEAD:
+            for pp in self._pair_ids(u_parent, predecessors):
+                if self._status[pp] == DEAD:
                     continue
                 counters = self._conf_count[pp]
                 counters[local_idx] += 1
@@ -612,24 +763,22 @@ class TopKEngine:
 
     def _scan_comp(self, comp: int, pending: set[int]) -> list[int]:
         """One greatest-fixpoint pass over the pending-activated pairs."""
-        graph = self.graph
         status = self._status
         support: dict[int, list[int]] = {}
         removal: deque[int] = deque()
         for pid in pending:
             u, v = self._pair_u[pid], self._pair_v[pid]
             externals = self._edge_external[u]
+            successors = self._succs(v)
             counts: list[int] = []
             deficient = False
             for local_idx, u_child in enumerate(self._out_edges[u]):
                 if externals[local_idx]:
                     counts.append(-1)  # external edges were checked via unsat
                     continue
-                pid_map = self._pid_of[u_child]
                 c = 0
-                for v_child in graph.successors(v):
-                    q = pid_map.get(v_child)
-                    if q is not None and (status[q] == CONFIRMED or q in pending):
+                for q in self._pair_ids(u_child, successors):
+                    if status[q] == CONFIRMED or q in pending:
                         c += 1
                 counts.append(c)
                 if c == 0:
@@ -645,13 +794,12 @@ class TopKEngine:
                 continue
             removed.add(pid)
             u, v = self._pair_u[pid], self._pair_v[pid]
+            predecessors = self._preds(v)
             for u_parent, local_idx in self._in_edges[u]:
                 if self._comp_of_node[u_parent] != comp:
                     continue
-                pid_map = self._pid_of[u_parent]
-                for v_parent in graph.predecessors(v):
-                    pp = pid_map.get(v_parent)
-                    if pp is None or pp in removed:
+                for pp in self._pair_ids(u_parent, predecessors):
+                    if pp in removed:
                         continue
                     counts = support.get(pp)
                     if counts is None:
@@ -672,20 +820,18 @@ class TopKEngine:
         if len(members) < 2:
             return
         index_of = {pid: i for i, pid in enumerate(members)}
-        graph = self.graph
 
         # Local adjacency over confirmed pairs via in-SCC edges.
         adjacency: list[list[int]] = [[] for _ in members]
         for local, pid in enumerate(members):
             u, v = self._pair_u[pid], self._pair_v[pid]
             externals = self._edge_external[u]
+            successors = self._succs(v)
             for local_idx, u_child in enumerate(self._out_edges[u]):
                 if externals[local_idx]:
                     continue
-                pid_map = self._pid_of[u_child]
-                for v_child in graph.successors(v):
-                    q = pid_map.get(v_child)
-                    if q is not None and q in index_of:
+                for q in self._pair_ids(u_child, successors):
+                    if q in index_of:
                         adjacency[local].append(index_of[q])
 
         from repro.graph.algorithms import strongly_connected_components
@@ -745,7 +891,6 @@ class TopKEngine:
         if self._comp_finalized[comp]:
             return
         status = self._status
-        graph = self.graph
         # Group the comp's confirmed-but-unfinalised pairs by group root.
         by_group: dict[int, list[int]] = {}
         for pid in self._comp_pairs[comp]:
@@ -765,13 +910,12 @@ class TopKEngine:
                         break
                     u, v = self._pair_u[pid], self._pair_v[pid]
                     externals = self._edge_external[u]
+                    successors = self._succs(v)
                     for local_idx, u_child in enumerate(self._out_edges[u]):
                         if externals[local_idx]:
                             continue
-                        pid_map = self._pid_of[u_child]
-                        for v_child in graph.successors(v):
-                            q = pid_map.get(v_child)
-                            if q is None or status[q] == DEAD:
+                        for q in self._pair_ids(u_child, successors):
+                            if status[q] == DEAD:
                                 continue
                             if status[q] == PENDING:
                                 final = False
@@ -850,15 +994,14 @@ class TopKEngine:
             self._pending[pid] = 0
             if self._decisive_ready(comp):
                 self._decisive_queue.append(comp)
+        predecessors = self._preds(v)
         for u_parent, _ in self._in_edges[u]:
             parent_comp = self._comp_of_node[u_parent]
             in_comp_edge = parent_comp == comp and parent_comp in self._nontrivial
             if in_comp_edge:
                 continue  # in-SCC finalisation is handled at component level
-            pid_map = self._pid_of[u_parent]
-            for v_parent in self.graph.predecessors(v):
-                pp = pid_map.get(v_parent)
-                if pp is None or self._finalized[pp]:
+            for pp in self._pair_ids(u_parent, predecessors):
+                if self._finalized[pp]:
                     continue
                 self._pending[pp] -= 1
                 if parent_comp in self._nontrivial:

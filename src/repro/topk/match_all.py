@@ -36,11 +36,13 @@ def match_baseline(
     k: int,
     relevance_fn: RelevanceFunction | None = None,
     context: RankingContext | None = None,
+    optimized: bool = True,
 ) -> TopKResult:
     """Run the ``Match`` algorithm; returns exact top-k with exact scores.
 
     ``context`` may be supplied to reuse an existing full evaluation (the
     diversified baseline does this to avoid recomputing ``M(Q, G)``).
+    ``optimized=False`` forces the dict-of-sets reference simulation.
     """
     if k < 1:
         raise MatchingError(f"k must be positive; got {k}")
@@ -49,7 +51,7 @@ def match_baseline(
     fn = relevance_fn if relevance_fn is not None else CardinalityRelevance()
 
     if context is None:
-        simulation = maximal_simulation(pattern, graph)
+        simulation = maximal_simulation(pattern, graph, optimized=optimized)
         context = RankingContext(pattern, graph, simulation)
     stats = EngineStats()
     if not context.simulation.total:

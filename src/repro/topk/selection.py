@@ -54,8 +54,12 @@ class GreedySelection(SelectionStrategy):
 
         One sweep down the pattern's topological levels: a pair's score is
         the best of its candidate parents' scores; output-node pairs seed
-        the sweep with their index bound ``v.h``.
+        the sweep with their index bound ``v.h``.  On engines with a CSR
+        snapshot the sweep runs as segmented-max array scans; both paths
+        compute identical scores.
         """
+        if engine._snapshot is not None:
+            return GreedySelection._owner_scores_csr(engine)
         pattern = engine.pattern
         graph = engine.graph
         analysis = engine.analysis
@@ -81,12 +85,65 @@ class GreedySelection(SelectionStrategy):
                                 parent_score = scores.get(pp, 0.0)
                                 if parent_score > best:
                                     best = parent_score
-                        if best:
-                            scores[pid] = best
+                        # Store unconditionally: ``if best:`` would drop a
+                        # legitimate 0.0 (zero-bound owners), leaving the
+                        # pair to the setdefault below and masking the
+                        # computed value.
+                        scores[pid] = best
         for u in pattern.nodes():
             for pid in engine._pid_of[u].values():
                 scores.setdefault(pid, 0.0)
         return scores
+
+    @staticmethod
+    def _owner_scores_csr(engine: "TopKEngine") -> dict[int, float]:
+        """Vectorised owner-score sweep over the engine's CSR snapshot.
+
+        The same top-down relaxation as the dict path — a pair's score
+        is the max of its own and its candidate parents' scores — with
+        the per-pair predecessor walk replaced by one segmented max per
+        (query node, parent edge) (:meth:`CSRSnapshot.in_max`).
+        """
+        import numpy as np
+
+        pattern = engine.pattern
+        analysis = engine.analysis
+        snapshot = engine._snapshot
+        assert snapshot is not None
+        n = snapshot.num_nodes
+        num_pairs = len(engine._pair_u)
+        score_arr = np.zeros(num_pairs, dtype=np.float64)
+        for pid, bound in engine._h_init.items():
+            score_arr[pid] = float(bound)
+
+        cand_arrs = {
+            u: np.asarray(engine.candidates.lists[u], dtype=np.int64)
+            for u in pattern.nodes()
+        }
+        pid_ranges = {
+            u: slice(
+                engine._pid_start[u],
+                engine._pid_start[u] + len(engine.candidates.lists[u]),
+            )
+            for u in pattern.nodes()
+        }
+        nodes_by_rank = sorted(pattern.nodes(), key=lambda u: -analysis.ranks[u])
+        for _ in range(2):
+            for u in nodes_by_rank:
+                cand_u = cand_arrs[u]
+                if not cand_u.size:
+                    continue
+                for u_parent, _ in engine._in_edges[u]:
+                    cand_p = cand_arrs[u_parent]
+                    node_scores = np.zeros(n, dtype=np.float64)
+                    if cand_p.size:
+                        node_scores[cand_p] = score_arr[pid_ranges[u_parent]]
+                    best_parent = snapshot.in_max(node_scores)
+                    rng = pid_ranges[u]
+                    np.maximum(
+                        score_arr[rng], best_parent[cand_u], out=score_arr[rng]
+                    )
+        return dict(enumerate(score_arr.tolist()))
 
 
 class RandomSelection(SelectionStrategy):

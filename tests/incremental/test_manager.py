@@ -88,13 +88,33 @@ class TestDispatch:
         )
         assert view.simulation().sim == maximal_simulation(fig.pattern, fig.graph).sim
 
-    def test_wildcard_views_see_everything(self, fig):
+    def test_wildcard_views_are_not_starved(self, fig):
+        # A ``label in pattern_labels`` membership test would never match
+        # the wildcard and silently skip every op; the interest filter
+        # must treat "*" as matching any label on its pattern-edge side.
         manager = MatchViewManager(fig.graph)
         view = manager.register(
             pattern_from_edges(["PM", "*"], [(0, 1)], output=0), name="wild"
         )
-        fig.graph.remove_edge(fig.node("BA1"), fig.node("UD1"))
+        fig.graph.remove_edge(fig.node("PM1"), fig.node("DB1"))
         assert view.stats.ops_applied == 1
+        # The wildcard endpoint accepts *any* target label, including one
+        # no concrete query node carries.
+        fig.graph.add_edge(fig.node("PM2"), fig.node("UD1"))
+        assert view.stats.ops_applied == 2
+
+    def test_wildcard_dispatch_skips_unrelated_edges_but_stays_exact(self, fig):
+        manager = MatchViewManager(fig.graph)
+        view = manager.register(
+            pattern_from_edges(["PM", "*"], [(0, 1)], output=0), name="wild"
+        )
+        # Neither endpoint can sit on a ``PM -> *`` pattern edge, so the
+        # dispatch may skip the op — without drifting from the relation
+        # a fresh recompute yields.
+        fig.graph.remove_edge(fig.node("BA1"), fig.node("UD1"))
+        assert view.stats.ops_skipped == 1
+        reference = maximal_simulation(view.pattern, fig.graph)
+        assert view.simulation().sim == reference.sim
 
 
 class TestLifecycle:

@@ -34,13 +34,16 @@ OPS_PER_SEQUENCE = 10
 def random_op(rng: random.Random, graph: Graph, labels: str = "ABC") -> bool:
     """Apply one random valid mutation to ``graph``; False when stuck."""
     roll = rng.random()
-    if roll < 0.35:  # add_edge
+    if roll < 0.35:  # add_edge (self-loops included — they regress easily)
         live = [v for v in graph.nodes() if graph.is_live(v)]
         for _ in range(40):
             a, b = rng.choice(live), rng.choice(live)
-            if a != b and not graph.has_edge(a, b):
-                graph.add_edge(a, b)
-                return True
+            if graph.has_edge(a, b):
+                continue
+            if a == b and rng.random() >= 0.2:
+                continue
+            graph.add_edge(a, b)
+            return True
         return False
     if roll < 0.70:  # remove_edge
         edges = list(graph.edges())

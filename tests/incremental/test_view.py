@@ -150,6 +150,49 @@ class TestThresholdFallback:
         with pytest.raises(MatchingError):
             view.apply(DeltaOp.add_node("PM"))
 
+    def test_self_loop_edge_removal_cascades_fully(self):
+        # Regression: edge_removed used to test seed membership against
+        # the already-mutated relation.  Removing a self-loop made an
+        # earlier pattern edge's discard mask a later pattern edge's
+        # seed, leaving a phantom pair the propagation loop could never
+        # reach (the deleted edge is gone from the adjacency).
+        from repro.graph.digraph import Graph
+        from repro.patterns.pattern import pattern_from_edges
+
+        g = Graph()
+        a = g.add_node("A")
+        g.add_edge(a, a)
+        pattern = pattern_from_edges(["A", "A", "A"], [(2, 0), (0, 1)], output=2)
+        view = MatchView(pattern, g)
+        assert view.total
+        g.remove_edge(a, a)
+        view.apply(DeltaOp.remove_edge(a, a))
+        oracle = maximal_simulation(pattern, g)
+        assert view.simulation().sim == oracle.sim
+        assert view.matches() == set()
+
+    def test_bare_remove_node_counts_a_real_relation_change_once(self, fig):
+        view = MatchView(fig.pattern, fig.graph)
+        db2 = fig.node("DB2")
+        fig.graph.remove_node(db2)  # view not subscribed: events missed
+        view.apply(DeltaOp.remove_node(db2))
+        assert view.stats.full_recomputes == 1
+        assert view.stats.relation_changes == 1
+
+    def test_missed_events_rebuild_with_identical_relation_not_counted(self, fig):
+        # Regression: the fallback used to mark ``relation_changes += 1``
+        # "conservatively".  A bare remove_node op for a node the graph
+        # still holds triggers the missed-events detector, the rebuild
+        # reproduces the identical relation, and the stats must say so.
+        view = MatchView(fig.pattern, fig.graph)
+        db2 = fig.node("DB2")
+        assert db2 in view.simulation().sim[fig.query_nodes["DB"]]
+        outcome = view.apply(DeltaOp.remove_node(db2))  # graph untouched
+        assert view.stats.full_recomputes == 1
+        assert view.stats.relation_changes == 0
+        assert not outcome.changed
+        assert view.simulation().sim == maximal_simulation(fig.pattern, fig.graph).sim
+
 
 class TestRankingCacheReuse:
     def test_irrelevant_edge_keeps_cached_context(self, fig):

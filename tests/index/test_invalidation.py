@@ -2,11 +2,14 @@
 
 import pytest
 
+from repro.graph import csr
 from repro.graph.digraph import Graph
 from repro.index.descendants import hop_counts, unbounded_counts
 from repro.index.invalidation import (
     attach_index_invalidation,
+    csr_cache_keys,
     descendant_cache_keys,
+    invalidate_csr_snapshots,
     invalidate_descendant_indexes,
 )
 
@@ -83,6 +86,30 @@ class TestTargetedInvalidation:
         new = g.add_node("B")
         g.add_edge(a, new)
         assert hop_counts(g, label_b, depth=1)[a] == 1
+
+    @pytest.mark.skipif(not csr.available(), reason="numpy unavailable")
+    def test_hook_covers_csr_snapshots(self):
+        g, (a, b, c) = chain_graph()
+        detach = attach_index_invalidation(g)
+        snap = g.snapshot()
+        assert csr_cache_keys(g)
+        g.derived["user-cache"] = "survives"
+        g.remove_edge(b, c)
+        assert csr_cache_keys(g) == []
+        assert g.derived["user-cache"] == "survives"
+        fresh = g.snapshot()
+        assert fresh is not snap
+        assert fresh.num_edges == g.num_edges
+        detach()
+
+    @pytest.mark.skipif(not csr.available(), reason="numpy unavailable")
+    def test_targeted_csr_drop_on_demand(self):
+        g, _ = chain_graph()
+        g.snapshot()
+        g.derived["user-cache"] = "kept"
+        assert invalidate_csr_snapshots(g) == 1
+        assert csr_cache_keys(g) == []
+        assert g.derived["user-cache"] == "kept"
 
     def test_detach_restores_blanket_clearing(self):
         g, (a, b, c) = chain_graph()

@@ -54,3 +54,49 @@ class TestGreedySelection:
         engine = TopKEngine(fig1.pattern, fig1.graph, 2, policy=RelevancePolicy())
         scores = GreedySelection._owner_scores(engine)
         assert len(scores) == engine.stats.pairs_created
+
+    def test_owner_scores_record_zero_bound_pairs(self):
+        # Regression: ``if best:`` treated a legitimate 0.0 as falsy, so
+        # pairs reachable only from zero-bound owners were never stored
+        # by the sweep and the trailing setdefault masked the drop.  An
+        # output candidate whose reachable region has no matches gets
+        # ``v.h = 0``; its score — and its children's — must still be
+        # explicitly recorded, on both the dict and the CSR sweep.
+        from repro.graph.digraph import Graph
+        from repro.patterns.pattern import pattern_from_edges
+
+        g = Graph()
+        a1 = g.add_node("A")
+        a2 = g.add_node("A")
+        b = g.add_node("B")
+        g.add_edge(a1, b)
+        g.add_edge(a2, b)
+        # A leaf output node reaches no other query node, so every output
+        # candidate carries the zero bound ``C_u = 0``.
+        zero_bound = pattern_from_edges(["A"], [], output=0)
+        for use_csr in (False, True):
+            engine = TopKEngine(
+                zero_bound, g, 1, policy=RelevancePolicy(),
+                strategy=GreedySelection(), use_csr=use_csr,
+            )
+            scores = GreedySelection._owner_scores(engine)
+            # Every pair carries an explicit entry, zero-bound included,
+            # and the seed order falls back to the pid tie-break.
+            assert len(scores) == engine.stats.pairs_created
+            assert scores[engine.output_pid(a1)] == 0.0
+            assert scores[engine.output_pid(a2)] == 0.0
+            assert engine._seeds == sorted(engine._seeds)
+            result = engine.run()
+            assert result.matches == [a1]
+
+    def test_dict_and_csr_sweeps_agree(self, fig1):
+        dict_engine = TopKEngine(
+            fig1.pattern, fig1.graph, 2, policy=RelevancePolicy(), use_csr=False
+        )
+        csr_engine = TopKEngine(
+            fig1.pattern, fig1.graph, 2, policy=RelevancePolicy(), use_csr=True
+        )
+        assert GreedySelection._owner_scores(dict_engine) == GreedySelection._owner_scores(
+            csr_engine
+        )
+        assert dict_engine._seeds == csr_engine._seeds
