@@ -1,0 +1,230 @@
+"""Incremental SCC group machinery vs the rescan reference, head to head.
+
+PR 2's CSR snapshot made the raw simulation kernel ~3x faster, but the
+end-to-end *cyclic* engine barely moved: its profile is dominated by the
+nontrivial-SCC group machinery — scratch Tarjan over all confirmed pairs
+on every merge round, and full child-fan-out rescans on every resolve
+event.  This benchmark measures the replacement (frontier-driven cycle
+collapse over a compiled pair-CSR, counter-gated group settlement) on
+the two cyclic workloads of the paper's Figure 5:
+
+``fig5d``
+    YouTube surrogate, cyclic pattern shapes — the engine-time figure.
+
+``fig5h``
+    Synthetic cyclic graphs over a |G| scale sweep — the cyclic
+    scalability figure.
+
+Three arms per workload, differing only in engine toggles:
+
+* ``dict``        — ``use_csr=False``: the dict reference path with the
+  rescan SCC machinery (the pre-PR oracle);
+* ``rescan``      — ``use_csr=True, scc_incremental=False``: CSR fast
+  path, rescan SCC machinery (PR 2's end state);
+* ``incremental`` — ``use_csr=True, scc_incremental=True``: the new
+  machinery (the default).
+
+All three arms are asserted to return identical results before anything
+is timed.  Timings take the minimum over ``--rounds`` repetitions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scc_engine.py
+    PYTHONPATH=src python benchmarks/bench_scc_engine.py --json BENCH_scc.json
+    PYTHONPATH=src python benchmarks/bench_scc_engine.py --smoke
+
+``--smoke`` runs a reduced-scale pass and exits non-zero when the
+incremental path is slower than the rescan path (the CI guard), or when
+any arm diverges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.workloads import BENCH_SCALE, bench_graph, bench_pattern
+from repro.graph import csr
+from repro.topk.cyclic import top_k
+
+#: The cyclic Figure 5 workloads this PR's tentpole targets.  ``shapes``
+#: sweeps pattern size at fixed |G| (fig5d); ``factors`` sweeps |G| at a
+#: fixed pattern shape (fig5h).
+WORKLOADS = {
+    "fig5d": {"dataset": "youtube", "shapes": [(4, 8), (6, 12)], "factors": None},
+    "fig5h": {"dataset": "synthetic-cyclic", "shapes": [(4, 8)],
+              "factors": [1.0, 1.8, 2.6]},
+}
+
+ARMS = {
+    "dict": {"use_csr": False},
+    "rescan": {"use_csr": True, "scc_incremental": False},
+    "incremental": {"use_csr": True, "scc_incremental": True},
+}
+
+
+def _best_of(fn, rounds: int) -> float:
+    timings = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def _run_case(dataset, shape, factor, k, rounds):
+    graph = bench_graph(dataset, factor)
+    pattern = bench_pattern(dataset, shape[0], shape[1], True, 0, factor)
+    graph.snapshot()  # compiled once up front, as in production use
+
+    runs = {
+        arm: top_k(pattern, graph, k, **toggles) for arm, toggles in ARMS.items()
+    }
+    reference = runs["dict"]
+    mismatches = sum(
+        1
+        for arm, result in runs.items()
+        if arm != "dict"
+        and (result.matches != reference.matches or result.scores != reference.scores)
+    )
+    seconds = {
+        arm: round(_best_of(lambda t=toggles: top_k(pattern, graph, k, **t), rounds), 5)
+        for arm, toggles in ARMS.items()
+    }
+    return {
+        "shape": list(shape),
+        "scale_factor": round(factor, 4),
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
+        "engine_seconds": seconds,
+        "speedup_vs_dict": (
+            round(seconds["dict"] / seconds["incremental"], 2)
+            if seconds["incremental"]
+            else None
+        ),
+        "speedup_vs_rescan": (
+            round(seconds["rescan"] / seconds["incremental"], 2)
+            if seconds["incremental"]
+            else None
+        ),
+        "mismatches": mismatches,
+    }
+
+
+def run(k: int = 10, rounds: int = 5, scale_factor: float | None = None) -> dict:
+    """Run every workload; returns the result dict (see BENCH_scc.json)."""
+    if scale_factor is None:
+        # Undo the pytest-suite downscale: benchmark at the full
+        # surrogate sizes of EXPERIMENTS.md (~6k nodes).
+        scale_factor = 1.0 / BENCH_SCALE
+    workloads = {}
+    for figure, spec in WORKLOADS.items():
+        cases = []
+        if spec["factors"] is None:
+            for shape in spec["shapes"]:
+                cases.append(
+                    _run_case(spec["dataset"], shape, scale_factor, k, rounds)
+                )
+        else:
+            for factor in spec["factors"]:
+                cases.append(
+                    _run_case(
+                        spec["dataset"], spec["shapes"][0],
+                        factor * scale_factor, k, rounds,
+                    )
+                )
+        totals = {
+            arm: sum(case["engine_seconds"][arm] for case in cases) for arm in ARMS
+        }
+        workloads[figure] = {
+            "dataset": spec["dataset"],
+            "cases": cases,
+            # The headline number: end-to-end cyclic engine time against
+            # the dict reference path, aggregated over the figure.
+            "engine_speedup": (
+                round(totals["dict"] / totals["incremental"], 2)
+                if totals["incremental"]
+                else None
+            ),
+            # Incremental machinery vs rescan machinery on the same CSR
+            # substrate — the isolated contribution of this PR.
+            "incremental_speedup": (
+                round(totals["rescan"] / totals["incremental"], 2)
+                if totals["incremental"]
+                else None
+            ),
+            "mismatches": sum(case["mismatches"] for case in cases),
+        }
+    return {
+        "benchmark": "scc-incremental-vs-rescan",
+        "config": {
+            "k": k,
+            "rounds": rounds,
+            "scale_factor": round(scale_factor, 4),
+            "bench_scale": BENCH_SCALE,
+        },
+        "workloads": workloads,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--scale-factor", type=float, default=None,
+                        help="workload scale multiplier (default: full surrogate size)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced-scale pass; fail when the incremental "
+                             "path is slower than the rescan path")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the result dict as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    if not csr.available():
+        print("numpy unavailable: CSR fast path cannot run")
+        return 1
+
+    scale_factor = args.scale_factor
+    rounds = args.rounds
+    if args.smoke and scale_factor is None:
+        scale_factor = 1.0  # pytest-suite scale: seconds, not minutes
+        rounds = min(rounds, 3)
+
+    result = run(k=args.k, rounds=rounds, scale_factor=scale_factor)
+
+    failures = 0
+    for figure, record in result["workloads"].items():
+        print(
+            f"{figure} ({record['dataset']}): "
+            f"engine {record['engine_speedup']}x vs dict, "
+            f"{record['incremental_speedup']}x vs rescan, "
+            f"mismatches {record['mismatches']}"
+        )
+        for case in record["cases"]:
+            sec = case["engine_seconds"]
+            print(
+                f"  {tuple(case['shape'])} @x{case['scale_factor']}: "
+                f"dict {sec['dict'] * 1000:8.1f}ms  "
+                f"rescan {sec['rescan'] * 1000:8.1f}ms  "
+                f"incremental {sec['incremental'] * 1000:8.1f}ms "
+                f"({case['speedup_vs_dict']}x / {case['speedup_vs_rescan']}x)"
+            )
+        if record["mismatches"]:
+            failures += 1
+        if args.smoke and (
+            record["incremental_speedup"] is None
+            or record["incremental_speedup"] < 1.0
+        ):
+            print(f"  SMOKE FAILURE: incremental slower than rescan on {figure}")
+            failures += 1
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

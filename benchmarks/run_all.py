@@ -4,13 +4,18 @@ Usage::
 
     python benchmarks/run_all.py            # bench-scale sweeps (~minutes)
     REPRO_BENCH_SCALE=1.0 python benchmarks/run_all.py   # full surrogates
+    python benchmarks/run_all.py --profile  # + cProfile hotspot table
 
 The output is what EXPERIMENTS.md records: per figure, the swept
 parameter, the series the paper plots, and the reproduced values.
+``--profile`` wraps the sweep in cProfile and prints the top functions
+by cumulative time, so hotspot claims ("the cyclic engine is dominated
+by the SCC group machinery") are reproducible in one command.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.bench.harness import exact_objective, run_algorithm
@@ -113,7 +118,7 @@ def figure_4() -> None:
     print(format_table(["pattern", "|Mu|", "top-2 relevant", "top-2 diversified"], rows))
 
 
-def main() -> int:
+def run_sweeps() -> int:
     print(f"# Evaluation sweep at REPRO_BENCH_SCALE={BENCH_SCALE}")
     cyc_shapes = [(4, 8), (5, 10), (6, 12)]
     dag_shapes = [(4, 6), (6, 9), (8, 12)]
@@ -144,6 +149,37 @@ def main() -> int:
           lams=[0.0, 0.25, 0.5, 0.75, 1.0])
     figure_4()
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the sweep under cProfile and print the hottest functions",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="how many rows of the cumulative-time table to print (default 25)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.profile:
+        return run_sweeps()
+
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    status = run_sweeps()
+    profiler.disable()
+    print("\n## cProfile: top functions by cumulative time\n")
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.profile_top)
+    return status
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ def top_k_diversified_heuristic(
     candidates: CandidateSets | None = None,
     presimulate: bool = True,
     use_csr: bool | None = None,
+    scc_incremental: bool | None = None,
 ) -> TopKResult:
     """Run the early-terminating diversified heuristic.
 
@@ -49,6 +50,8 @@ def top_k_diversified_heuristic(
     ``TopKDAGDH`` on DAG patterns, ``TopKDH`` otherwise.  ``use_csr``
     toggles the engine's CSR fast path; it defaults to following
     ``optimized``, so ``optimized=False`` is the dict reference path.
+    ``scc_incremental`` toggles the cyclic engine's incremental SCC
+    group machinery and defaults to following the CSR toggle.
     """
     obj = objective if objective is not None else DiversificationObjective(lam=lam, k=k)
     if obj.k != k:
@@ -68,6 +71,7 @@ def top_k_diversified_heuristic(
         algorithm_name=name,
         presimulate=presimulate,
         use_csr=optimized if use_csr is None else use_csr,
+        scc_incremental=scc_incremental,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

@@ -307,6 +307,108 @@ class CSRSnapshot:
         )
 
 
+class ComponentPairCSR:
+    """Flat-array layout of one pattern component's *pair graph*.
+
+    The cyclic engine's nontrivial-SCC machinery works over candidate
+    pairs ``(u, v)`` connected by in-component pattern edges.  That pair
+    graph is fixed for the lifetime of an engine run (candidates never
+    grow), so it is compiled once into CSR-style parallel lists instead
+    of being rediscovered through per-pair adjacency probes on every
+    fixpoint, merge or resolve pass:
+
+    * ``out_offsets[i] : out_offsets[i + 1]`` slices ``out_targets`` /
+      ``out_eidx`` — the in-component child pairs of the ``i``-th pair,
+      as *global* pair ids, annotated with the pattern-edge slot they
+      arrive through (the parent's local out-edge index);
+    * ``in_offsets`` / ``in_sources`` / ``in_eidx`` are the reverse
+      view: parent pairs annotated with the parent's edge slot.
+
+    Plain Python int lists, not numpy arrays: every consumer is a
+    scalar worklist loop, and list indexing beats ndarray scalar reads
+    in the interpreter.  Build through :func:`build_component_pair_csr`.
+    """
+
+    __slots__ = (
+        "pids",
+        "local_of",
+        "num_edges",
+        "out_offsets",
+        "out_targets",
+        "out_eidx",
+        "in_offsets",
+        "in_sources",
+        "in_eidx",
+    )
+
+    def __init__(self) -> None:
+        self.pids: list[int] = []
+        self.local_of: dict[int, int] = {}
+        self.num_edges = 0
+
+
+def build_component_pair_csr(
+    pids: Sequence[int],
+    pair_u: Sequence[int],
+    pair_v: Sequence[int],
+    comp_edges: dict,
+    successors_of,
+    child_pid_of,
+) -> ComponentPairCSR:
+    """Compile one nontrivial component's pair graph into flat arrays.
+
+    ``pids``
+        The component's pair ids (dead pairs included — consumers filter
+        by live status, so the layout survives every state transition).
+    ``pair_u`` / ``pair_v``
+        Global pair id → query node / data node.
+    ``comp_edges``
+        Query node ``u`` → ``[(edge_local_idx, u_child), ...]`` for the
+        *in-component* pattern edges of ``u`` only.
+    ``successors_of``
+        Data node → iterable of data successors (a snapshot adjacency
+        slice or the mutable graph's view).
+    ``child_pid_of``
+        ``(u_child, v_child)`` → global pair id, or a negative value
+        when ``v_child`` is not a candidate of ``u_child``.
+    """
+    pcsr = ComponentPairCSR()
+    pcsr.pids = list(pids)
+    local_of = {pid: i for i, pid in enumerate(pcsr.pids)}
+    pcsr.local_of = local_of
+
+    n = len(pcsr.pids)
+    out_lists: list[list[int]] = [[] for _ in range(n)]
+    out_eidx_lists: list[list[int]] = [[] for _ in range(n)]
+    in_lists: list[list[int]] = [[] for _ in range(n)]
+    in_eidx_lists: list[list[int]] = [[] for _ in range(n)]
+    for i, pid in enumerate(pcsr.pids):
+        u, v = pair_u[pid], pair_v[pid]
+        for local_idx, u_child in comp_edges.get(u, ()):
+            for v_child in successors_of(v):
+                q = child_pid_of(u_child, v_child)
+                if q >= 0:
+                    out_lists[i].append(q)
+                    out_eidx_lists[i].append(local_idx)
+                    j = local_of[q]
+                    in_lists[j].append(pid)
+                    in_eidx_lists[j].append(local_idx)
+
+    out_offsets = [0] * (n + 1)
+    in_offsets = [0] * (n + 1)
+    for i in range(n):
+        out_offsets[i + 1] = out_offsets[i] + len(out_lists[i])
+        in_offsets[i + 1] = in_offsets[i] + len(in_lists[i])
+    pcsr.out_offsets = out_offsets
+    pcsr.in_offsets = in_offsets
+    pcsr.out_targets = [q for lst in out_lists for q in lst]
+    pcsr.out_eidx = [e for lst in out_eidx_lists for e in lst]
+    pcsr.in_sources = [p for lst in in_lists for p in lst]
+    pcsr.in_eidx = [e for lst in in_eidx_lists for e in lst]
+    pcsr.num_edges = len(pcsr.out_targets)
+    return pcsr
+
+
 def snapshot_of(graph: "Graph") -> CSRSnapshot:
     """The cached snapshot of ``graph``, building it on first use.
 

@@ -38,13 +38,18 @@ def top_k(
     presimulate: bool = True,
     output_node: int | None = None,
     use_csr: bool | None = None,
+    scc_incremental: bool | None = None,
 ) -> TopKResult:
     """Find top-k matches of the output node of any pattern.
 
     ``optimized=False`` gives the paper's ``TopKnopt`` (random seed
     selection); ``use_csr`` toggles the engine's CSR fast path and
     defaults to following ``optimized``, so ``optimized=False`` is the
-    full dict-of-sets reference algorithm.
+    full dict-of-sets reference algorithm.  ``scc_incremental`` toggles
+    the incremental nontrivial-SCC group machinery (frontier-driven
+    cycle collapse, counter-gated settlement) independently; it defaults
+    to following the CSR toggle, keeping the dict path the rescan
+    reference oracle.
     """
     strategy = GreedySelection() if optimized else RandomSelection(seed)
     name = "TopK" if optimized else "TopKnopt"
@@ -63,6 +68,7 @@ def top_k(
         presimulate=presimulate,
         output_node=output_node,
         use_csr=optimized if use_csr is None else use_csr,
+        scc_incremental=scc_incremental,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

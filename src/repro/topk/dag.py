@@ -39,12 +39,16 @@ def top_k_dag(
     presimulate: bool = True,
     output_node: int | None = None,
     use_csr: bool | None = None,
+    scc_incremental: bool | None = None,
 ) -> TopKResult:
     """Find top-k matches of the output node of a DAG pattern.
 
     ``use_csr`` toggles the engine's CSR fast path independently of the
     seed-selection strategy; it defaults to following ``optimized``, so
     ``optimized=False`` is the full dict-of-sets reference algorithm.
+    ``scc_incremental`` is accepted for engine-API symmetry with
+    :func:`repro.topk.cyclic.top_k`; with every SCC of a DAG pattern
+    trivial, the machinery it selects never runs.
 
     Raises :class:`MatchingError` when the pattern is cyclic — use
     :func:`repro.topk.cyclic.top_k` there (it subsumes this algorithm but
@@ -69,6 +73,7 @@ def top_k_dag(
         presimulate=presimulate,
         output_node=output_node,
         use_csr=optimized if use_csr is None else use_csr,
+        scc_incremental=scc_incremental,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

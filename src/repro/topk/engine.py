@@ -52,6 +52,7 @@ from collections import deque
 
 from repro.errors import MatchingError
 from repro.graph import csr
+from repro.graph.algorithms import strongly_connected_components
 from repro.graph.digraph import Graph
 from repro.index.label_index import BoundIndex, SimBoundIndex
 from repro.patterns.pattern import Pattern
@@ -92,6 +93,7 @@ class TopKEngine:
         presimulate: bool = True,
         output_node: int | None = None,
         use_csr: bool | None = None,
+        scc_incremental: bool | None = None,
     ) -> None:
         if k < 1:
             raise MatchingError(f"k must be positive; got {k}")
@@ -115,6 +117,14 @@ class TopKEngine:
             graph.snapshot() if use_csr is not False and csr.available() else None
         )
         self.use_csr = self._snapshot is not None
+        # Incremental SCC group machinery (nontrivial components only):
+        # frontier-driven cycle collapse plus counter-gated group
+        # settlement over a compiled pair-CSR.  Defaults to following
+        # the CSR toggle so the dict path stays the rescan reference
+        # oracle; either combination can be forced for testing.
+        self.scc_incremental = (
+            self.use_csr if scc_incremental is None else bool(scc_incremental)
+        )
         self.candidates = (
             candidates
             if candidates is not None
@@ -242,6 +252,16 @@ class TopKEngine:
         self._g_parents: list[set[int]] = []
         self._g_members: list[list[int]] = []
         self._g_final: set[int] = set()
+        # Incremental machinery per group: the condensed in-component
+        # pair graph (edges between group roots, stale aliases resolved
+        # through ``_find`` at read time) and the settlement counters —
+        # external child matches not yet final, and in-component child
+        # slots still PENDING.  A group is a finalisation candidate once
+        # both counters are zero.
+        self._g_comp_out: list[set[int]] = []
+        self._g_comp_in: list[set[int]] = []
+        self._g_ext_pending: list[int] = []
+        self._g_unresolved: list[int] = []
 
         # Upper bounds are only consulted for candidates of the output node.
         self._h_init: dict[int, int] = {}
@@ -270,6 +290,15 @@ class TopKEngine:
         # trigger the group-finalisation resolve pass.
         self._comp_resolve_events = [0] * num_comps
         self._comp_resolved = [-1] * num_comps
+        # Incremental machinery per component: the compiled pair-CSR
+        # (built lazily on first fixpoint touch), the pairs confirmed
+        # since the last cycle-collapse pass, and the group roots whose
+        # settlement counters cleared since the last resolve pass.
+        self._pair_csr_cache: dict[int, csr.ComponentPairCSR] = {}
+        self._comp_frontier: list[list[int]] = [[] for _ in range(num_comps)]
+        self._comp_resolve_candidates: list[set[int]] = [
+            set() for _ in range(num_comps)
+        ]
 
         # Work queues.
         self._confirm_queue: deque[int] = deque()
@@ -447,6 +476,46 @@ class TopKEngine:
         pid_map = self._pid_of[u]
         return [pid for w in nodes if (pid := pid_map.get(w)) is not None]
 
+    def _pair_csr(self, comp: int) -> csr.ComponentPairCSR:
+        """The component's compiled pair graph, built on first use.
+
+        Candidates are fixed for the engine's lifetime, so the pair
+        graph is compiled exactly once per component; dead pairs are
+        included and filtered by status at read time.
+        """
+        pcsr = self._pair_csr_cache.get(comp)
+        if pcsr is None:
+            comp_edges: dict[int, list[tuple[int, int]]] = {}
+            for u in self.pattern.nodes():
+                if self._comp_of_node[u] != comp:
+                    continue
+                external_flags = self._edge_external[u]
+                comp_edges[u] = [
+                    (local_idx, u_child)
+                    for local_idx, u_child in enumerate(self._out_edges[u])
+                    if not external_flags[local_idx]
+                ]
+            pid_arr = self._pid_arr
+            if pid_arr is not None:
+                def child_pid_of(u_child: int, v_child: int) -> int:
+                    return pid_arr[u_child][v_child]
+            else:
+                pid_maps = self._pid_of
+
+                def child_pid_of(u_child: int, v_child: int) -> int:
+                    return pid_maps[u_child].get(v_child, -1)
+
+            pcsr = csr.build_component_pair_csr(
+                self._comp_pairs[comp],
+                self._pair_u,
+                self._pair_v,
+                comp_edges,
+                self._succs,
+                child_pid_of,
+            )
+            self._pair_csr_cache[comp] = pcsr
+        return pcsr
+
     # ------------------------------------------------------------------
     # relevant-set groups
     # ------------------------------------------------------------------
@@ -465,6 +534,10 @@ class TopKEngine:
         self._g_set.append(set())
         self._g_parents.append(set())
         self._g_members.append([pid])
+        self._g_comp_out.append(set())
+        self._g_comp_in.append(set())
+        self._g_ext_pending.append(0)
+        self._g_unresolved.append(0)
         self._group_of[pid] = gid
         return gid
 
@@ -677,6 +750,8 @@ class TopKEngine:
         if comp in self._nontrivial:
             self._comp_confirmed[comp] += 1
             self._comp_pending_act[comp].discard(pid)
+            if self.scc_incremental and not self._comp_finalized[comp]:
+                self._scc_on_confirm(comp, pid, gid)
 
         # Notify parents: edge counters, activation, and deltas.
         contribution: set[int] = {v} | rset
@@ -755,14 +830,77 @@ class TopKEngine:
         merged = False
         if self._comp_merged[comp] != self._comp_confirmed[comp]:
             self._comp_merged[comp] = self._comp_confirmed[comp]
-            self._merge_comp_groups(comp)
+            if self.scc_incremental:
+                self._merge_comp_groups_inc(comp)
+            else:
+                self._merge_comp_groups(comp)
             merged = True
-        if merged or self._comp_resolved[comp] != self._comp_resolve_events[comp]:
+        if self.scc_incremental:
+            # Gated on the candidate set alone; the rescan path's event
+            # counters (``_comp_resolved``) play no role here.
+            if self._comp_resolve_candidates[comp]:
+                self._resolve_comp_groups_inc(comp)
+        elif merged or self._comp_resolved[comp] != self._comp_resolve_events[comp]:
             self._comp_resolved[comp] = self._comp_resolve_events[comp]
             self._resolve_comp_groups(comp)
 
     def _scan_comp(self, comp: int, pending: set[int]) -> list[int]:
         """One greatest-fixpoint pass over the pending-activated pairs."""
+        if self.scc_incremental:
+            return self._scan_comp_csr(comp, pending)
+        return self._scan_comp_ref(comp, pending)
+
+    def _scan_comp_csr(self, comp: int, pending: set[int]) -> list[int]:
+        """The fixpoint pass over the compiled pair-CSR.
+
+        Same greatest-supported-subset semantics as the reference scan,
+        but in-component child/parent pairs come from the precompiled
+        flat arrays instead of per-pair adjacency probes.
+        """
+        pcsr = self._pair_csr(comp)
+        status = self._status
+        local_of = pcsr.local_of
+        out_off, out_t, out_e = pcsr.out_offsets, pcsr.out_targets, pcsr.out_eidx
+        in_off, in_s, in_e = pcsr.in_offsets, pcsr.in_sources, pcsr.in_eidx
+        support: dict[int, list[int]] = {}
+        removal: deque[int] = deque()
+        for pid in pending:
+            u = self._pair_u[pid]
+            # External slots start at -1 (checked via unsat); in-SCC
+            # slots count confirmed-or-pending children from zero.
+            counts = [-1 if flag else 0 for flag in self._edge_external[u]]
+            local = local_of[pid]
+            for i in range(out_off[local], out_off[local + 1]):
+                q = out_t[i]
+                if status[q] == CONFIRMED or q in pending:
+                    counts[out_e[i]] += 1
+            support[pid] = counts
+            if 0 in counts:
+                removal.append(pid)
+
+        removed: set[int] = set()
+        while removal:
+            pid = removal.popleft()
+            if pid in removed:
+                continue
+            removed.add(pid)
+            local = local_of[pid]
+            for i in range(in_off[local], in_off[local + 1]):
+                pp = in_s[i]
+                if pp in removed:
+                    continue
+                counts = support.get(pp)
+                if counts is None:
+                    continue
+                eidx = in_e[i]
+                counts[eidx] -= 1
+                if counts[eidx] == 0:
+                    removal.append(pp)
+
+        return [pid for pid in pending if pid not in removed]
+
+    def _scan_comp_ref(self, comp: int, pending: set[int]) -> list[int]:
+        """Reference fixpoint pass (per-pair adjacency probes)."""
         status = self._status
         support: dict[int, list[int]] = {}
         removal: deque[int] = deque()
@@ -815,6 +953,11 @@ class TopKEngine:
 
         Pairs on a common pair-cycle share one relevant set (and each
         contains every member's data node — Example 8's self-inclusion).
+        This is the rescan reference: it rebuilds the confirmed-pair
+        adjacency and reruns Tarjan over *all* confirmed members every
+        round.  The collapse body itself is :meth:`_merge_groups`,
+        shared with the incremental path (its counter and condensed-edge
+        maintenance no-ops here, over zero counters and empty sets).
         """
         members = [p for p in self._comp_pairs[comp] if self._status[p] == CONFIRMED]
         if len(members) < 2:
@@ -834,46 +977,286 @@ class TopKEngine:
                     if q in index_of:
                         adjacency[local].append(index_of[q])
 
-        from repro.graph.algorithms import strongly_connected_components
-
         sccs = strongly_connected_components(len(members), lambda i: adjacency[i])
         for scc in sccs:
             if len(scc) == 1 and scc[0] not in adjacency[scc[0]]:
                 continue
-            pids = [members[i] for i in scc]
-            gids = {self._find(self._group_of[p]) for p in pids}
-            data_nodes = {self._pair_v[p] for p in pids}
-            target = min(gids)
-            if len(gids) > 1:
-                merged_set = self._g_set[target]
-                merged_parents = self._g_parents[target]
-                merged_members = self._g_members[target]
-                for gid in gids:
-                    if gid == target:
-                        continue
-                    merged_set |= self._g_set[gid]
-                    merged_parents |= self._g_parents[gid]
-                    merged_members.extend(self._g_members[gid])
-                    self._g_alias[gid] = target
-                    self._g_set[gid] = set()
-                    self._g_parents[gid] = set()
-                    self._g_members[gid] = []
-                merged_parents.discard(target)
-                merged_parents.difference_update(gids)
-            # Cycle members reach themselves: include every member's node.
-            target_set = self._g_set[target]
-            missing = data_nodes - target_set
-            if len(gids) > 1:
-                # Each old group's parents never saw the other groups'
-                # elements — deliver the full merged set to every parent
-                # and let apply_delta subtract what they already know.
-                target_set |= data_nodes
-                snapshot = frozenset(target_set)
-                for parent in list(self._g_parents[target]):
-                    if self._find(parent) != target:
-                        self._delta_queue.append((parent, snapshot))
-            elif missing:
-                self._delta_queue.append((target, frozenset(missing)))
+            gids = {self._find(self._group_of[members[i]]) for i in scc}
+            self._merge_groups(comp, gids)
+
+    # ------------------------------------------------------------------
+    # incremental SCC group machinery (frontier merge, counter resolve)
+    # ------------------------------------------------------------------
+    def _scc_on_confirm(self, comp: int, pid: int, gid: int) -> None:
+        """Incremental bookkeeping for a comp pair entering CONFIRMED.
+
+        Seeds the fresh singleton group's settlement counters, queues
+        the pair on the component's merge frontier, and releases the
+        unresolved-child gate this pair held on its already-confirmed
+        in-component parents.
+        """
+        self._comp_frontier[comp].append(pid)
+        pcsr = self._pair_csr(comp)
+        status = self._status
+        local = pcsr.local_of[pid]
+        out_t = pcsr.out_targets
+        unresolved = 0
+        for i in range(pcsr.out_offsets[local], pcsr.out_offsets[local + 1]):
+            if status[out_t[i]] == PENDING:
+                unresolved += 1
+        self._g_ext_pending[gid] = self._pending[pid]
+        self._g_unresolved[gid] = unresolved
+        if unresolved == 0 and self._pending[pid] == 0:
+            self._comp_resolve_candidates[comp].add(gid)
+        self._scc_child_resolved(comp, pid, pcsr)
+
+    def _scc_child_resolved(
+        self, comp: int, pid: int, pcsr: csr.ComponentPairCSR | None = None
+    ) -> None:
+        """A comp pair left PENDING: drop parents' unresolved-child gates.
+
+        Confirmed in-component parents counted ``pid`` while it was
+        PENDING (parents confirming *after* this transition never count
+        it); a data self-loop is skipped for the same reason — the pair
+        is already non-PENDING when its own counter is seeded.
+        """
+        if pcsr is None:
+            pcsr = self._pair_csr(comp)
+        status = self._status
+        candidates = self._comp_resolve_candidates[comp]
+        local = pcsr.local_of[pid]
+        in_s = pcsr.in_sources
+        for i in range(pcsr.in_offsets[local], pcsr.in_offsets[local + 1]):
+            pp = in_s[i]
+            if pp != pid and status[pp] == CONFIRMED:
+                root = self._find(self._group_of[pp])
+                self._g_unresolved[root] -= 1
+                if self._g_unresolved[root] == 0 and self._g_ext_pending[root] == 0:
+                    candidates.add(root)
+
+    def _merge_comp_groups_inc(self, comp: int) -> None:
+        """Frontier-driven cycle collapse over the condensed group graph.
+
+        A pair-edge becomes *active* exactly when its later endpoint
+        confirms, so every edge activated since the last pass is
+        incident to a frontier pair — and any new pair-cycle passes
+        through a frontier group and lies entirely inside the condensed
+        subgraph reachable from the frontier.  Tarjan therefore runs
+        over group roots reachable from the frontier (final groups are
+        merge-stable and pruned) instead of rebuilding adjacency over
+        all confirmed members every round.
+        """
+        frontier = self._comp_frontier[comp]
+        if not frontier:
+            return
+        self._comp_frontier[comp] = []
+        pcsr = self._pair_csr(comp)
+        status = self._status
+        find = self._find
+        group_of = self._group_of
+        g_out, g_in = self._g_comp_out, self._g_comp_in
+        local_of = pcsr.local_of
+        out_off, out_t = pcsr.out_offsets, pcsr.out_targets
+        in_off, in_s = pcsr.in_offsets, pcsr.in_sources
+        starts: list[int] = []
+        for pid in frontier:
+            g = find(group_of[pid])
+            starts.append(g)
+            out_set = g_out[g]
+            local = local_of[pid]
+            for i in range(out_off[local], out_off[local + 1]):
+                q = out_t[i]
+                if status[q] == CONFIRMED:
+                    gq = find(group_of[q])
+                    out_set.add(gq)
+                    if gq != g:
+                        g_in[gq].add(g)
+            in_set = g_in[g]
+            for i in range(in_off[local], in_off[local + 1]):
+                pp = in_s[i]
+                if pp != pid and status[pp] == CONFIRMED:
+                    gp = find(group_of[pp])
+                    g_out[gp].add(g)
+                    in_set.add(gp)
+        for scc in self._condensed_sccs(starts):
+            if len(scc) == 1:
+                g = scc[0]
+                if g not in {find(x) for x in g_out[g]}:
+                    continue
+            self._merge_groups(comp, set(scc))
+
+    def _condensed_sccs(self, starts: list[int]) -> list[list[int]]:
+        """Tarjan over group roots reachable from ``starts``.
+
+        Successors are the condensed out-edge sets resolved through the
+        union-find at visit time (compacting them in place); final
+        groups are pruned — they are merge-stable, so no new cycle can
+        pass through them.
+        """
+        find = self._find
+        g_out = self._g_comp_out
+        g_final = self._g_final
+        index_of: dict[int, int] = {}
+        lowlink: dict[int, int] = {}
+        on_stack: set[int] = set()
+        stack: list[int] = []
+        sccs: list[list[int]] = []
+        succ_of: dict[int, list[int]] = {}
+        counter = 0
+
+        for start in starts:
+            root = find(start)
+            if root in index_of or root in g_final:
+                continue
+            work: list[tuple[int, int]] = [(root, 0)]
+            while work:
+                node, child_pos = work.pop()
+                if child_pos == 0:
+                    index_of[node] = counter
+                    lowlink[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                adjacency = succ_of.get(node)
+                if adjacency is None:
+                    resolved = {find(x) for x in g_out[node]}
+                    g_out[node] = resolved
+                    adjacency = [g for g in resolved if g not in g_final]
+                    succ_of[node] = adjacency
+                advanced = False
+                for pos in range(child_pos, len(adjacency)):
+                    child = adjacency[pos]
+                    if child not in index_of:
+                        work.append((node, pos + 1))
+                        work.append((child, 0))
+                        advanced = True
+                        break
+                    if child in on_stack and index_of[child] < lowlink[node]:
+                        lowlink[node] = index_of[child]
+                if not advanced:
+                    if lowlink[node] == index_of[node]:
+                        members: list[int] = []
+                        while True:
+                            w = stack.pop()
+                            on_stack.discard(w)
+                            members.append(w)
+                            if w == node:
+                                break
+                        sccs.append(members)
+                    if work:
+                        parent = work[-1][0]
+                        if lowlink[node] < lowlink[parent]:
+                            lowlink[parent] = lowlink[node]
+        return sccs
+
+    def _merge_groups(self, comp: int, gids: set[int]) -> None:
+        """Collapse the group roots ``gids`` into one shared relevant set.
+
+        The per-SCC merge body shared by both machineries: same target
+        choice and delta delivery either way; the counter and
+        condensed-edge maintenance only has effect on the incremental
+        path (the rescan path never populates either).
+        """
+        find = self._find
+        target = min(gids)
+        if len(gids) > 1:
+            merged_set = self._g_set[target]
+            merged_parents = self._g_parents[target]
+            merged_members = self._g_members[target]
+            merged_out = self._g_comp_out[target]
+            merged_in = self._g_comp_in[target]
+            ext_pending = self._g_ext_pending[target]
+            unresolved = self._g_unresolved[target]
+            for gid in gids:
+                if gid == target:
+                    continue
+                merged_set |= self._g_set[gid]
+                merged_parents |= self._g_parents[gid]
+                merged_members.extend(self._g_members[gid])
+                merged_out |= self._g_comp_out[gid]
+                merged_in |= self._g_comp_in[gid]
+                ext_pending += self._g_ext_pending[gid]
+                unresolved += self._g_unresolved[gid]
+                self._g_alias[gid] = target
+                self._g_set[gid] = set()
+                self._g_parents[gid] = set()
+                self._g_members[gid] = []
+                self._g_comp_out[gid] = set()
+                self._g_comp_in[gid] = set()
+                self._g_ext_pending[gid] = 0
+                self._g_unresolved[gid] = 0
+            self._g_ext_pending[target] = ext_pending
+            self._g_unresolved[target] = unresolved
+            self._g_parents[target] = {
+                p for p in (find(x) for x in merged_parents) if p != target
+            }
+            # Condensed comp edges: in-cycle edges became internal.
+            self._g_comp_out[target] = {
+                p for p in (find(x) for x in merged_out) if p != target
+            }
+            self._g_comp_in[target] = {
+                p for p in (find(x) for x in merged_in) if p != target
+            }
+        else:
+            # Singleton on a data self-loop: collapsing only adds the
+            # self-inclusion; the (now internal) self edge is dropped so
+            # later passes do not re-collapse it.
+            self._g_comp_out[target].discard(target)
+        # Cycle members reach themselves: include every member's node.
+        data_nodes = {self._pair_v[p] for p in self._g_members[target]}
+        target_set = self._g_set[target]
+        missing = data_nodes - target_set
+        if len(gids) > 1:
+            # Each old group's parents never saw the other groups'
+            # elements — deliver the full merged set to every parent
+            # and let apply_delta subtract what they already know.
+            target_set |= data_nodes
+            snapshot = frozenset(target_set)
+            for parent in list(self._g_parents[target]):
+                if find(parent) != target:
+                    self._delta_queue.append((parent, snapshot))
+        elif missing:
+            self._delta_queue.append((target, frozenset(missing)))
+        # The collapsed group may already satisfy its settlement gates.
+        # (Rescan mode never drains the candidate set — skip the add.)
+        if self.scc_incremental:
+            self._comp_resolve_candidates[comp].add(target)
+
+    def _resolve_comp_groups_inc(self, comp: int) -> None:
+        """Event-driven group settlement over the candidate set.
+
+        Same finality condition as the rescan pass — every member's
+        external children final (``ext_pending == 0``), no PENDING
+        in-component child (``unresolved == 0``), and every condensed
+        out-neighbour group already final — but only groups whose
+        counters cleared (or whose out-neighbour finalised, or that just
+        merged) are inspected, instead of rescanning every group's full
+        child fan-out on each resolve event.
+        """
+        if self._comp_finalized[comp]:
+            return
+        candidates = self._comp_resolve_candidates[comp]
+        find = self._find
+        g_final = self._g_final
+        while candidates:
+            gid = find(candidates.pop())
+            if gid in g_final:
+                continue
+            if self._g_ext_pending[gid] or self._g_unresolved[gid]:
+                continue
+            out_roots = {find(x) for x in self._g_comp_out[gid]}
+            out_roots.discard(gid)
+            self._g_comp_out[gid] = out_roots
+            if not out_roots <= g_final:
+                continue
+            g_final.add(gid)
+            for pid in self._g_members[gid]:
+                self._finalize_pair(pid)
+            # The rescan loop's ``changed`` sweep, made event-driven:
+            # finality can unblock condensed in-parents.
+            for parent in {find(x) for x in self._g_comp_in[gid]}:
+                if parent != gid and parent not in g_final:
+                    candidates.add(parent)
 
     def _resolve_comp_groups(self, comp: int) -> None:
         """Finalise confirmed groups whose downstream region is settled.
@@ -1008,6 +1391,18 @@ class TopKEngine:
                     self._comp_ext_pending[parent_comp] -= 1
                     self._comp_resolve_events[parent_comp] += 1
                     self._dirty_comps.add(parent_comp)
+                    incremental = (
+                        self.scc_incremental
+                        and not self._comp_finalized[parent_comp]
+                    )
+                    if incremental and self._status[pp] == CONFIRMED:
+                        root = self._find(self._group_of[pp])
+                        self._g_ext_pending[root] -= 1
+                        if (
+                            self._g_ext_pending[root] == 0
+                            and self._g_unresolved[root] == 0
+                        ):
+                            self._comp_resolve_candidates[parent_comp].add(root)
                     if (
                         self._pending[pp] == 0
                         and self._status[pp] == PENDING
@@ -1016,6 +1411,8 @@ class TopKEngine:
                         # All gates final yet some external edge never got
                         # a confirmed child: the pair can never match.
                         self._status[pp] = DEAD
+                        if incremental:
+                            self._scc_child_resolved(parent_comp, pp)
                         self._finalize_pair(pp)
                     if self._decisive_ready(parent_comp):
                         self._decisive_queue.append(parent_comp)

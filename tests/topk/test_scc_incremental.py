@@ -1,0 +1,283 @@
+"""Property suite: incremental SCC group machinery ≡ the rescan oracle.
+
+The cyclic engine's nontrivial-SCC group machinery exists in two
+implementations: the rescan reference (scratch Tarjan over all confirmed
+pairs per merge round, full child-fan-out rescans per resolve event) and
+the incremental machinery (frontier-driven cycle collapse over a
+compiled pair-CSR, counter-gated settlement).  This suite pins their
+equivalence on randomized cyclic patterns and randomized confirmation
+orders:
+
+* engines differing only in ``scc_incremental`` are deterministic twins
+  — identical matches, scores, and the full per-pair vector ``v.T``
+  (status, relevant set, finalisation flag);
+* group membership after incremental merges equals a from-scratch
+  Tarjan recomputation over the confirmed pair graph (adjacency rebuilt
+  from the raw graph, independent of the engine's pair-CSR), and pairs
+  sharing a group share one relevant set with every member's data node
+  included (Example 8's self-inclusion);
+* the settlement counters (external pending, unresolved in-component
+  children) match a from-scratch recount at every group root.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import csr
+from repro.graph.algorithms import strongly_connected_components
+from repro.patterns.pattern import Pattern
+from repro.topk.engine import CONFIRMED, PENDING, TopKEngine
+from repro.topk.policies import RelevancePolicy
+from repro.topk.selection import GreedySelection, RandomSelection
+
+from tests.conftest import make_random_graph
+from tests.test_csr_equivalence import rich_random_graph, rich_random_pattern
+
+pytestmark = pytest.mark.skipif(not csr.available(), reason="numpy unavailable")
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# Two labels instead of three: triples the fraction of (pattern, graph)
+# draws whose simulation is total, so most hypothesis examples exercise
+# real confirmed-pair cycles instead of returning infeasible early.
+LABELS = "AB"
+
+
+def cyclic_pattern(seed: int) -> Pattern:
+    """A random pattern guaranteed to carry at least one pattern cycle."""
+    rng = random.Random(seed * 613 + 29)
+    num_nodes = rng.randrange(3, 6)
+    p = Pattern()
+    for _ in range(num_nodes):
+        p.add_node(rng.choice(LABELS))
+    parent = [0] * num_nodes
+    for child in range(1, num_nodes):
+        parent[child] = rng.randrange(child)
+        p.add_edge(parent[child], child)
+    # Reverse one tree edge: a guaranteed 2-cycle (nontrivial SCC).
+    back = rng.randrange(1, num_nodes)
+    if not p.has_edge(back, parent[back]):
+        p.add_edge(back, parent[back])
+    for _ in range(2):
+        a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if a != b and not p.has_edge(a, b):
+            p.add_edge(a, b)
+    p.set_output(0)
+    return p
+
+
+def build_engine(
+    pattern, graph, k=3, incremental=True, sel_seed=None, batch_size=None,
+    use_csr=True,
+):
+    strategy = GreedySelection() if sel_seed is None else RandomSelection(sel_seed)
+    engine = TopKEngine(
+        pattern,
+        graph,
+        k,
+        policy=RelevancePolicy(),
+        strategy=strategy,
+        batch_size=batch_size,
+        use_csr=use_csr,
+        scc_incremental=incremental,
+    )
+    result = engine.run()
+    return engine, result
+
+
+def assert_pair_states_equal(pattern, engine_a, engine_b):
+    for u in pattern.nodes():
+        for v in engine_a.candidates.lists[u]:
+            assert engine_a.debug_state(u, v) == engine_b.debug_state(u, v)
+
+
+def confirmed_pair_sccs(engine, comp):
+    """From-scratch Tarjan over the comp's confirmed pair graph.
+
+    Adjacency is rebuilt from the raw graph and the pid maps — it shares
+    nothing with the engine's compiled pair-CSR or condensed group
+    edges, so it is a genuinely independent oracle.
+    """
+    confirmed = [
+        pid for pid in engine._comp_pairs[comp] if engine._status[pid] == CONFIRMED
+    ]
+    index_of = {pid: i for i, pid in enumerate(confirmed)}
+    adjacency = [[] for _ in confirmed]
+    for pid, i in index_of.items():
+        u, v = engine._pair_u[pid], engine._pair_v[pid]
+        for local_idx, u_child in enumerate(engine._out_edges[u]):
+            if engine._edge_external[u][local_idx]:
+                continue
+            for v_child in engine.graph.successors(v):
+                q = engine._pid_of[u_child].get(v_child)
+                if q is not None and q in index_of:
+                    adjacency[i].append(index_of[q])
+    sccs = strongly_connected_components(len(confirmed), lambda i: adjacency[i])
+    return confirmed, [[confirmed[i] for i in scc] for scc in sccs]
+
+
+class TestDeterministicTwins:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_all_four_toggle_combinations_are_deterministic_twins(self, seed):
+        """CSR/dict substrate × incremental/rescan machinery all agree.
+
+        The off-diagonal combinations are live too: the incremental
+        machinery on the dict substrate compiles its pair-CSR from the
+        pid dicts and graph adjacency instead of the snapshot arrays.
+        """
+        graph = rich_random_graph(seed)
+        pattern = rich_random_pattern(seed + 1, cyclic=True)
+        engines = [
+            build_engine(pattern, graph, incremental=inc, use_csr=use_csr)
+            for use_csr in (True, False)
+            for inc in (True, False)
+        ]
+        (ref_engine, ref), rest = engines[0], engines[1:]
+        for engine, result in rest:
+            assert result.matches == ref.matches
+            assert result.scores == ref.scores
+            if not ref_engine._infeasible:
+                assert_pair_states_equal(pattern, ref_engine, engine)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_cyclic_patterns_twin(self, seed):
+        graph = make_random_graph(seed, num_nodes=14, num_edges=34, labels=LABELS)
+        pattern = cyclic_pattern(seed + 2)
+        inc_engine, inc = build_engine(pattern, graph, incremental=True)
+        ref_engine, ref = build_engine(pattern, graph, incremental=False)
+        assert inc.matches == ref.matches
+        assert inc.scores == ref.scores
+        if not inc_engine._infeasible:
+            assert_pair_states_equal(pattern, inc_engine, ref_engine)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        sel_seed=st.integers(min_value=0, max_value=50),
+        batch_size=st.sampled_from([1, 2, None]),
+    )
+    @SETTINGS
+    def test_randomized_confirmation_orders_twin(self, seed, sel_seed, batch_size):
+        """Random seed selection + tiny batches permute the event order."""
+        graph = make_random_graph(seed, num_nodes=14, num_edges=34, labels=LABELS)
+        pattern = cyclic_pattern(seed + 3)
+        inc_engine, inc = build_engine(
+            pattern, graph, incremental=True, sel_seed=sel_seed, batch_size=batch_size
+        )
+        ref_engine, ref = build_engine(
+            pattern, graph, incremental=False, sel_seed=sel_seed, batch_size=batch_size
+        )
+        assert inc.matches == ref.matches
+        assert inc.scores == ref.scores
+        if not inc_engine._infeasible:
+            assert_pair_states_equal(pattern, inc_engine, ref_engine)
+
+
+class TestScratchTarjanOracle:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_group_membership_equals_scratch_sccs(self, seed):
+        graph = make_random_graph(seed, num_nodes=14, num_edges=34, labels=LABELS)
+        pattern = cyclic_pattern(seed + 4)
+        engine, _ = build_engine(pattern, graph, incremental=True)
+        if engine._infeasible:
+            return
+        for comp in engine._nontrivial:
+            confirmed, sccs = confirmed_pair_sccs(engine, comp)
+            by_group = {}
+            for pid in confirmed:
+                root = engine._find(engine._group_of[pid])
+                by_group.setdefault(root, set()).add(pid)
+            assert {frozenset(scc) for scc in sccs} == {
+                frozenset(members) for members in by_group.values()
+            }
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_cycle_groups_share_self_including_relevant_sets(self, seed):
+        graph = make_random_graph(seed, num_nodes=14, num_edges=34, labels=LABELS)
+        pattern = cyclic_pattern(seed + 5)
+        engine, _ = build_engine(pattern, graph, incremental=True)
+        if engine._infeasible:
+            return
+        for comp in engine._nontrivial:
+            _, sccs = confirmed_pair_sccs(engine, comp)
+            for scc in sccs:
+                if len(scc) < 2:
+                    continue
+                shared = engine.rset_of(scc[0])
+                for pid in scc:
+                    # One shared set per pair-cycle, containing every
+                    # member's data node (Example 8's self-inclusion).
+                    assert engine.rset_of(pid) is shared
+                    assert engine._pair_v[pid] in shared
+
+
+class TestSettlementCounters:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_counters_match_scratch_recount(self, seed):
+        graph = make_random_graph(seed, num_nodes=14, num_edges=34, labels=LABELS)
+        pattern = cyclic_pattern(seed + 6)
+        engine, _ = build_engine(pattern, graph, incremental=True)
+        if engine._infeasible:
+            return
+        status = engine._status
+        for comp in engine._nontrivial:
+            if engine._comp_finalized[comp]:
+                # Wholesale finalisation stops counter maintenance.
+                continue
+            roots = {
+                engine._find(engine._group_of[pid])
+                for pid in engine._comp_pairs[comp]
+                if status[pid] == CONFIRMED
+            }
+            for root in roots:
+                members = engine._g_members[root]
+                assert engine._g_ext_pending[root] == sum(
+                    engine._pending[pid] for pid in members
+                )
+                unresolved = 0
+                for pid in members:
+                    u, v = engine._pair_u[pid], engine._pair_v[pid]
+                    for local_idx, u_child in enumerate(engine._out_edges[u]):
+                        if engine._edge_external[u][local_idx]:
+                            continue
+                        for v_child in engine.graph.successors(v):
+                            q = engine._pid_of[u_child].get(v_child)
+                            if q is not None and status[q] == PENDING:
+                                unresolved += 1
+                assert engine._g_unresolved[root] == unresolved
+
+
+class TestKnownCycle:
+    def test_triangle_collapses_to_one_group(self):
+        """A 3-cycle pattern on a 3-cycle graph: one group, full rset."""
+        from repro.graph.digraph import Graph
+
+        graph = Graph()
+        for label in "ABC":
+            graph.add_node(label)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 0)
+        pattern = Pattern()
+        for label in "ABC":
+            pattern.add_node(label)
+        pattern.add_edge(0, 1)
+        pattern.add_edge(1, 2)
+        pattern.add_edge(2, 0)
+        pattern.set_output(0)
+        engine, result = build_engine(pattern, graph, k=1, incremental=True)
+        assert result.matches == [0]
+        pids = [engine._pid_of[u][v] for u, v in [(0, 0), (1, 1), (2, 2)]]
+        roots = {engine._find(engine._group_of[pid]) for pid in pids}
+        assert len(roots) == 1
+        assert engine.rset_of(pids[0]) == {0, 1, 2}
+        assert all(engine._finalized[pid] for pid in pids)
