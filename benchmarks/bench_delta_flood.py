@@ -1,0 +1,265 @@
+"""Packed-bitset relevant sets + batched delta propagation, head to head.
+
+PR 3 made the SCC group machinery incremental, leaving the fig5d cyclic
+engine profile dominated by ``TopKEngine._apply_delta`` — ~460k Python
+set unions pushed one posting at a time through ``_delta_queue`` between
+relevance groups.  This benchmark measures the replacement (relevant-set
+members interned into packed big-int bitsets, postings coalesced per
+target group root and flushed in one topological pass over the group
+DAG) on the cyclic Figure 5 workloads:
+
+``fig5d``
+    YouTube surrogate, cyclic pattern shapes — the engine-time figure.
+
+``fig5h``
+    Synthetic cyclic graphs over a |G| scale sweep — the cyclic
+    scalability figure.
+
+Four arms per workload — the full (use_csr × rset_bitset) toggle grid:
+
+* ``dict_set``   — the dict/set reference oracle (everything off);
+* ``dict_bitset``— packed rsets on the dict substrate (off-diagonal);
+* ``csr_set``    — CSR fast path, set rsets drained one delta at a time
+  (PR 3's end state, the comparison arm);
+* ``csr_bitset`` — CSR fast path + packed rsets (the default).
+
+All four arms are asserted to return identical results before anything
+is timed.  Timings interleave the arms across ``--rounds`` repetitions
+(minimum taken) so machine drift hits every arm equally.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_delta_flood.py
+    PYTHONPATH=src python benchmarks/bench_delta_flood.py --json BENCH_delta.json
+    PYTHONPATH=src python benchmarks/bench_delta_flood.py --smoke
+
+``--smoke`` runs a reduced-scale pass and exits non-zero when the bitset
+path is slower than the set path on either workload (the CI guard), or
+when any arm diverges from the dict/set oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.workloads import BENCH_SCALE, bench_graph, bench_pattern
+from repro.graph import csr
+from repro.topk.cyclic import top_k
+
+#: Same cyclic Figure 5 workloads as benchmarks/bench_scc_engine.py, so
+#: the arm timings stay comparable with BENCH_scc.json across PRs.
+WORKLOADS = {
+    "fig5d": {"dataset": "youtube", "shapes": [(4, 8), (6, 12)], "factors": None},
+    "fig5h": {"dataset": "synthetic-cyclic", "shapes": [(4, 8)],
+              "factors": [1.0, 1.8, 2.6]},
+}
+
+ARMS = {
+    "dict_set": {"use_csr": False, "rset_bitset": False},
+    "dict_bitset": {"use_csr": False, "rset_bitset": True},
+    "csr_set": {"use_csr": True, "rset_bitset": False},
+    "csr_bitset": {"use_csr": True, "rset_bitset": True},
+}
+
+#: Arms actually raced for the headline numbers (the dict arms are only
+#: equivalence-checked — timing them at full scale adds minutes for no
+#: information the csr arms don't already give).
+TIMED_ARMS = ("csr_set", "csr_bitset")
+
+
+def _run_case(dataset, shape, factor, k, rounds):
+    graph = bench_graph(dataset, factor)
+    pattern = bench_pattern(dataset, shape[0], shape[1], True, 0, factor)
+    graph.snapshot()  # compiled once up front, as in production use
+
+    runs = {
+        arm: top_k(pattern, graph, k, **toggles) for arm, toggles in ARMS.items()
+    }
+    reference = runs["dict_set"]
+    mismatches = sum(
+        1
+        for arm, result in runs.items()
+        if arm != "dict_set"
+        and (result.matches != reference.matches or result.scores != reference.scores)
+    )
+
+    best = {arm: float("inf") for arm in TIMED_ARMS}
+    for _ in range(rounds):  # interleaved: drift hits every arm equally
+        for arm in TIMED_ARMS:
+            started = time.perf_counter()
+            top_k(pattern, graph, k, **ARMS[arm])
+            best[arm] = min(best[arm], time.perf_counter() - started)
+    seconds = {arm: round(value, 5) for arm, value in best.items()}
+
+    stats = runs["csr_bitset"].stats
+    return {
+        "shape": list(shape),
+        "scale_factor": round(factor, 4),
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
+        "engine_seconds": seconds,
+        "speedup_vs_set": (
+            round(seconds["csr_set"] / seconds["csr_bitset"], 2)
+            if seconds["csr_bitset"]
+            else None
+        ),
+        "deltas": {
+            "enqueued": stats.deltas_enqueued,
+            "coalesced": stats.deltas_coalesced,
+            "applied": stats.deltas_applied,
+        },
+        "mismatches": mismatches,
+    }
+
+
+def run(k: int = 10, rounds: int = 5, scale_factor: float | None = None) -> dict:
+    """Run every workload; returns the result dict (see BENCH_delta.json)."""
+    if scale_factor is None:
+        # Undo the pytest-suite downscale: benchmark at the full
+        # surrogate sizes of EXPERIMENTS.md (~6k nodes).
+        scale_factor = 1.0 / BENCH_SCALE
+    workloads = {}
+    for figure, spec in WORKLOADS.items():
+        cases = []
+        if spec["factors"] is None:
+            for shape in spec["shapes"]:
+                cases.append(
+                    _run_case(spec["dataset"], shape, scale_factor, k, rounds)
+                )
+        else:
+            for factor in spec["factors"]:
+                cases.append(
+                    _run_case(
+                        spec["dataset"], spec["shapes"][0],
+                        factor * scale_factor, k, rounds,
+                    )
+                )
+        totals = {
+            arm: sum(case["engine_seconds"][arm] for case in cases)
+            for arm in TIMED_ARMS
+        }
+        workloads[figure] = {
+            "dataset": spec["dataset"],
+            "cases": cases,
+            # The isolated contribution of the packed/batched rset path:
+            # bitset vs set rsets on the same CSR + incremental-SCC
+            # substrate, same commit.
+            "bitset_speedup": (
+                round(totals["csr_set"] / totals["csr_bitset"], 2)
+                if totals["csr_bitset"]
+                else None
+            ),
+            "engine_seconds_total": {
+                arm: round(totals[arm], 5) for arm in TIMED_ARMS
+            },
+            "mismatches": sum(case["mismatches"] for case in cases),
+        }
+    return {
+        "benchmark": "rset-bitset-delta-flood",
+        "config": {
+            "k": k,
+            "rounds": rounds,
+            "scale_factor": round(scale_factor, 4),
+            "bench_scale": BENCH_SCALE,
+        },
+        "workloads": workloads,
+    }
+
+
+def _attach_pr3_reference(result: dict) -> None:
+    """Cross-reference BENCH_scc.json: speedup vs the PR 3 incremental arm.
+
+    PR 3's recorded ``incremental`` arm is the same configuration as
+    this benchmark's ``csr_set`` arm at that commit, so the ratio is the
+    end-to-end engine gain delivered since (batched bitset deltas plus
+    the shared machinery tuning that rode along).  Only attached when
+    the recorded workloads match and the scale agrees.
+    """
+    path = Path(__file__).resolve().parent.parent / "BENCH_scc.json"
+    if not path.exists():
+        return
+    try:
+        recorded = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return
+    if recorded.get("config", {}).get("scale_factor") != result["config"]["scale_factor"]:
+        return
+    for figure, record in result["workloads"].items():
+        prior = recorded.get("workloads", {}).get(figure)
+        if prior is None:
+            continue
+        prior_total = sum(
+            case["engine_seconds"]["incremental"] for case in prior["cases"]
+        )
+        ours = record["engine_seconds_total"]["csr_bitset"]
+        record["pr3_incremental_seconds_total"] = round(prior_total, 5)
+        record["speedup_vs_pr3_incremental"] = (
+            round(prior_total / ours, 2) if ours else None
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--scale-factor", type=float, default=None,
+                        help="workload scale multiplier (default: full surrogate size)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced-scale pass; fail when the bitset "
+                             "path is slower than the set path")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the result dict as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    if not csr.available():
+        print("numpy unavailable: CSR fast path cannot run")
+        return 1
+
+    scale_factor = args.scale_factor
+    rounds = args.rounds
+    if args.smoke and scale_factor is None:
+        scale_factor = 1.0  # pytest-suite scale: seconds, not minutes
+        rounds = min(rounds, 3)
+
+    result = run(k=args.k, rounds=rounds, scale_factor=scale_factor)
+    _attach_pr3_reference(result)
+
+    failures = 0
+    for figure, record in result["workloads"].items():
+        pr3 = record.get("speedup_vs_pr3_incremental")
+        print(
+            f"{figure} ({record['dataset']}): "
+            f"bitset {record['bitset_speedup']}x vs set"
+            + (f", {pr3}x vs PR3 incremental" if pr3 is not None else "")
+            + f", mismatches {record['mismatches']}"
+        )
+        for case in record["cases"]:
+            sec = case["engine_seconds"]
+            deltas = case["deltas"]
+            print(
+                f"  {tuple(case['shape'])} @x{case['scale_factor']}: "
+                f"set {sec['csr_set'] * 1000:8.1f}ms  "
+                f"bitset {sec['csr_bitset'] * 1000:8.1f}ms "
+                f"({case['speedup_vs_set']}x)  "
+                f"deltas enq {deltas['enqueued']} "
+                f"coal {deltas['coalesced']} applied {deltas['applied']}"
+            )
+        if record["mismatches"]:
+            failures += 1
+        if args.smoke and (
+            record["bitset_speedup"] is None or record["bitset_speedup"] < 1.0
+        ):
+            print(f"  SMOKE FAILURE: bitset slower than set on {figure}")
+            failures += 1
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

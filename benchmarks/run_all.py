@@ -10,7 +10,10 @@ The output is what EXPERIMENTS.md records: per figure, the swept
 parameter, the series the paper plots, and the reproduced values.
 ``--profile`` wraps the sweep in cProfile and prints the top functions
 by cumulative time, so hotspot claims ("the cyclic engine is dominated
-by the SCC group machinery") are reproducible in one command.
+by the SCC group machinery") are reproducible in one command.  It also
+prints the engine's relevance-delta counters (enqueued / coalesced /
+applied) summed per algorithm, so the delta-flood volume the packed
+rset path coalesces away is visible alongside the time profile.
 """
 
 from __future__ import annotations
@@ -18,11 +21,41 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.harness import exact_objective, run_algorithm
+from repro.bench.harness import exact_objective, run_algorithm as _run_algorithm
 from repro.bench.reporting import format_table
 from repro.bench.workloads import BENCH_SCALE, bench_graph, bench_pattern, total_matches
 from repro.errors import DatasetError
 from repro.workloads.paper_queries import youtube_q1, youtube_q2
+
+#: Per-algorithm totals of the engine's relevance-delta counters,
+#: accumulated across every run of the sweep and reported by --profile.
+_DELTA_TOTALS: dict[str, dict[str, int]] = {}
+
+
+def run_algorithm(name, pattern, graph, k, lam=0.5, **kwargs):
+    """Harness pass-through that also aggregates the delta counters."""
+    record = _run_algorithm(name, pattern, graph, k, lam, **kwargs)
+    totals = _DELTA_TOTALS.setdefault(
+        name, {"runs": 0, "enqueued": 0, "coalesced": 0, "applied": 0}
+    )
+    totals["runs"] += 1
+    totals["enqueued"] += record.extra.get("deltas_enqueued", 0)
+    totals["coalesced"] += record.extra.get("deltas_coalesced", 0)
+    totals["applied"] += record.extra.get("deltas_applied", 0)
+    return record
+
+
+def _delta_counter_table() -> None:
+    print("\n## Relevance-delta counters (per algorithm, summed over the sweep)\n")
+    rows = [
+        [name, t["runs"], t["enqueued"], t["coalesced"], t["applied"]]
+        for name, t in sorted(_DELTA_TOTALS.items())
+        if t["enqueued"] or t["applied"]
+    ]
+    if not rows:
+        print("(no engine runs recorded)")
+        return
+    print(format_table(["algorithm", "runs", "deltas enq", "coalesced", "applied"], rows))
 
 
 def _cell(record, metric):
@@ -177,6 +210,7 @@ def main(argv: list[str] | None = None) -> int:
     profiler.enable()
     status = run_sweeps()
     profiler.disable()
+    _delta_counter_table()
     print("\n## cProfile: top functions by cumulative time\n")
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.profile_top)
     return status

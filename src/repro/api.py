@@ -70,7 +70,15 @@ def top_k_matches(
     relevance_fn: RelevanceFunction | None = None,
     **engine_options,
 ) -> TopKResult:
-    """topKP with early termination: ``TopKDAG`` or ``TopK`` as appropriate."""
+    """topKP with early termination: ``TopKDAG`` or ``TopK`` as appropriate.
+
+    ``engine_options`` forward to the engine wrappers — notably the
+    representation toggles ``use_csr`` (CSR snapshot fast path),
+    ``scc_incremental`` (incremental SCC group machinery) and
+    ``rset_bitset`` (packed relevant sets + batched delta propagation),
+    each defaulting to follow ``optimized``/``use_csr`` so that
+    ``optimized=False`` selects the full reference algorithm.
+    """
     if pattern.is_dag():
         return top_k_dag(
             pattern, graph, k, optimized=optimized, relevance_fn=relevance_fn, **engine_options
@@ -109,6 +117,9 @@ def diversified_matches(
     ``TopKDAGDH``; ``method="approx"`` runs the 2-approximation
     ``TopKDiv``.  ``optimized=False`` selects the full dict-of-sets
     reference path (and, for the heuristic, random seed selection).
+    Engine toggles (``use_csr``, ``scc_incremental``, ``rset_bitset``)
+    pass through ``options``; both methods accept them, so one option
+    set works regardless of ``method``.
     """
     if method == "heuristic":
         return top_k_diversified_heuristic(

@@ -92,6 +92,13 @@ def run_algorithm(
         terminated_early=stats.terminated_early,
         objective_value=result.objective_value,
         matches=list(result.matches),
+        extra={
+            # Relevance-delta propagation counters (engine family; zero
+            # for Match / TopKDiv, which run no propagation).
+            "deltas_enqueued": stats.deltas_enqueued,
+            "deltas_coalesced": stats.deltas_coalesced,
+            "deltas_applied": stats.deltas_applied,
+        },
     )
 
 

@@ -76,6 +76,11 @@ def _cmd_match(args: argparse.Namespace) -> int:
             options["optimized"] = False
         else:
             options["use_csr"] = False
+    if args.no_rset_bitset and algorithm not in ("Match", "TopKDiv"):
+        # Force the reference set-per-group relevant sets (one delta at
+        # a time); by default the engine packs them into bitsets
+        # whenever the CSR path is active.
+        options["rset_bitset"] = False
     record = run_algorithm(algorithm, pattern, graph, args.k, args.lam, **options)
     payload = {
         "algorithm": record.algorithm,
@@ -198,6 +203,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force a specific algorithm")
     match.add_argument("--no-csr", action="store_true",
                        help="disable the CSR snapshot fast path (reference run)")
+    match.add_argument("--no-rset-bitset", action="store_true",
+                       help="disable packed relevant-set groups / batched "
+                            "delta propagation (reference representation)")
     match.add_argument("--json", action="store_true", help="machine-readable output")
     match.set_defaults(func=_cmd_match)
 

@@ -38,6 +38,9 @@ def top_k_diversified_approx(
     objective: DiversificationObjective | None = None,
     context: RankingContext | None = None,
     optimized: bool = True,
+    use_csr: bool | None = None,
+    scc_incremental: bool | None = None,
+    rset_bitset: bool | None = None,
 ) -> TopKResult:
     """Run ``TopKDiv``; returns a set with ``F(S) ≥ F(S*) / 2``.
 
@@ -45,7 +48,17 @@ def top_k_diversified_approx(
     a generalised ``F*`` (Proposition 6 preserves the ratio).  ``context``
     reuses an existing full evaluation.  ``optimized=False`` forces the
     dict-of-sets reference simulation.
+
+    The engine-family toggles are accepted for API symmetry, so facade
+    callers can pass one option set to either diversification method:
+    ``use_csr`` overrides ``optimized`` for the full-evaluation
+    simulation; ``scc_incremental`` / ``rset_bitset`` select in-flight
+    engine machinery TopKDiv does not run (it ranks over the context's
+    exact relevant sets) and are no-ops here.
     """
+    del scc_incremental, rset_bitset  # no in-flight engine state to toggle
+    if use_csr is not None:
+        optimized = use_csr
     if k < 1:
         raise MatchingError(f"k must be positive; got {k}")
     pattern.validate()

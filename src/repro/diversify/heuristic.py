@@ -43,6 +43,7 @@ def top_k_diversified_heuristic(
     presimulate: bool = True,
     use_csr: bool | None = None,
     scc_incremental: bool | None = None,
+    rset_bitset: bool | None = None,
 ) -> TopKResult:
     """Run the early-terminating diversified heuristic.
 
@@ -51,7 +52,10 @@ def top_k_diversified_heuristic(
     toggles the engine's CSR fast path; it defaults to following
     ``optimized``, so ``optimized=False`` is the dict reference path.
     ``scc_incremental`` toggles the cyclic engine's incremental SCC
-    group machinery and defaults to following the CSR toggle.
+    group machinery and defaults to following the CSR toggle, as does
+    ``rset_bitset`` (packed relevant sets + batched delta propagation;
+    the diversified objective's Jaccard terms then run word-parallel
+    over the frozen bitset views).
     """
     obj = objective if objective is not None else DiversificationObjective(lam=lam, k=k)
     if obj.k != k:
@@ -72,6 +76,7 @@ def top_k_diversified_heuristic(
         presimulate=presimulate,
         use_csr=optimized if use_csr is None else use_csr,
         scc_incremental=scc_incremental,
+        rset_bitset=rset_bitset,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

@@ -30,7 +30,8 @@ fall back to the dict-of-sets reference path (see ``available()``).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Set as _AbstractSet
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 try:  # pragma: no cover - numpy is part of the supported environment
     import numpy as np
@@ -407,6 +408,162 @@ def build_component_pair_csr(
     pcsr.in_eidx = [e for lst in in_eidx_lists for e in lst]
     pcsr.num_edges = len(pcsr.out_targets)
     return pcsr
+
+
+class NodeInterner:
+    """Dense bit-index assignment over a fixed universe of node ids.
+
+    The top-k engine's relevant sets only ever contain candidate data
+    nodes, so their members can be interned into a contiguous bit space
+    once per engine run: bit ``i`` stands for ``node_of[i]``, and
+    ``bit_of[v]`` maps a node id back to its bit (``-1`` for nodes
+    outside the universe).  The layout is deterministic (ascending node
+    id), which is what lets two engines over the same candidates compare
+    packed relevant sets word for word.
+
+    Pure Python (no numpy): the packed sets built on top of this are
+    arbitrary-precision ints, whose word-at-a-time union/popcount are
+    exactly the "packed bitset" kernel the cyclic engine needs.
+    """
+
+    __slots__ = ("node_of", "bit_of")
+
+    def __init__(self, universe: Iterable[int], num_nodes: int | None = None) -> None:
+        self.node_of: list[int] = sorted(set(universe))
+        size = num_nodes if num_nodes is not None else (
+            self.node_of[-1] + 1 if self.node_of else 0
+        )
+        bit_of = [-1] * size
+        for i, v in enumerate(self.node_of):
+            bit_of[v] = i
+        self.bit_of: list[int] = bit_of
+
+    def __len__(self) -> int:
+        return len(self.node_of)
+
+    def mask_of(self, nodes: Iterable[int]) -> int:
+        """Pack ``nodes`` (all members of the universe) into one bitmask."""
+        bit_of = self.bit_of
+        mask = 0
+        for v in nodes:
+            mask |= 1 << bit_of[v]
+        return mask
+
+
+class FrozenBitset(_AbstractSet):
+    """An immutable set-of-nodes view over a packed bitmask.
+
+    Wraps one big-int ``mask`` plus the :class:`NodeInterner` that
+    defines its bit layout.  Because Python ints are immutable, the view
+    is a frozen snapshot by construction: the engine growing a group's
+    live mask rebinds a *new* int and cannot retroactively change a view
+    that was already handed out.
+
+    Implements :class:`collections.abc.Set`, so it is interchangeable
+    with ``frozenset`` everywhere relevance / distance functions take an
+    ``AbstractSet`` — with word-parallel fast paths when both operands
+    are views over the same interner (Jaccard's ``len(a & b)`` becomes a
+    mask AND plus one popcount instead of element-wise hashing).
+    """
+
+    __slots__ = ("mask", "interner", "_length")
+
+    def __init__(self, mask: int, interner: NodeInterner) -> None:
+        self.mask = mask
+        self.interner = interner
+        self._length = -1
+
+    @classmethod
+    def _from_iterable(cls, iterable) -> frozenset:
+        # Mixed-operand set algebra falls back to plain frozensets.
+        return frozenset(iterable)
+
+    def __len__(self) -> int:
+        if self._length < 0:
+            self._length = self.mask.bit_count()
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self.mask != 0
+
+    def __contains__(self, node) -> bool:
+        bit_of = self.interner.bit_of
+        return (
+            isinstance(node, int)
+            and 0 <= node < len(bit_of)
+            and (bit := bit_of[node]) >= 0
+            and (self.mask >> bit) & 1 == 1
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        # Decode 64 bits at a time: keeps the low-bit isolation on small
+        # ints instead of repeating it on the full arbitrary-width mask.
+        node_of = self.interner.node_of
+        mask = self.mask
+        base = 0
+        while mask:
+            word = mask & 0xFFFFFFFFFFFFFFFF
+            while word:
+                low = word & -word
+                yield node_of[base + low.bit_length() - 1]
+                word ^= low
+            mask >>= 64
+            base += 64
+
+    def _same_layout(self, other) -> bool:
+        return isinstance(other, FrozenBitset) and other.interner is self.interner
+
+    def __eq__(self, other) -> bool:
+        if self._same_layout(other):
+            return self.mask == other.mask
+        return super().__eq__(other)
+
+    def __ne__(self, other) -> bool:
+        if self._same_layout(other):
+            return self.mask != other.mask
+        return super().__ne__(other)
+
+    def __and__(self, other):
+        if self._same_layout(other):
+            return FrozenBitset(self.mask & other.mask, self.interner)
+        return super().__and__(other)
+
+    def __or__(self, other):
+        if self._same_layout(other):
+            return FrozenBitset(self.mask | other.mask, self.interner)
+        return super().__or__(other)
+
+    def __sub__(self, other):
+        if self._same_layout(other):
+            return FrozenBitset(self.mask & ~other.mask, self.interner)
+        return super().__sub__(other)
+
+    def __xor__(self, other):
+        if self._same_layout(other):
+            return FrozenBitset(self.mask ^ other.mask, self.interner)
+        return super().__xor__(other)
+
+    def __le__(self, other) -> bool:
+        if self._same_layout(other):
+            return self.mask & ~other.mask == 0
+        return super().__le__(other)
+
+    def __ge__(self, other) -> bool:
+        if self._same_layout(other):
+            return other.mask & ~self.mask == 0
+        return super().__ge__(other)
+
+    def isdisjoint(self, other) -> bool:
+        if self._same_layout(other):
+            return self.mask & other.mask == 0
+        return super().isdisjoint(other)
+
+    # Matches frozenset's hash for equal element sets (Set._hash contract),
+    # so a view and its frozenset twin collide correctly as dict keys.
+    __hash__ = _AbstractSet._hash
+
+    def __repr__(self) -> str:
+        return f"FrozenBitset({{{', '.join(map(str, sorted(self)))}}})"
 
 
 def snapshot_of(graph: "Graph") -> CSRSnapshot:

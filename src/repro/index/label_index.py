@@ -320,11 +320,36 @@ class SimBoundIndex:
         return self._adjacency
 
     def _restricted_condensation(self):
+        """Condensation of the *match-node* subgraph (plus self-loop comps).
+
+        Restricted-reachability structures are only ever consulted for
+        match nodes (``upper`` is queried for output candidates, which
+        are matches once the engine pre-simulates), and every restricted
+        hop beyond the first lands on a match node — so the condensation
+        runs over the allowed-node induced subgraph instead of all of
+        ``G``, which is typically several times smaller.
+
+        Returns ``(allowed_nodes, cond, self_loop_comps)`` where
+        ``cond`` indexes the compact subgraph (``allowed_nodes[i]`` is
+        the original id of sub-node ``i``).
+        """
         if self._condensation is None:
             adjacency = self._restricted_adjacency()
-            self._condensation = condensation(
-                self.graph.num_nodes, lambda v: adjacency[v]
-            )
+            allowed: set[int] = set()
+            for matched in self.sim:
+                allowed |= matched
+            allowed_nodes = sorted(allowed)
+            sub_of = {v: i for i, v in enumerate(allowed_nodes)}
+            sub_adj = [
+                [sub_of[child] for child in adjacency[v]] for v in allowed_nodes
+            ]
+            cond = condensation(len(allowed_nodes), lambda i: sub_adj[i])
+            self_loop_comps = {
+                cond.comp_of[i]
+                for i in range(len(allowed_nodes))
+                if i in sub_adj[i]
+            }
+            self._condensation = (allowed_nodes, cond, self_loop_comps)
         return self._condensation
 
     # -- public API -----------------------------------------------------
@@ -448,18 +473,18 @@ class SimBoundIndex:
         return array("l", (m.bit_count() for m in masks))
 
     def _unbounded_counts(self, positions: dict[int, int]) -> Sequence[int]:
-        cond = self._restricted_condensation()
-        adjacency = self._restricted_adjacency()
-        self_loop_comps = {
-            cond.comp_of[v]
-            for v in self.graph.nodes()
-            if v in adjacency[v]
-        }
+        """Reachable-target counts per *match node* (0 elsewhere).
+
+        Sound for every node the index is consulted about: ``upper`` is
+        only queried for output-node candidates, which are match nodes
+        under the pre-simulated engine this class serves.
+        """
+        allowed_nodes, cond, self_loop_comps = self._restricted_condensation()
         comp_mask: list[int] = []
         for members in cond.components:
             mask = 0
-            for v in members:
-                bit = positions.get(v)
+            for i in members:
+                bit = positions.get(allowed_nodes[i])
                 if bit is not None:
                     mask |= 1 << bit
             comp_mask.append(mask)
@@ -467,7 +492,8 @@ class SimBoundIndex:
         full_mask = [0] * num_comps
         from array import array
 
-        comp_count = array("l", bytes(8 * num_comps))
+        zero = array("l", [0])
+        comp_count = zero * num_comps
         remaining = [len(cond.comp_pred[c]) for c in range(num_comps)]
         for comp in range(num_comps):
             members = cond.components[comp]
@@ -481,6 +507,8 @@ class SimBoundIndex:
                     full_mask[child] = 0
             full_mask[comp] = acc
             comp_count[comp] = acc.bit_count()
-        return array(
-            "l", (comp_count[cond.comp_of[v]] for v in self.graph.nodes())
-        )
+        counts = zero * self.graph.num_nodes
+        comp_of = cond.comp_of
+        for i, v in enumerate(allowed_nodes):
+            counts[v] = comp_count[comp_of[i]]
+        return counts

@@ -39,6 +39,7 @@ def top_k(
     output_node: int | None = None,
     use_csr: bool | None = None,
     scc_incremental: bool | None = None,
+    rset_bitset: bool | None = None,
 ) -> TopKResult:
     """Find top-k matches of the output node of any pattern.
 
@@ -49,7 +50,10 @@ def top_k(
     the incremental nontrivial-SCC group machinery (frontier-driven
     cycle collapse, counter-gated settlement) independently; it defaults
     to following the CSR toggle, keeping the dict path the rescan
-    reference oracle.
+    reference oracle.  ``rset_bitset`` toggles the packed relevant-set
+    representation with batched delta propagation; it likewise defaults
+    to following the CSR toggle, so the dict/set arm stays the
+    one-delta-at-a-time reference.
     """
     strategy = GreedySelection() if optimized else RandomSelection(seed)
     name = "TopK" if optimized else "TopKnopt"
@@ -69,6 +73,7 @@ def top_k(
         output_node=output_node,
         use_csr=optimized if use_csr is None else use_csr,
         scc_incremental=scc_incremental,
+        rset_bitset=rset_bitset,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

@@ -40,6 +40,7 @@ def top_k_dag(
     output_node: int | None = None,
     use_csr: bool | None = None,
     scc_incremental: bool | None = None,
+    rset_bitset: bool | None = None,
 ) -> TopKResult:
     """Find top-k matches of the output node of a DAG pattern.
 
@@ -48,7 +49,11 @@ def top_k_dag(
     ``optimized=False`` is the full dict-of-sets reference algorithm.
     ``scc_incremental`` is accepted for engine-API symmetry with
     :func:`repro.topk.cyclic.top_k`; with every SCC of a DAG pattern
-    trivial, the machinery it selects never runs.
+    trivial, the machinery it selects never runs.  ``rset_bitset``
+    toggles the packed relevant-set representation with batched delta
+    propagation (active on DAG patterns too — trivial-SCC relevance
+    still flows through the group delta queue) and defaults to
+    following the CSR toggle.
 
     Raises :class:`MatchingError` when the pattern is cyclic — use
     :func:`repro.topk.cyclic.top_k` there (it subsumes this algorithm but
@@ -74,6 +79,7 @@ def top_k_dag(
         output_node=output_node,
         use_csr=optimized if use_csr is None else use_csr,
         scc_incremental=scc_incremental,
+        rset_bitset=rset_bitset,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

@@ -36,6 +36,28 @@ not pairs — without this, relevance propagation inside a large data-graph
 SCC floods quadratically (the naive per-pair version is ~500× slower on
 the YouTube surrogate).
 
+Packed relevant sets and batched deltas (the ``rset_bitset`` fast path)
+-----------------------------------------------------------------------
+Group relevant sets come in two representations, toggled by
+``rset_bitset`` (defaulting to follow ``use_csr``, so the dict path stays
+the reference oracle):
+
+* the reference representation — one Python ``set`` per group root,
+  deltas drained one posting at a time through ``_delta_queue``;
+* the packed representation — relevant-set members interned into a dense
+  bit space (:class:`repro.graph.csr.NodeInterner`), each group's rset a
+  big-int bitmask with its cardinality maintained by popcount, so
+  ``lower_value`` / ``upper_value`` read ``|R|`` in O(1).  Deltas are
+  *coalesced per target group root* within a drain cycle: a posting ORs
+  into the root's pending mask (``_pending_bits``); a drain step unions
+  whole words and propagates only the changed bits to parent groups.
+
+Every group root carries a monotone version (bumped on each rset
+change), so consumers — the frozen views handed out by
+``partial_relevant``, relevance values under generalised functions, the
+termination check's ``l_min`` — cache derived values keyed on
+``(root, version)`` instead of recomputing per read.
+
 Termination is Proposition 3: stop once the smallest lower bound inside
 the maintained top-k set dominates the largest upper bound outside it
 (and every query node has at least one confirmed match, which is the
@@ -94,6 +116,7 @@ class TopKEngine:
         output_node: int | None = None,
         use_csr: bool | None = None,
         scc_incremental: bool | None = None,
+        rset_bitset: bool | None = None,
     ) -> None:
         if k < 1:
             raise MatchingError(f"k must be positive; got {k}")
@@ -125,6 +148,11 @@ class TopKEngine:
         self.scc_incremental = (
             self.use_csr if scc_incremental is None else bool(scc_incremental)
         )
+        # Packed relevant sets + batched delta propagation.  Pure-Python
+        # big-int bitsets (no numpy dependency), so either combination
+        # with ``use_csr`` can be forced; the default follows the CSR
+        # toggle so the dict/set path stays the reference oracle.
+        self.rset_bitset = self.use_csr if rset_bitset is None else bool(rset_bitset)
         self.candidates = (
             candidates
             if candidates is not None
@@ -199,6 +227,11 @@ class TopKEngine:
              for u_child in self._out_edges[u]]
             for u in pattern.nodes()
         ]
+        # Per query node, the fixpoint scan's initial counter row
+        # (external slots -1, in-SCC slots 0) — copied per pair.
+        self._counts_template: list[list[int]] = [
+            [-1 if flag else 0 for flag in flags] for flags in self._edge_external
+        ]
 
         # Pair tables.  Pids are assigned contiguously per query node in
         # candidate-list order, so ``_pid_start[u] + i`` is the pid of
@@ -252,6 +285,50 @@ class TopKEngine:
         self._g_parents: list[set[int]] = []
         self._g_members: list[list[int]] = []
         self._g_final: set[int] = set()
+        # Versioning: ``_clock`` ticks on every event that can change a
+        # value the termination test reads (confirmation, rset growth,
+        # finalisation/death); a group root's version is stamped from it
+        # whenever its rset changes.  Clock values are globally unique,
+        # so a ``(pid/root, version)`` cache key can never collide across
+        # a union-find merge.  Versions are maintained on BOTH rset
+        # representations (the twin suite pins their monotonicity).
+        self._clock = 0
+        self._g_version: list[int] = []
+        # (root, version)-keyed caches: frozen rset views handed out at
+        # the public boundary, relevance lower/upper values under
+        # non-cardinality functions, and the termination check's l_min.
+        self._rv_cache: dict[int, tuple[int, frozenset[int] | csr.FrozenBitset]] = {}
+        self._lower_cache: dict[int, tuple[int, float]] = {}
+        self._upper_cache: dict[int, tuple[int, float]] = {}
+        self._lmin_clock = -1
+        self._lmin_cached = 0.0
+        # Packed-rset machinery: the member interner (bit layout fixed
+        # for the engine's lifetime), per-group bitmask + popcount
+        # cardinality, and the coalescing delta buffers (pending mask
+        # per target root + the dirty-root drain queue).
+        self._interner: csr.NodeInterner | None = None
+        self._node_bit: list[int] | None = None
+        self._g_bits: list[int] = []
+        self._g_card: list[int] = []
+        # Per group: the packed member data nodes (``self mask``).  A
+        # group's contribution to a parent is always ``self | rset``
+        # — {v} ∪ R for singletons, and for collapsed cycles the
+        # members are in R anyway (self-inclusion) — so child
+        # contributions OR two precomputed masks instead of shifting
+        # one bit per confirmed child edge.
+        self._g_self: list[int] = []
+        self._pending_bits: dict[int, int] = {}
+        self._delta_dirty: deque[int] = deque()
+        # Flush scratch (grown to the group count, zeroed per flush for
+        # touched entries only — a flush must not pay O(#groups)).
+        self._flush_work: list[int] = []
+        self._flush_color: list[int] = []
+        if self.rset_bitset:
+            universe: set[int] = set()
+            for cand in self.candidates.sets:
+                universe |= cand
+            self._interner = csr.NodeInterner(universe, graph.num_nodes)
+            self._node_bit = self._interner.bit_of
         # Incremental machinery per group: the condensed in-component
         # pair graph (edges between group roots, stale aliases resolved
         # through ``_find`` at read time) and the settlement counters —
@@ -468,7 +545,12 @@ class TopKEngine:
         return self.graph.predecessors(v)
 
     def _pair_ids(self, u: int, nodes) -> list[int]:
-        """Pids of ``u``'s candidate pairs among ``nodes`` (order kept)."""
+        """Pids of ``u``'s candidate pairs among ``nodes`` (order kept).
+
+        NOTE: the two hottest callers — ``_do_confirm``'s parent notify
+        and ``_finalize_pair`` — inline this body to skip the method
+        call; a change to the lookup rule must be applied there too.
+        """
         pid_arr = self._pid_arr
         if pid_arr is not None:
             arr = pid_arr[u]
@@ -538,15 +620,43 @@ class TopKEngine:
         self._g_comp_in.append(set())
         self._g_ext_pending.append(0)
         self._g_unresolved.append(0)
+        self._g_version.append(0)
+        if self.rset_bitset:
+            self._g_bits.append(0)
+            self._g_card.append(0)
+            self._g_self.append(1 << self._node_bit[self._pair_v[pid]])
         self._group_of[pid] = gid
         return gid
 
-    def rset_of(self, pid: int) -> set[int] | frozenset[int]:
-        """The (shared) partial relevant set of a confirmed pair."""
+    def _touch_rset(self, root: int) -> None:
+        """Stamp a fresh version on ``root`` after its rset changed."""
+        self._clock += 1
+        self._g_version[root] = self._clock
+
+    def rset_of(self, pid: int) -> set[int] | frozenset[int] | csr.FrozenBitset:
+        """The partial relevant set of a confirmed pair (immutable view).
+
+        Bitset path: a frozen snapshot view over the group's packed
+        mask, cached per ``(root, version)`` so repeated reads between
+        rset changes return the identical object.  Dict path: the live
+        shared group set (cheap, internal callers must not mutate it —
+        the public boundary is :meth:`partial_relevant`).
+        """
         gid = self._group_of[pid]
         if gid < 0:
             return _EMPTY_SET
-        return self._g_set[self._find(gid)]
+        if not self.rset_bitset:
+            return self._g_set[self._find(gid)]
+        if self._pending_bits:
+            self._flush_deltas()
+        root = self._find(gid)
+        version = self._g_version[root]
+        cached = self._rv_cache.get(root)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        view = csr.FrozenBitset(self._g_bits[root], self._interner)
+        self._rv_cache[root] = (version, view)
+        return view
 
     # ------------------------------------------------------------------
     # public accessors used by policies / tests
@@ -565,24 +675,106 @@ class TopKEngine:
             self._context = RankingContext(self.pattern, self.graph, shim, self.uo)
         return self._context
 
-    def partial_relevant(self, pid: int) -> set[int] | frozenset[int]:
-        """The pair's in-flight relevant set (shared object: do not mutate)."""
-        return self.rset_of(pid)
+    def partial_relevant(self, pid: int) -> frozenset[int] | csr.FrozenBitset:
+        """The pair's in-flight relevant set, as an immutable snapshot.
+
+        The returned object never mutates, so callers may hold / hash /
+        compare it freely; snapshots are cached per ``(root, version)``
+        and shared until the group's rset next changes.
+        """
+        gid = self._group_of[pid]
+        if gid < 0:
+            return _EMPTY_SET
+        if self.rset_bitset:
+            return self.rset_of(pid)  # flushes pending deltas; frozen view
+        root = self._find(gid)
+        version = self._g_version[root]
+        cached = self._rv_cache.get(root)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        frozen = frozenset(self._g_set[root])
+        self._rv_cache[root] = (version, frozen)
+        return frozen
+
+    def _rset_version(self, pid: int) -> int:
+        gid = self._group_of[pid]
+        return self._g_version[self._find(gid)] if gid >= 0 else -1
+
+    def lower_values(self, pids: list[int]) -> list[float]:
+        """``v.l`` for many pairs at once (one flush, locals hoisted).
+
+        The per-batch selection scans every confirmed output match;
+        under cardinality relevance the bitset path answers each from
+        the popcount-maintained group cardinality.
+        """
+        if self._pending_bits:
+            self._flush_deltas()
+        if not self._fast_cardinality:
+            return [self.lower_value(pid) for pid in pids]
+        group_of = self._group_of
+        find = self._find
+        alias = self._g_alias
+        if self.rset_bitset:
+            g_card = self._g_card
+            out = []
+            for pid in pids:
+                gid = group_of[pid]
+                if gid < 0:
+                    out.append(0.0)
+                    continue
+                root = alias[gid]
+                if alias[root] != root:
+                    root = find(gid)
+                out.append(float(g_card[root]))
+            return out
+        g_set = self._g_set
+        return [
+            float(len(g_set[find(gid)])) if (gid := group_of[pid]) >= 0 else 0.0
+            for pid in pids
+        ]
 
     def lower_value(self, pid: int) -> float:
         """``v.l`` mapped through the relevance function."""
-        rset = self.rset_of(pid)
+        if self._pending_bits:
+            self._flush_deltas()
         if self._fast_cardinality:
-            return float(len(rset))
-        return self.relevance_fn.lower(self.context, self._pair_v[pid], rset)
+            if self.rset_bitset:
+                gid = self._group_of[pid]
+                if gid < 0:
+                    return 0.0
+                return float(self._g_card[self._find(gid)])
+            return float(len(self.rset_of(pid)))
+        version = self._rset_version(pid)
+        cached = self._lower_cache.get(pid)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        value = self.relevance_fn.lower(
+            self.context, self._pair_v[pid], self.rset_of(pid)
+        )
+        self._lower_cache[pid] = (version, value)
+        return value
 
     def upper_value(self, pid: int) -> float:
         """``v.h`` mapped through the relevance function (output node only)."""
+        if self._pending_bits:
+            self._flush_deltas()
         if self._finalized[pid]:
-            rset = self.rset_of(pid)
             if self._fast_cardinality:
-                return float(len(rset))
-            return self.relevance_fn.value(self.context, self._pair_v[pid], rset)
+                if self.rset_bitset:
+                    gid = self._group_of[pid]
+                    if gid < 0:
+                        return 0.0
+                    return float(self._g_card[self._find(gid)])
+                return float(len(self.rset_of(pid)))
+            version = self._rset_version(pid)
+            cached = self._upper_cache.get(pid)
+            if cached is not None and cached[0] == version:
+                return cached[1]
+            value = self.relevance_fn.value(
+                self.context, self._pair_v[pid], self.rset_of(pid)
+            )
+            self._upper_cache[pid] = (version, value)
+            return value
         bound = self._h_init.get(pid, 0)
         if self._fast_cardinality:
             return float(bound)
@@ -627,9 +819,12 @@ class TopKEngine:
             # M(Q, G) is empty by definition (Section 2.1).
             return TopKResult([], {}, self.algorithm_name, self.stats)
         chosen = self.policy.final_selection(self.k)
-        chosen.sort(key=lambda item: (-self.lower_value(item[1]), item[0]))
-        matches = [v for v, _ in chosen]
-        scores = {v: self.lower_value(pid) for v, pid in chosen}
+        # One lower_value per chosen match, shared by the sort key and
+        # the reported scores.
+        scored = [(v, pid, self.lower_value(pid)) for v, pid in chosen]
+        scored.sort(key=lambda item: (-item[2], item[0]))
+        matches = [v for v, _, _ in scored]
+        scores = {v: value for v, _, value in scored}
         objective = self.policy.objective_value(self.k)
         return TopKResult(matches, scores, self.algorithm_name, self.stats, objective)
 
@@ -643,7 +838,15 @@ class TopKEngine:
         if len(chosen) < self.k:
             return False
         chosen_pids = {pid for _, pid in chosen}
-        l_min = min(self.lower_value(pid) for _, pid in chosen)
+        # ``l_min`` is a pure function of engine state, which only moves
+        # when the clock ticks — cache it per drain generation so a
+        # no-progress batch skips the rescan.
+        if self._lmin_clock == self._clock:
+            l_min = self._lmin_cached
+        else:
+            l_min = min(self.lower_value(pid) for _, pid in chosen)
+            self._lmin_clock = self._clock
+            self._lmin_cached = l_min
         h_max: float | None = None
         for pid in self._h_init:
             if pid in chosen_pids or self._status[pid] == DEAD:
@@ -705,7 +908,13 @@ class TopKEngine:
         self._status[pid] = CONFIRMED
         u, v = self._pair_u[pid], self._pair_v[pid]
         gid = self._new_group(pid)
-        rset = self._g_set[gid]
+        use_bits = self.rset_bitset
+        if use_bits:
+            g_bits = self._g_bits
+            g_self = self._g_self
+            bits = 0
+        else:
+            rset = self._g_set[gid]
 
         # Collect contributions of already-confirmed children, linking
         # their groups to ours for future delta propagation.
@@ -713,13 +922,15 @@ class TopKEngine:
         pid_arr = self._pid_arr
         successors = self._succs(v)
         seen_child_groups: set[int] = set()
+        group_of = self._group_of
+        find = self._find
         for u_child in self._out_edges[u]:
             if pid_arr is not None:
                 child_pids = pid_arr[u_child]
                 found = [
                     (v_child, q)
                     for v_child in successors
-                    if (q := child_pids[v_child]) >= 0
+                    if (q := child_pids[v_child]) >= 0 and status[q] == CONFIRMED
                 ]
             else:
                 pid_map = self._pid_of[u_child]
@@ -727,15 +938,31 @@ class TopKEngine:
                     (v_child, q)
                     for v_child in successors
                     if (q := pid_map.get(v_child)) is not None
+                    and status[q] == CONFIRMED
                 ]
-            for v_child, q in found:
-                if status[q] == CONFIRMED:
+            if use_bits:
+                # ``self | rset`` of each distinct child group covers
+                # every confirmed child's {v_child} ∪ R(v_child): group
+                # members are mutually relevant, so folding them all in
+                # is exactly the delta the set path converges to.
+                for _v_child, q in found:
+                    child_gid = find(group_of[q])
+                    if child_gid not in seen_child_groups:
+                        seen_child_groups.add(child_gid)
+                        self._g_parents[child_gid].add(gid)
+                        bits |= g_self[child_gid] | g_bits[child_gid]
+            else:
+                for v_child, q in found:
+                    child_gid = find(group_of[q])
                     rset.add(v_child)
-                    child_gid = self._find(self._group_of[q])
                     if child_gid not in seen_child_groups:
                         seen_child_groups.add(child_gid)
                         self._g_parents[child_gid].add(gid)
                         rset |= self._g_set[child_gid]
+        if use_bits:
+            g_bits[gid] = bits
+            self._g_card[gid] = bits.bit_count()
+        self._touch_rset(gid)
 
         # Output / totality bookkeeping.
         confirmed_u = self._confirmed_sets[u]
@@ -754,20 +981,35 @@ class TopKEngine:
                 self._scc_on_confirm(comp, pid, gid)
 
         # Notify parents: edge counters, activation, and deltas.
-        contribution: set[int] = {v} | rset
+        if use_bits:
+            contribution_mask = g_bits[gid] | g_self[gid]
+        else:
+            contribution: set[int] = {v} | rset
         parent_gids: set[int] = set()
         predecessors = self._preds(v)
+        conf_count = self._conf_count
+        unsat = self._unsat
         for u_parent, local_idx in self._in_edges[u]:
             parent_comp = self._comp_of_node[u_parent]
             external = parent_comp != comp or parent_comp not in self._nontrivial
-            for pp in self._pair_ids(u_parent, predecessors):
-                if self._status[pp] == DEAD:
+            if pid_arr is not None:
+                parent_arr = pid_arr[u_parent]
+                parent_pids = [
+                    pp for w in predecessors if (pp := parent_arr[w]) >= 0
+                ]
+            else:
+                parent_map = self._pid_of[u_parent]
+                parent_pids = [
+                    pp for w in predecessors if (pp := parent_map.get(w)) is not None
+                ]
+            for pp in parent_pids:
+                if status[pp] == DEAD:
                     continue
-                counters = self._conf_count[pp]
+                counters = conf_count[pp]
                 counters[local_idx] += 1
                 if counters[local_idx] == 1 and external:
-                    self._unsat[pp] -= 1
-                    if self._unsat[pp] == 0:
+                    unsat[pp] -= 1
+                    if unsat[pp] == 0:
                         if parent_comp in self._nontrivial:
                             self._activated[pp] = True
                             self._comp_pending_act[parent_comp].add(pp)
@@ -775,13 +1017,20 @@ class TopKEngine:
                             self._dirty_comps.add(parent_comp)
                         else:
                             self._confirm_queue.append(pp)
-                if self._status[pp] == CONFIRMED:
-                    parent_gid = self._find(self._group_of[pp])
+                if status[pp] == CONFIRMED:
+                    parent_gid = find(group_of[pp])
                     if parent_gid != gid:
                         parent_gids.add(parent_gid)
-        for parent_gid in parent_gids:
-            self._g_parents[gid].add(parent_gid)
-            self._delta_queue.append((parent_gid, contribution))
+        if use_bits:
+            for parent_gid in parent_gids:
+                self._g_parents[gid].add(parent_gid)
+                self._post_delta(parent_gid, contribution_mask)
+        else:
+            enqueued = len(parent_gids)
+            for parent_gid in parent_gids:
+                self._g_parents[gid].add(parent_gid)
+                self._delta_queue.append((parent_gid, contribution))
+            self.stats.deltas_enqueued += enqueued
         if comp in self._nontrivial:
             self._dirty_comps.add(comp)
         elif self._pending[pid] == 0:
@@ -798,10 +1047,217 @@ class TopKEngine:
         if not new:
             return
         rset |= new
+        self._touch_rset(gid)
+        self.stats.deltas_applied += 1
+        enqueued = 0
         for parent in self._g_parents[gid]:
             parent_gid = self._find(parent)
             if parent_gid != gid:
                 self._delta_queue.append((parent_gid, new))
+                enqueued += 1
+        self.stats.deltas_enqueued += enqueued
+
+    # ------------------------------------------------------------------
+    # batched delta propagation (the rset_bitset fast path)
+    # ------------------------------------------------------------------
+    def _post_delta(self, gid: int, mask: int) -> None:
+        """Post ``mask`` to group ``gid``, coalescing per target root.
+
+        One pending mask per target root per drain cycle: a second
+        posting to the same root ORs whole words into the pending mask
+        instead of becoming its own drain step — this is what collapses
+        the ~|E_pair| per-posting flood into ~|groups| applications.
+        """
+        root = self._find(gid)
+        self.stats.deltas_enqueued += 1
+        pending = self._pending_bits.get(root)
+        if pending is None:
+            self._pending_bits[root] = mask
+            self._delta_dirty.append(root)
+        else:
+            self._pending_bits[root] = pending | mask
+            self.stats.deltas_coalesced += 1
+
+    def _flush_deltas(self) -> None:
+        """Drain every coalesced pending mask to its fixpoint.
+
+        Relevance deltas never influence confirmation or finalisation
+        decisions (status transitions never read rsets), so the bitset
+        path lets postings *accumulate* across a whole propagation round
+        and only flushes when a value is about to be read — the
+        termination check, a policy integrating fresh matches, or any
+        public rset accessor.  By then the per-edge flood has coalesced
+        into one pending mask per group root, and the flush is one
+        topologically ordered pass over the group DAG: each root is
+        applied at most once (all of its in-flush descendants first),
+        each condensed parent edge carries its changed bits exactly
+        once.  Flushes run post-drain, where pair-cycles are already
+        collapsed and the resolved parent graph is acyclic; a FIFO
+        cascade remains as fallback for any transient cycle.
+        """
+        find = self._find
+        alias = self._g_alias
+        g_parents = self._g_parents
+        g_bits, g_card = self._g_bits, self._g_card
+        g_version = self._g_version
+        pending = self._pending_bits
+        n_groups = len(alias)
+        # Re-key the accumulated postings by *current* root (postings may
+        # predate a union-find merge) and pre-shrink them to the bits the
+        # root does not know yet — a fully-known posting dies here and
+        # never seeds the closure walk below.  ``work`` is a flat
+        # per-group scratch array (masks are never 0 once seeded),
+        # persistent across flushes with only touched entries re-zeroed.
+        work = self._flush_work
+        color = self._flush_color
+        if len(work) < n_groups:
+            grow = n_groups - len(work)
+            work.extend([0] * grow)
+            color.extend([0] * grow)
+        seeds: list[int] = []
+        for gid, mask in pending.items():
+            root = alias[gid]
+            if alias[root] != root:
+                root = find(gid)
+            new = mask & ~g_bits[root]
+            if not new:
+                continue
+            if not work[root]:
+                seeds.append(root)
+            work[root] |= new
+        pending.clear()
+        self._delta_dirty.clear()
+        if not seeds:
+            return
+
+        # DFS over the child → parent edges from the seeds; reverse
+        # postorder is a topological order of the ancestor closure, so
+        # one ordered sweep applies each node once with every in-flush
+        # descendant already folded in.  Parent sets are resolved
+        # through the union-find exactly once per node (inline alias
+        # chase for the common already-root case); a grey-grey edge
+        # flags a transient cycle, which aborts to the order-insensitive
+        # cascade *before* any mask is applied.
+        # ``color``: 0 white, 1 grey (on stack), 2 black.
+        parents_of: dict[int, list[int]] = {}
+        order: list[int] = []  # DFS postorder
+        cyclic = False
+        frames: list[tuple[int, list[int], int]] = []
+        for seed in seeds:
+            if color[seed]:
+                continue
+            color[seed] = 1
+            plist: list[int] = []
+            for parent in g_parents[seed]:
+                p = alias[parent]
+                if alias[p] != p:
+                    p = find(parent)
+                if p != seed:
+                    plist.append(p)
+            parents_of[seed] = plist
+            node, idx = seed, 0
+            while True:
+                advanced = False
+                while idx < len(plist):
+                    p = plist[idx]
+                    idx += 1
+                    c = color[p]
+                    if c == 0:
+                        frames.append((node, plist, idx))
+                        color[p] = 1
+                        resolved: list[int] = []
+                        for parent in g_parents[p]:
+                            q = alias[parent]
+                            if alias[q] != q:
+                                q = find(parent)
+                            if q != p:
+                                resolved.append(q)
+                        parents_of[p] = resolved
+                        node, plist, idx = p, resolved, 0
+                        advanced = True
+                        break
+                    if c == 1:
+                        cyclic = True
+                if advanced:
+                    continue
+                color[node] = 2
+                order.append(node)
+                if not frames:
+                    break
+                node, plist, idx = frames.pop()
+
+        stats = self.stats
+        if not cyclic:
+            clock = self._clock
+            applied = enqueued = coalesced = 0
+            for node in reversed(order):
+                mask = work[node]
+                if not mask:
+                    continue
+                old = g_bits[node]
+                new = mask & ~old
+                if not new:
+                    continue
+                g_bits[node] = old | new
+                g_card[node] += new.bit_count()
+                clock += 1
+                g_version[node] = clock
+                applied += 1
+                parents = parents_of[node]
+                enqueued += len(parents)
+                for p in parents:
+                    if work[p]:
+                        work[p] |= new
+                        coalesced += 1
+                    else:
+                        work[p] = new
+            self._clock = clock
+            stats.deltas_applied += applied
+            stats.deltas_enqueued += enqueued
+            stats.deltas_coalesced += coalesced
+        else:
+            # Transient cycle (flush forced mid-collapse): cascade the
+            # seed masks order-insensitively instead.  Re-seed the (just
+            # cleared) pending map directly — these postings were
+            # already counted as enqueued when first posted.
+            dirty = self._delta_dirty
+            for node in seeds:
+                if work[node]:
+                    pending[node] = work[node]
+                    dirty.append(node)
+            while dirty:
+                gid = dirty.popleft()
+                mask = pending.pop(gid, None)
+                if mask is not None:
+                    self._apply_delta_bits(gid, mask)
+        # Re-zero exactly the scratch entries this flush touched (every
+        # seed is in the closure, and work is only written for closure
+        # nodes), keeping the arrays warm for the next flush.
+        for node in parents_of:
+            work[node] = 0
+            color[node] = 0
+
+    def _apply_delta_bits(self, gid: int, mask: int) -> None:
+        """Cascade-apply one pending mask (cycle-fallback drain step).
+
+        Only the *changed* bits (``new``) propagate onward to condensed
+        parent groups; an already-known mask dies here without touching
+        the parents at all.
+        """
+        root = self._find(gid)
+        old = self._g_bits[root]
+        new = mask & ~old
+        if not new:
+            return
+        self._g_bits[root] = old | new
+        self._g_card[root] += new.bit_count()
+        self._touch_rset(root)
+        self.stats.deltas_applied += 1
+        find = self._find
+        for parent in self._g_parents[root]:
+            parent_root = find(parent)
+            if parent_root != root:
+                self._post_delta(parent_root, new)
 
     # ------------------------------------------------------------------
     # nontrivial-SCC fixpoint (the SccProcess counterpart)
@@ -862,18 +1318,20 @@ class TopKEngine:
         local_of = pcsr.local_of
         out_off, out_t, out_e = pcsr.out_offsets, pcsr.out_targets, pcsr.out_eidx
         in_off, in_s, in_e = pcsr.in_offsets, pcsr.in_sources, pcsr.in_eidx
+        # External slots start at -1 (checked via unsat); in-SCC slots
+        # count confirmed-or-pending children from zero.  One template
+        # per query node, C-copied per pair.
+        templates = self._counts_template
+        pair_u = self._pair_u
         support: dict[int, list[int]] = {}
         removal: deque[int] = deque()
         for pid in pending:
-            u = self._pair_u[pid]
-            # External slots start at -1 (checked via unsat); in-SCC
-            # slots count confirmed-or-pending children from zero.
-            counts = [-1 if flag else 0 for flag in self._edge_external[u]]
+            counts = templates[pair_u[pid]].copy()
             local = local_of[pid]
-            for i in range(out_off[local], out_off[local + 1]):
-                q = out_t[i]
+            start, end = out_off[local], out_off[local + 1]
+            for q, eidx in zip(out_t[start:end], out_e[start:end]):
                 if status[q] == CONFIRMED or q in pending:
-                    counts[out_e[i]] += 1
+                    counts[eidx] += 1
             support[pid] = counts
             if 0 in counts:
                 removal.append(pid)
@@ -885,14 +1343,13 @@ class TopKEngine:
                 continue
             removed.add(pid)
             local = local_of[pid]
-            for i in range(in_off[local], in_off[local + 1]):
-                pp = in_s[i]
+            start, end = in_off[local], in_off[local + 1]
+            for pp, eidx in zip(in_s[start:end], in_e[start:end]):
                 if pp in removed:
                     continue
                 counts = support.get(pp)
                 if counts is None:
                     continue
-                eidx = in_e[i]
                 counts[eidx] -= 1
                 if counts[eidx] == 0:
                     removal.append(pp)
@@ -1001,8 +1458,8 @@ class TopKEngine:
         local = pcsr.local_of[pid]
         out_t = pcsr.out_targets
         unresolved = 0
-        for i in range(pcsr.out_offsets[local], pcsr.out_offsets[local + 1]):
-            if status[out_t[i]] == PENDING:
+        for q in out_t[pcsr.out_offsets[local] : pcsr.out_offsets[local + 1]]:
+            if status[q] == PENDING:
                 unresolved += 1
         self._g_ext_pending[gid] = self._pending[pid]
         self._g_unresolved[gid] = unresolved
@@ -1026,8 +1483,7 @@ class TopKEngine:
         candidates = self._comp_resolve_candidates[comp]
         local = pcsr.local_of[pid]
         in_s = pcsr.in_sources
-        for i in range(pcsr.in_offsets[local], pcsr.in_offsets[local + 1]):
-            pp = in_s[i]
+        for pp in in_s[pcsr.in_offsets[local] : pcsr.in_offsets[local + 1]]:
             if pp != pid and status[pp] == CONFIRMED:
                 root = self._find(self._group_of[pp])
                 self._g_unresolved[root] -= 1
@@ -1053,6 +1509,7 @@ class TopKEngine:
         pcsr = self._pair_csr(comp)
         status = self._status
         find = self._find
+        alias = self._g_alias
         group_of = self._group_of
         g_out, g_in = self._g_comp_out, self._g_comp_in
         local_of = pcsr.local_of
@@ -1064,36 +1521,73 @@ class TopKEngine:
             starts.append(g)
             out_set = g_out[g]
             local = local_of[pid]
-            for i in range(out_off[local], out_off[local + 1]):
-                q = out_t[i]
+            for q in out_t[out_off[local] : out_off[local + 1]]:
                 if status[q] == CONFIRMED:
-                    gq = find(group_of[q])
+                    gq = alias[group_of[q]]
+                    if alias[gq] != gq:
+                        gq = find(group_of[q])
                     out_set.add(gq)
                     if gq != g:
                         g_in[gq].add(g)
             in_set = g_in[g]
-            for i in range(in_off[local], in_off[local + 1]):
-                pp = in_s[i]
+            for pp in in_s[in_off[local] : in_off[local + 1]]:
                 if pp != pid and status[pp] == CONFIRMED:
-                    gp = find(group_of[pp])
+                    gp = alias[group_of[pp]]
+                    if alias[gp] != gp:
+                        gp = find(group_of[pp])
                     g_out[gp].add(g)
                     in_set.add(gp)
-        for scc in self._condensed_sccs(starts):
+        # Any NEW pair-cycle contains a frontier edge, so it passes
+        # through a start group — and every node on it can reach that
+        # start, i.e. lies in the starts' ancestor closure (over the
+        # condensed in-edges).  Restricting Tarjan to that closure
+        # prunes the (much larger) downstream cone whose groups cannot
+        # be on a new cycle.
+        g_final = self._g_final
+        alias = self._g_alias
+        within = {find(s) for s in starts}
+        within -= g_final
+        stack = list(within)
+        while stack:
+            node = stack.pop()
+            in_set = g_in[node]
+            if not in_set:
+                continue
+            # Resolve + compact in place (final parents dropped for
+            # good: finality is merge-stable, and every consumer skips
+            # them anyway), so later rounds iterate only live roots.
+            resolved_in = set()
+            for x in in_set:
+                p = alias[x]
+                if alias[p] != p:
+                    p = find(x)
+                if p != node and p not in g_final:
+                    resolved_in.add(p)
+                    if p not in within:
+                        within.add(p)
+                        stack.append(p)
+            g_in[node] = resolved_in
+        for scc in self._condensed_sccs(starts, within):
             if len(scc) == 1:
                 g = scc[0]
                 if g not in {find(x) for x in g_out[g]}:
                     continue
             self._merge_groups(comp, set(scc))
 
-    def _condensed_sccs(self, starts: list[int]) -> list[list[int]]:
+    def _condensed_sccs(
+        self, starts: list[int], within: set[int] | None = None
+    ) -> list[list[int]]:
         """Tarjan over group roots reachable from ``starts``.
 
         Successors are the condensed out-edge sets resolved through the
         union-find at visit time (compacting them in place); final
         groups are pruned — they are merge-stable, so no new cycle can
-        pass through them.
+        pass through them.  ``within`` (the starts' ancestor closure)
+        additionally restricts the walk to roots that can still lie on
+        a new cycle.
         """
         find = self._find
+        alias = self._g_alias
         g_out = self._g_comp_out
         g_final = self._g_final
         index_of: dict[int, int] = {}
@@ -1119,9 +1613,17 @@ class TopKEngine:
                     on_stack.add(node)
                 adjacency = succ_of.get(node)
                 if adjacency is None:
-                    resolved = {find(x) for x in g_out[node]}
+                    resolved = set()
+                    for x in g_out[node]:
+                        g = alias[x]
+                        if alias[g] != g:
+                            g = find(x)
+                        resolved.add(g)
                     g_out[node] = resolved
-                    adjacency = [g for g in resolved if g not in g_final]
+                    if within is None:
+                        adjacency = [g for g in resolved if g not in g_final]
+                    else:
+                        adjacency = [g for g in resolved if g in within]
                     succ_of[node] = adjacency
                 advanced = False
                 for pos in range(child_pos, len(adjacency)):
@@ -1159,8 +1661,12 @@ class TopKEngine:
         """
         find = self._find
         target = min(gids)
+        use_bits = self.rset_bitset
         if len(gids) > 1:
-            merged_set = self._g_set[target]
+            if use_bits:
+                merged_bits = self._g_bits[target]
+            else:
+                merged_set = self._g_set[target]
             merged_parents = self._g_parents[target]
             merged_members = self._g_members[target]
             merged_out = self._g_comp_out[target]
@@ -1170,7 +1676,15 @@ class TopKEngine:
             for gid in gids:
                 if gid == target:
                     continue
-                merged_set |= self._g_set[gid]
+                if use_bits:
+                    merged_bits |= self._g_bits[gid]
+                    self._g_self[target] |= self._g_self[gid]
+                    self._g_bits[gid] = 0
+                    self._g_card[gid] = 0
+                    self._g_self[gid] = 0
+                else:
+                    merged_set |= self._g_set[gid]
+                    self._g_set[gid] = set()
                 merged_parents |= self._g_parents[gid]
                 merged_members.extend(self._g_members[gid])
                 merged_out |= self._g_comp_out[gid]
@@ -1178,13 +1692,14 @@ class TopKEngine:
                 ext_pending += self._g_ext_pending[gid]
                 unresolved += self._g_unresolved[gid]
                 self._g_alias[gid] = target
-                self._g_set[gid] = set()
                 self._g_parents[gid] = set()
                 self._g_members[gid] = []
                 self._g_comp_out[gid] = set()
                 self._g_comp_in[gid] = set()
                 self._g_ext_pending[gid] = 0
                 self._g_unresolved[gid] = 0
+            if use_bits:
+                self._g_bits[target] = merged_bits
             self._g_ext_pending[target] = ext_pending
             self._g_unresolved[target] = unresolved
             self._g_parents[target] = {
@@ -1203,20 +1718,41 @@ class TopKEngine:
             # later passes do not re-collapse it.
             self._g_comp_out[target].discard(target)
         # Cycle members reach themselves: include every member's node.
-        data_nodes = {self._pair_v[p] for p in self._g_members[target]}
-        target_set = self._g_set[target]
-        missing = data_nodes - target_set
-        if len(gids) > 1:
-            # Each old group's parents never saw the other groups'
-            # elements — deliver the full merged set to every parent
-            # and let apply_delta subtract what they already know.
-            target_set |= data_nodes
-            snapshot = frozenset(target_set)
-            for parent in list(self._g_parents[target]):
-                if find(parent) != target:
-                    self._delta_queue.append((parent, snapshot))
-        elif missing:
-            self._delta_queue.append((target, frozenset(missing)))
+        if use_bits:
+            member_mask = self._g_self[target]
+            if len(gids) > 1:
+                # Each old group's parents never saw the other groups'
+                # elements — deliver the full merged mask to every parent
+                # and let the drain subtract what they already know.
+                full = self._g_bits[target] | member_mask
+                self._g_bits[target] = full
+                self._g_card[target] = full.bit_count()
+                self._touch_rset(target)
+                for parent in list(self._g_parents[target]):
+                    parent_root = find(parent)
+                    if parent_root != target:
+                        self._post_delta(parent_root, full)
+            else:
+                missing = member_mask & ~self._g_bits[target]
+                if missing:
+                    self._post_delta(target, missing)
+        else:
+            data_nodes = {self._pair_v[p] for p in self._g_members[target]}
+            target_set = self._g_set[target]
+            missing = data_nodes - target_set
+            if len(gids) > 1:
+                target_set |= data_nodes
+                self._touch_rset(target)
+                snapshot = frozenset(target_set)
+                enqueued = 0
+                for parent in list(self._g_parents[target]):
+                    if find(parent) != target:
+                        self._delta_queue.append((parent, snapshot))
+                        enqueued += 1
+                self.stats.deltas_enqueued += enqueued
+            elif missing:
+                self._delta_queue.append((target, frozenset(missing)))
+                self.stats.deltas_enqueued += 1
         # The collapsed group may already satisfy its settlement gates.
         # (Rescan mode never drains the candidate set — skip the add.)
         if self.scc_incremental:
@@ -1237,6 +1773,7 @@ class TopKEngine:
             return
         candidates = self._comp_resolve_candidates[comp]
         find = self._find
+        alias = self._g_alias
         g_final = self._g_final
         while candidates:
             gid = find(candidates.pop())
@@ -1244,8 +1781,13 @@ class TopKEngine:
                 continue
             if self._g_ext_pending[gid] or self._g_unresolved[gid]:
                 continue
-            out_roots = {find(x) for x in self._g_comp_out[gid]}
-            out_roots.discard(gid)
+            out_roots = set()
+            for x in self._g_comp_out[gid]:
+                p = alias[x]
+                if alias[p] != p:
+                    p = find(x)
+                if p != gid:
+                    out_roots.add(p)
             self._g_comp_out[gid] = out_roots
             if not out_roots <= g_final:
                 continue
@@ -1254,7 +1796,10 @@ class TopKEngine:
                 self._finalize_pair(pid)
             # The rescan loop's ``changed`` sweep, made event-driven:
             # finality can unblock condensed in-parents.
-            for parent in {find(x) for x in self._g_comp_in[gid]}:
+            for x in self._g_comp_in[gid]:
+                parent = alias[x]
+                if alias[parent] != parent:
+                    parent = find(x)
                 if parent != gid and parent not in g_final:
                     candidates.add(parent)
 
@@ -1368,6 +1913,9 @@ class TopKEngine:
         if self._finalized[pid]:
             return
         self._finalized[pid] = True
+        # Finalisation (and the DEAD transitions that precede it) can
+        # move upper bounds, so it invalidates the termination cache.
+        self._clock += 1
         u, v = self._pair_u[pid], self._pair_v[pid]
         comp = self._comp_of_node[u]
         if comp in self._nontrivial and not self._comp_finalized[comp]:
@@ -1378,12 +1926,23 @@ class TopKEngine:
             if self._decisive_ready(comp):
                 self._decisive_queue.append(comp)
         predecessors = self._preds(v)
+        pid_arr = self._pid_arr
         for u_parent, _ in self._in_edges[u]:
             parent_comp = self._comp_of_node[u_parent]
             in_comp_edge = parent_comp == comp and parent_comp in self._nontrivial
             if in_comp_edge:
                 continue  # in-SCC finalisation is handled at component level
-            for pp in self._pair_ids(u_parent, predecessors):
+            if pid_arr is not None:
+                parent_arr = pid_arr[u_parent]
+                parent_pids = [
+                    pp for w in predecessors if (pp := parent_arr[w]) >= 0
+                ]
+            else:
+                parent_map = self._pid_of[u_parent]
+                parent_pids = [
+                    pp for w in predecessors if (pp := parent_map.get(w)) is not None
+                ]
+            for pp in parent_pids:
                 if self._finalized[pp]:
                     continue
                 self._pending[pp] -= 1

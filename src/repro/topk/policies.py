@@ -67,10 +67,14 @@ class RelevancePolicy(SelectionPolicy):
         self._confirmed.append((v, pid))
 
     def selection(self, k: int) -> list[tuple[int, int]]:
-        engine = self.engine
-        return heapq.nlargest(
-            k, self._confirmed, key=lambda item: (engine.lower_value(item[1]), -item[0])
+        confirmed = self._confirmed
+        lowers = self.engine.lower_values([pid for _, pid in confirmed])
+        best = heapq.nlargest(
+            k,
+            range(len(confirmed)),
+            key=lambda i: (lowers[i], -confirmed[i][0]),
         )
+        return [confirmed[i] for i in best]
 
 
 class DiversifiedPolicy(SelectionPolicy):

@@ -33,6 +33,16 @@ class EngineStats:
     terminated_early:
         True when Proposition 3 fired before the candidate space was
         exhausted.
+    deltas_enqueued:
+        Relevance deltas posted between relevant-set groups (one per
+        (source event, target group) posting, before coalescing).
+    deltas_coalesced:
+        Postings merged into an already-pending delta for the same
+        target group root instead of becoming their own drain step
+        (always 0 on the dict reference path, which drains one posting
+        at a time).
+    deltas_applied:
+        Drain steps that actually extended a group's relevant set.
     elapsed_seconds:
         Wall-clock runtime of the algorithm body.
     """
@@ -43,6 +53,9 @@ class EngineStats:
     visited_seeds: int = 0
     pairs_created: int = 0
     terminated_early: bool = False
+    deltas_enqueued: int = 0
+    deltas_coalesced: int = 0
+    deltas_applied: int = 0
     elapsed_seconds: float = 0.0
 
     @property

@@ -1,0 +1,258 @@
+"""Property suite: packed-bitset relevant sets ≡ the dict/set oracle.
+
+The engine's group relevant sets exist in two representations: the
+reference one (one Python set per group root, deltas drained one posting
+at a time) and the packed one (members interned into big-int bitsets,
+postings coalesced per target root and flushed in one topological pass
+over the group DAG).  This suite pins their equivalence on randomized
+cyclic patterns and randomized confirmation orders:
+
+* engines differing only in ``rset_bitset`` are deterministic twins —
+  identical matches, scores, and the full per-pair vector ``v.T``
+  (status, relevant set, cardinality, finalisation flag) — across the
+  whole (use_csr × rset_bitset) toggle grid, including union-find group
+  merges mid-flood (cyclic patterns collapse groups while deltas are
+  still pending);
+* group versions are monotone per root, rset growth always bumps them,
+  and multi-group merges stamp the surviving root — on BOTH
+  representations (checked live by an instrumented engine subclass);
+* the public ``partial_relevant`` boundary hands out immutable
+  snapshots on both paths: caller-side mutation raises and cannot
+  corrupt group state.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import csr
+from repro.topk.engine import CONFIRMED, TopKEngine
+from repro.topk.policies import RelevancePolicy
+from repro.topk.selection import GreedySelection, RandomSelection
+
+from tests.conftest import make_random_graph
+from tests.test_csr_equivalence import rich_random_graph, rich_random_pattern
+from tests.topk.test_scc_incremental import cyclic_pattern
+
+pytestmark = pytest.mark.skipif(not csr.available(), reason="numpy unavailable")
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+LABELS = "AB"
+
+
+class VersionCheckedEngine(TopKEngine):
+    """Engine twin asserting version monotonicity at every rset event."""
+
+    def _flush_deltas(self):
+        before_ver = list(self._g_version)
+        before_bits = list(self._g_bits)
+        super()._flush_deltas()
+        for g, prior in enumerate(before_ver):
+            assert self._g_version[g] >= prior, "version went backwards"
+            if g < len(before_bits) and self._g_bits[g] != before_bits[g]:
+                assert self._g_version[g] > prior, "rset grew without a bump"
+
+    def _apply_delta(self, gid, delta):
+        root = self._find(gid)
+        before_ver = self._g_version[root]
+        before = set(self._g_set[root])
+        super()._apply_delta(gid, delta)
+        root = self._find(root)
+        assert self._g_version[root] >= before_ver
+        if self._g_set[root] != before:
+            assert self._g_version[root] > before_ver, "rset grew without a bump"
+
+    def _merge_groups(self, comp, gids):
+        target = min(gids)
+        before_ver = self._g_version[target]
+        super()._merge_groups(comp, gids)
+        if len(gids) > 1:
+            root = self._find(target)
+            assert self._g_version[root] > before_ver, "merge did not stamp root"
+
+
+def build_engine(
+    pattern, graph, k=3, use_csr=True, rset_bitset=True, sel_seed=None,
+    batch_size=None, engine_cls=TopKEngine,
+):
+    strategy = GreedySelection() if sel_seed is None else RandomSelection(sel_seed)
+    engine = engine_cls(
+        pattern,
+        graph,
+        k,
+        policy=RelevancePolicy(),
+        strategy=strategy,
+        batch_size=batch_size,
+        use_csr=use_csr,
+        rset_bitset=rset_bitset,
+    )
+    result = engine.run()
+    return engine, result
+
+
+def assert_pair_states_equal(pattern, engine_a, engine_b):
+    for u in pattern.nodes():
+        for v in engine_a.candidates.lists[u]:
+            assert engine_a.debug_state(u, v) == engine_b.debug_state(u, v)
+
+
+class TestDeterministicTwins:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_full_toggle_grid_agrees(self, seed):
+        """All four (use_csr × rset_bitset) arms are deterministic twins."""
+        graph = rich_random_graph(seed)
+        pattern = rich_random_pattern(seed + 1, cyclic=True)
+        engines = [
+            build_engine(pattern, graph, use_csr=use_csr, rset_bitset=bitset)
+            for use_csr in (True, False)
+            for bitset in (True, False)
+        ]
+        (ref_engine, ref), rest = engines[0], engines[1:]
+        for engine, result in rest:
+            assert result.matches == ref.matches
+            assert result.scores == ref.scores
+            if not ref_engine._infeasible:
+                assert_pair_states_equal(pattern, ref_engine, engine)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        sel_seed=st.integers(min_value=0, max_value=50),
+        batch_size=st.sampled_from([1, 2, None]),
+    )
+    @SETTINGS
+    def test_randomized_confirmation_orders_twin(self, seed, sel_seed, batch_size):
+        """Random seeding + tiny batches permute the confirmation/merge
+        order, so groups collapse while deltas are still in flight."""
+        graph = make_random_graph(seed, num_nodes=14, num_edges=34, labels=LABELS)
+        pattern = cyclic_pattern(seed + 3)
+        bit_engine, bit = build_engine(
+            pattern, graph, rset_bitset=True, sel_seed=sel_seed, batch_size=batch_size
+        )
+        set_engine, ref = build_engine(
+            pattern, graph, rset_bitset=False, sel_seed=sel_seed, batch_size=batch_size
+        )
+        assert bit.matches == ref.matches
+        assert bit.scores == ref.scores
+        if not bit_engine._infeasible:
+            assert_pair_states_equal(pattern, bit_engine, set_engine)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_rset_contents_and_cardinalities_match(self, seed):
+        """Per-pair: packed rset decodes to the oracle set, |R| matches."""
+        graph = make_random_graph(seed, num_nodes=14, num_edges=34, labels=LABELS)
+        pattern = cyclic_pattern(seed + 11)
+        bit_engine, _ = build_engine(pattern, graph, rset_bitset=True)
+        set_engine, _ = build_engine(pattern, graph, rset_bitset=False)
+        if bit_engine._infeasible:
+            return
+        for u in pattern.nodes():
+            for v in bit_engine.candidates.lists[u]:
+                pid = bit_engine._pid_of[u][v]
+                bit_rset = bit_engine.rset_of(pid)
+                set_rset = set_engine.rset_of(set_engine._pid_of[u][v])
+                assert set(bit_rset) == set(set_rset)
+                assert len(bit_rset) == len(set_rset)
+                assert bit_engine.lower_value(pid) == set_engine.lower_value(
+                    set_engine._pid_of[u][v]
+                )
+
+
+class TestVersionsMonotone:
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        bitset=st.booleans(),
+    )
+    @SETTINGS
+    def test_versions_monotone_under_flood(self, seed, bitset):
+        """Every rset change bumps the root's version; never backwards."""
+        graph = make_random_graph(seed, num_nodes=14, num_edges=34, labels=LABELS)
+        pattern = cyclic_pattern(seed + 7)
+        engine, _ = build_engine(
+            pattern, graph, rset_bitset=bitset, engine_cls=VersionCheckedEngine
+        )
+        if engine._infeasible:
+            return
+        # Versions never exceed the clock, and confirmed groups carry one.
+        for pid, gid in enumerate(engine._group_of):
+            if gid < 0:
+                continue
+            root = engine._find(gid)
+            assert 0 <= engine._g_version[root] <= engine._clock
+
+
+class TestImmutableViews:
+    def _confirmed_pid(self, engine):
+        for pid, status in enumerate(engine._status):
+            if status == CONFIRMED and engine.rset_of(pid):
+                return pid
+        return None
+
+    @pytest.mark.parametrize("bitset", [True, False])
+    def test_partial_relevant_is_immutable(self, bitset):
+        graph = make_random_graph(3, num_nodes=14, num_edges=34, labels=LABELS)
+        pattern = cyclic_pattern(5)
+        engine, _ = build_engine(pattern, graph, rset_bitset=bitset)
+        if engine._infeasible:
+            pytest.skip("infeasible draw")
+        pid = self._confirmed_pid(engine)
+        if pid is None:
+            pytest.skip("no confirmed nonempty rset")
+        view = engine.partial_relevant(pid)
+        before = set(view)
+        before_state = engine.debug_state(engine._pair_u[pid], engine._pair_v[pid])
+        # No mutating API: add/discard/update must not exist.
+        for method in ("add", "discard", "update", "clear", "remove", "pop"):
+            assert not hasattr(view, method)
+        # Set algebra yields fresh objects, never touching group state.
+        grown = view | {10_000}
+        assert 10_000 not in view and 10_000 in grown
+        shrunk = view - set(before)
+        assert len(shrunk) == 0 and len(view) == len(before)
+        after_state = engine.debug_state(engine._pair_u[pid], engine._pair_v[pid])
+        assert after_state == before_state
+        assert set(engine.partial_relevant(pid)) == before
+
+    def test_bitset_view_is_a_frozen_snapshot(self):
+        """A handed-out view must not follow later group growth."""
+        interner = csr.NodeInterner([1, 2, 3, 5])
+        view = csr.FrozenBitset(interner.mask_of([1, 3]), interner)
+        assert set(view) == {1, 3}
+        assert 2 not in view and -1 not in view and "x" not in view
+        assert len(view) == 2 and bool(view)
+        # frozenset interop: equality, hash, mixed algebra.
+        assert view == frozenset({1, 3})
+        assert hash(view) == hash(frozenset({1, 3}))
+        assert view | {2} == {1, 2, 3}
+        other = csr.FrozenBitset(interner.mask_of([3, 5]), interner)
+        assert view & other == frozenset({3})
+        assert view - other == {1}
+        assert view ^ other == {1, 5}
+        assert (view <= csr.FrozenBitset(interner.mask_of([1, 2, 3]), interner))
+        assert not view.isdisjoint(other)
+        assert view.isdisjoint(csr.FrozenBitset(0, interner))
+
+    def test_view_survives_group_growth(self):
+        """Snapshot semantics on the live engine: grow after read."""
+        graph = make_random_graph(8, num_nodes=14, num_edges=34, labels=LABELS)
+        pattern = cyclic_pattern(9)
+        engine, _ = build_engine(pattern, graph, rset_bitset=True)
+        if engine._infeasible:
+            pytest.skip("infeasible draw")
+        pid = self._confirmed_pid(engine)
+        if pid is None:
+            pytest.skip("no confirmed nonempty rset")
+        view = engine.partial_relevant(pid)
+        snapshot = set(view)
+        root = engine._find(engine._group_of[pid])
+        # Simulate a later delta landing on the group root.
+        engine._g_bits[root] |= 1 << 0
+        engine._g_card[root] = engine._g_bits[root].bit_count()
+        engine._touch_rset(root)
+        assert set(view) == snapshot  # the old view is frozen
+        fresh = engine.partial_relevant(pid)
+        assert fresh is not view
