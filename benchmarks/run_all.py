@@ -13,7 +13,10 @@ by cumulative time, so hotspot claims ("the cyclic engine is dominated
 by the SCC group machinery") are reproducible in one command.  It also
 prints the engine's relevance-delta counters (enqueued / coalesced /
 applied) summed per algorithm, so the delta-flood volume the packed
-rset path coalesces away is visible alongside the time profile.
+rset path coalesces away is visible alongside the time profile — and
+the cache-effectiveness counters (snapshot / simulation / bound-index /
+pair-CSR hits vs rebuilds), so the artifact reuse a MatchSession would
+amortise is quantified per algorithm too.
 """
 
 from __future__ import annotations
@@ -31,9 +34,19 @@ from repro.workloads.paper_queries import youtube_q1, youtube_q2
 #: accumulated across every run of the sweep and reported by --profile.
 _DELTA_TOTALS: dict[str, dict[str, int]] = {}
 
+#: Per-algorithm totals of the cache-effectiveness counters (snapshot /
+#: simulation / bound-index / pair-CSR hits vs rebuilds), likewise
+#: accumulated across the sweep for the --profile report.
+_CACHE_TOTALS: dict[str, dict[str, int]] = {}
+
+_CACHE_KEYS = (
+    "snapshot_hits", "snapshot_builds", "sim_hits", "sim_builds",
+    "bounds_hits", "bounds_builds", "paircsr_hits", "paircsr_builds",
+)
+
 
 def run_algorithm(name, pattern, graph, k, lam=0.5, **kwargs):
-    """Harness pass-through that also aggregates the delta counters."""
+    """Harness pass-through that also aggregates the profile counters."""
     record = _run_algorithm(name, pattern, graph, k, lam, **kwargs)
     totals = _DELTA_TOTALS.setdefault(
         name, {"runs": 0, "enqueued": 0, "coalesced": 0, "applied": 0}
@@ -42,6 +55,12 @@ def run_algorithm(name, pattern, graph, k, lam=0.5, **kwargs):
     totals["enqueued"] += record.extra.get("deltas_enqueued", 0)
     totals["coalesced"] += record.extra.get("deltas_coalesced", 0)
     totals["applied"] += record.extra.get("deltas_applied", 0)
+    cache_totals = _CACHE_TOTALS.setdefault(
+        name, {key: 0 for key in ("runs",) + _CACHE_KEYS}
+    )
+    cache_totals["runs"] += 1
+    for key in _CACHE_KEYS:
+        cache_totals[key] += record.extra.get(key, 0)
     return record
 
 
@@ -56,6 +75,29 @@ def _delta_counter_table() -> None:
         print("(no engine runs recorded)")
         return
     print(format_table(["algorithm", "runs", "deltas enq", "coalesced", "applied"], rows))
+
+
+def _cache_counter_table() -> None:
+    print("\n## Cache effectiveness (hits/builds per algorithm, summed over the sweep)\n")
+    rows = []
+    for name, t in sorted(_CACHE_TOTALS.items()):
+        if not any(t[key] for key in _CACHE_KEYS):
+            continue
+        rows.append([
+            name, t["runs"],
+            f"{t['snapshot_hits']}/{t['snapshot_builds']}",
+            f"{t['sim_hits']}/{t['sim_builds']}",
+            f"{t['bounds_hits']}/{t['bounds_builds']}",
+            f"{t['paircsr_hits']}/{t['paircsr_builds']}",
+        ])
+    if not rows:
+        print("(no engine runs recorded)")
+        return
+    print(format_table(
+        ["algorithm", "runs", "snapshot h/b", "sim h/b", "bounds h/b",
+         "pair-CSR h/b"],
+        rows,
+    ))
 
 
 def _cell(record, metric):
@@ -211,6 +253,7 @@ def main(argv: list[str] | None = None) -> int:
     status = run_sweeps()
     profiler.disable()
     _delta_counter_table()
+    _cache_counter_table()
     print("\n## cProfile: top functions by cumulative time\n")
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.profile_top)
     return status

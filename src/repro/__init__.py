@@ -23,6 +23,15 @@ and ranking stay consistent while the graph mutates (``add_edge`` /
 ``remove_edge`` / ``add_node`` / ``remove_node`` / ``apply_delta``),
 maintained by delta simulation instead of per-query recomputation.
 
+For batched multi-query serving, :mod:`repro.session` pins one
+compiled snapshot generation and amortises candidates, simulation,
+bound indexes and pair-CSRs across a heterogeneous query batch::
+
+    from repro import MatchSession, QuerySpec
+
+    with MatchSession(g) as session:
+        results = session.run_batch([QuerySpec(q1, k=10), QuerySpec(q2, k=5)])
+
 Quickstart::
 
     from repro import Graph, PatternBuilder, api
@@ -43,6 +52,7 @@ from repro.errors import (
     PatternError,
     RankingError,
     ReproError,
+    StaleSessionError,
 )
 from repro.graph.delta import DeltaOp
 from repro.graph.digraph import Graph
@@ -53,6 +63,7 @@ from repro.patterns.builder import PatternBuilder
 from repro.patterns.pattern import Pattern, pattern_from_edges
 from repro.ranking.context import RankingContext
 from repro.ranking.diversification import DiversificationObjective
+from repro.session import ExecutionConfig, MatchSession, QueryHandle, QuerySpec
 from repro.topk.result import EngineStats, TopKResult
 
 __version__ = "1.0.0"
@@ -63,18 +74,23 @@ __all__ = [
     "DeltaOp",
     "DiversificationObjective",
     "EngineStats",
+    "ExecutionConfig",
     "Graph",
     "GraphError",
     "LabelTable",
+    "MatchSession",
     "MatchView",
     "MatchViewManager",
     "MatchingError",
     "Pattern",
     "PatternBuilder",
     "PatternError",
+    "QueryHandle",
+    "QuerySpec",
     "RankingContext",
     "RankingError",
     "ReproError",
+    "StaleSessionError",
     "TopKResult",
     "api",
     "pattern_from_edges",

@@ -13,6 +13,23 @@ otherwise, exactly the split the paper draws.  ``diversified_matches``
 picks the early-terminating heuristic by default (``method="heuristic"``)
 and the 2-approximation with ``method="approx"``.
 
+Since PR 5 every one-shot query function is a thin shim over an
+implicit, per-call :class:`repro.session.MatchSession` — one pinned
+snapshot generation, the same engine wrappers — so a one-shot call and
+a session query are literally the same code path.  To serve *batches*
+(and amortise candidates, simulation, bound indexes and pair-CSRs
+across queries) open the session yourself:
+
+>>> from repro.session import MatchSession, QuerySpec               # doctest: +SKIP
+>>> with MatchSession(graph) as session:                            # doctest: +SKIP
+...     results = session.run_batch([QuerySpec(q1, k=10), QuerySpec(q2, k=5)])
+
+Execution toggles are one :class:`repro.session.ExecutionConfig`
+(``config=``); the legacy kwargs (``optimized`` / ``use_csr`` /
+``scc_incremental`` / ``rset_bitset`` / ``bound_strategy`` /
+``batch_size`` / ``presimulate`` / ``seed``) remain accepted through a
+deprecation adapter that maps them onto the same config.
+
 For update streams, register the pattern once and mutate the graph —
 the materialized view follows along without per-query recomputation:
 
@@ -23,7 +40,7 @@ the materialized view follows along without per-query recomputation:
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.errors import MatchingError
 from repro.graph.delta import DeltaOp
@@ -36,11 +53,59 @@ from repro.patterns.pattern import Pattern
 from repro.ranking.context import RankingContext
 from repro.ranking.diversification import DiversificationObjective
 from repro.ranking.relevance import RelevanceFunction
+from repro.session import ExecutionConfig, MatchSession
 from repro.simulation.match import SimulationResult, maximal_simulation
 from repro.topk.cyclic import top_k
 from repro.topk.dag import top_k_dag
 from repro.topk.match_all import match_baseline
 from repro.topk.result import TopKResult
+
+#: Legacy engine kwargs the deprecation adapter can express as an
+#: :class:`ExecutionConfig`.  Anything else (``candidates=...``,
+#: ``strategy=...``) bypasses the implicit session and goes straight to
+#: the engine wrapper, exactly as before.
+_CONFIG_KEYS = frozenset(
+    (
+        "use_csr",
+        "scc_incremental",
+        "rset_bitset",
+        "bound_strategy",
+        "batch_size",
+        "presimulate",
+        "seed",
+    )
+)
+
+
+def _adapt_options(
+    optimized: bool,
+    config: ExecutionConfig | None,
+    options: dict[str, Any],
+) -> ExecutionConfig | None:
+    """Map the legacy kwargs surface onto one :class:`ExecutionConfig`.
+
+    Returns ``None`` when ``options`` carries keys a config cannot
+    express — the caller then falls back to the direct wrapper call
+    (which still accepts every historical kwarg).
+    """
+    if not set(options) <= _CONFIG_KEYS:
+        return None
+    return ExecutionConfig.adapt(config, optimized=optimized, **options)
+
+
+def execution_session(
+    graph: Graph,
+    config: ExecutionConfig | None = None,
+    on_mutation: str = "refuse",
+) -> MatchSession:
+    """Open a :class:`MatchSession` over ``graph`` (batched serving).
+
+    Convenience re-export so ``api`` stays a one-stop facade::
+
+        with api.execution_session(graph) as session:
+            results = session.run_batch(specs)
+    """
+    return MatchSession(graph, config=config, on_mutation=on_mutation)
 
 
 def find_matches(
@@ -68,24 +133,29 @@ def top_k_matches(
     k: int,
     optimized: bool = True,
     relevance_fn: RelevanceFunction | None = None,
+    config: ExecutionConfig | None = None,
     **engine_options,
 ) -> TopKResult:
     """topKP with early termination: ``TopKDAG`` or ``TopK`` as appropriate.
 
-    ``engine_options`` forward to the engine wrappers — notably the
-    representation toggles ``use_csr`` (CSR snapshot fast path),
-    ``scc_incremental`` (incremental SCC group machinery) and
-    ``rset_bitset`` (packed relevant sets + batched delta propagation),
-    each defaulting to follow ``optimized``/``use_csr`` so that
-    ``optimized=False`` selects the full reference algorithm.
+    A thin shim over an implicit per-call :class:`MatchSession`.  Pass
+    ``config=`` (an :class:`ExecutionConfig`) for the session-era
+    surface; the legacy ``engine_options`` kwargs — the representation
+    toggles ``use_csr`` / ``scc_incremental`` / ``rset_bitset`` (each
+    defaulting to follow ``optimized``), ``bound_strategy``,
+    ``batch_size``, ``presimulate``, ``seed`` — are accepted via the
+    deprecation adapter.  Options a config cannot express
+    (``candidates=...``) fall through to the engine wrapper directly.
     """
-    if pattern.is_dag():
-        return top_k_dag(
-            pattern, graph, k, optimized=optimized, relevance_fn=relevance_fn, **engine_options
+    cfg = _adapt_options(optimized, config, engine_options)
+    if cfg is None:
+        runner = top_k_dag if pattern.is_dag() else top_k
+        return runner(
+            pattern, graph, k, optimized=optimized, relevance_fn=relevance_fn,
+            config=config, **engine_options,
         )
-    return top_k(
-        pattern, graph, k, optimized=optimized, relevance_fn=relevance_fn, **engine_options
-    )
+    with MatchSession(graph, config=cfg) as session:
+        return session.top_k(pattern, k, relevance_fn=relevance_fn)
 
 
 def baseline_matches(
@@ -94,11 +164,12 @@ def baseline_matches(
     k: int,
     relevance_fn: RelevanceFunction | None = None,
     optimized: bool = True,
+    config: ExecutionConfig | None = None,
 ) -> TopKResult:
     """The ``Match`` baseline: compute everything, then rank."""
-    return match_baseline(
-        pattern, graph, k, relevance_fn=relevance_fn, optimized=optimized
-    )
+    cfg = ExecutionConfig.adapt(config, optimized=optimized)
+    with MatchSession(graph, config=cfg) as session:
+        return session.baseline(pattern, k, relevance_fn=relevance_fn)
 
 
 def diversified_matches(
@@ -109,6 +180,7 @@ def diversified_matches(
     method: str = "heuristic",
     objective: DiversificationObjective | None = None,
     optimized: bool = True,
+    config: ExecutionConfig | None = None,
     **options,
 ) -> TopKResult:
     """topKDP: diversified top-k matches of the output node.
@@ -117,21 +189,27 @@ def diversified_matches(
     ``TopKDAGDH``; ``method="approx"`` runs the 2-approximation
     ``TopKDiv``.  ``optimized=False`` selects the full dict-of-sets
     reference path (and, for the heuristic, random seed selection).
-    Engine toggles (``use_csr``, ``scc_incremental``, ``rset_bitset``)
-    pass through ``options``; both methods accept them, so one option
-    set works regardless of ``method``.
+    A thin shim over an implicit per-call :class:`MatchSession`;
+    engine toggles pass through ``config=`` or the legacy ``options``
+    kwargs, and both methods accept the same option set regardless of
+    ``method``.
     """
-    if method == "heuristic":
-        return top_k_diversified_heuristic(
-            pattern, graph, k, lam=lam, objective=objective, optimized=optimized,
-            **options,
+    if method not in ("heuristic", "approx"):
+        raise MatchingError(f"unknown diversification method {method!r}")
+    cfg = _adapt_options(optimized, config, options)
+    if cfg is None:
+        runner = (
+            top_k_diversified_heuristic if method == "heuristic"
+            else top_k_diversified_approx
         )
-    if method == "approx":
-        return top_k_diversified_approx(
-            pattern, graph, k, lam=lam, objective=objective, optimized=optimized,
-            **options,
+        return runner(
+            pattern, graph, k, lam=lam, objective=objective,
+            optimized=optimized, config=config, **options,
         )
-    raise MatchingError(f"unknown diversification method {method!r}")
+    with MatchSession(graph, config=cfg) as session:
+        return session.diversified(
+            pattern, k, lam=lam, method=method, objective=objective
+        )
 
 
 def view_manager(graph: Graph) -> MatchViewManager:
@@ -154,7 +232,9 @@ def register_view(
     delta simulation instead of per-query recomputation.  ``graph`` must
     be mutable — call :meth:`Graph.thaw` on frozen dataset graphs first.
     Options forward to :class:`MatchView` (``lam``, ``relevance_fn``,
-    ``recompute_threshold``, ``optimized``).
+    ``recompute_threshold``, ``optimized``, ``cache``).  To share
+    rebuild work with a serving session, register through
+    :meth:`MatchSession.register_view` instead.
     """
     return view_manager(graph).register(pattern, k=k, name=name, **view_options)
 
@@ -184,29 +264,37 @@ def top_k_matches_multi(
     k: int,
     optimized: bool = True,
     relevance_fn: RelevanceFunction | None = None,
+    config: ExecutionConfig | None = None,
     **engine_options,
 ) -> dict[int, TopKResult]:
     """topKP for patterns with *multiple* output nodes (Section 2.2).
 
-    Runs the early-terminating engine once per designated output node and
-    returns ``{output_node: TopKResult}``.  Each run shares the graph-level
-    index caches, so the fan-out costs little beyond the per-node ranking.
-    Like :func:`top_k_matches`, DAG patterns route through ``TopKDAG`` and
+    Runs the early-terminating engine once per designated output node
+    through **one** :class:`MatchSession`, so the pattern's candidates,
+    simulation prefix, bound index and pair-CSRs are built once and
+    shared across the fan-out — each extra output node costs only its
+    own ranking.  Returns ``{output_node: TopKResult}``.  Like
+    :func:`top_k_matches`, DAG patterns route through ``TopKDAG`` and
     cyclic ones through ``TopK``, and a generalised ``relevance_fn``
     (Section 3.4) applies to every output node's ranking.
     """
     if not pattern.output_nodes:
         raise MatchingError("pattern has no designated output nodes")
-    engine = top_k_dag if pattern.is_dag() else top_k
-    results: dict[int, TopKResult] = {}
-    for node in pattern.output_nodes:
-        results[node] = engine(
-            pattern,
-            graph,
-            k,
-            optimized=optimized,
-            relevance_fn=relevance_fn,
-            output_node=node,
-            **engine_options,
-        )
-    return results
+    cfg = _adapt_options(optimized, config, engine_options)
+    if cfg is None:
+        engine = top_k_dag if pattern.is_dag() else top_k
+        results: dict[int, TopKResult] = {}
+        for node in pattern.output_nodes:
+            results[node] = engine(
+                pattern,
+                graph,
+                k,
+                optimized=optimized,
+                relevance_fn=relevance_fn,
+                output_node=node,
+                config=config,
+                **engine_options,
+            )
+        return results
+    with MatchSession(graph, config=cfg) as session:
+        return session.top_k_multi(pattern, k, relevance_fn=relevance_fn)

@@ -98,6 +98,11 @@ def run_algorithm(
             "deltas_enqueued": stats.deltas_enqueued,
             "deltas_coalesced": stats.deltas_coalesced,
             "deltas_applied": stats.deltas_applied,
+            # Cache-effectiveness counters (snapshot / simulation /
+            # bound-index / pair-CSR hits vs rebuilds; hits come from
+            # the graph-level snapshot cache and, under a MatchSession,
+            # the session's shared artifact store).
+            **stats.cache_counters(),
         },
     )
 

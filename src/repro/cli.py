@@ -8,11 +8,31 @@ Examples::
     python -m repro match --graph yt.json --pattern q1.json --k 10 \\
         --diversify --lam 0.5
     python -m repro match --graph yt.json --pattern q1.json --algorithm Match
+    python -m repro batch --graph yt.json --queries batch.json --json
     python -m repro update-stream --graph yt.json --pattern q1.json \\
         --deltas updates.jsonl --k 10
 
 Pattern files use the JSON schema of :mod:`repro.patterns.io`; delta
 files are JSON lines in the schema of :mod:`repro.graph.delta`.
+
+Batch files (the ``batch`` subcommand) describe one query batch served
+through a single :class:`repro.session.MatchSession`::
+
+    {
+      "format": "repro-batch-json",
+      "queries": [
+        {"pattern": "q1.json", "k": 10},
+        {"pattern": "q1.json", "k": 5, "mode": "diversified", "lam": 0.3,
+         "method": "approx"},
+        {"pattern": {... inline repro-pattern-json document ...},
+         "mode": "multi"}
+      ]
+    }
+
+``pattern`` is a path (relative to the batch file) or an inline pattern
+document; ``mode`` is one of ``topk`` (default), ``diversified``,
+``baseline``, ``multi``; ``k`` / ``lam`` default to the command-line
+``--k`` / ``--lam``.
 """
 
 from __future__ import annotations
@@ -107,6 +127,131 @@ def _cmd_match(args: argparse.Namespace) -> int:
             print(f"  #{entry['node']}: {attrs}")
         if record.objective_value is not None:
             print(f"F(S) = {record.objective_value:.4f}")
+    return 0
+
+
+BATCH_FORMAT = "repro-batch-json"
+
+
+def load_batch_file(path: str) -> list[dict]:
+    """Parse a batch file into per-query spec dicts (patterns loaded).
+
+    Relative pattern paths resolve against the batch file's directory.
+    """
+    from pathlib import Path
+
+    from repro.errors import MatchingError
+    from repro.patterns.io import load_pattern, pattern_from_dict
+
+    doc_path = Path(path)
+    payload = json.loads(doc_path.read_text())
+    if payload.get("format") != BATCH_FORMAT:
+        raise MatchingError(f"not a {BATCH_FORMAT} document: {path}")
+    queries = payload.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise MatchingError(f"batch file has no queries: {path}")
+    allowed_keys = {"pattern", "k", "mode", "lam", "method", "output_node"}
+    specs: list[dict] = []
+    for index, entry in enumerate(queries):
+        if not isinstance(entry, dict) or "pattern" not in entry:
+            raise MatchingError(f"batch query #{index} has no pattern")
+        unknown = sorted(set(entry) - allowed_keys)
+        if unknown:
+            raise MatchingError(
+                f"batch query #{index} has unknown keys {unknown}; "
+                f"expected a subset of {sorted(allowed_keys)}"
+            )
+        source = entry["pattern"]
+        if isinstance(source, dict):
+            pattern = pattern_from_dict(source)
+        else:
+            pattern_path = Path(source)
+            if not pattern_path.is_absolute():
+                pattern_path = doc_path.parent / pattern_path
+            pattern = load_pattern(pattern_path)
+        spec = {key: value for key, value in entry.items() if key != "pattern"}
+        spec["pattern"] = pattern
+        specs.append(spec)
+    return specs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.session import ExecutionConfig, MatchSession, QuerySpec
+
+    graph = load_json(args.graph)
+    entries = load_batch_file(args.queries)
+    config = ExecutionConfig(
+        use_csr=False if args.no_csr else None,
+        rset_bitset=False if args.no_rset_bitset else None,
+    )
+    specs = [
+        QuerySpec(
+            pattern=entry["pattern"],
+            k=int(entry.get("k", args.k)),
+            mode=entry.get("mode", "topk"),
+            lam=float(entry.get("lam", args.lam)),
+            method=entry.get("method", "heuristic"),
+            output_node=entry.get("output_node"),
+        )
+        for entry in entries
+    ]
+
+    with MatchSession(graph, config=config) as session:
+        results = session.run_batch(specs)
+        cache_stats = session.cache_stats()
+
+    payload_queries = []
+    for spec, result in zip(specs, results):
+        if isinstance(result, dict):  # multi-output fan-out
+            entry = {
+                "mode": spec.mode,
+                "k": spec.k,
+                "outputs": {
+                    str(node): {
+                        "algorithm": res.algorithm,
+                        "matches": list(res.matches),
+                        "scores": {str(v): res.scores[v] for v in res.matches},
+                    }
+                    for node, res in result.items()
+                },
+            }
+        else:
+            entry = {
+                "mode": spec.mode,
+                "k": spec.k,
+                "algorithm": result.algorithm,
+                "matches": list(result.matches),
+                "scores": {str(v): result.scores[v] for v in result.matches},
+                "elapsed_seconds": round(result.stats.elapsed_seconds, 4),
+            }
+            if result.objective_value is not None:
+                entry["objective_value"] = round(result.objective_value, 4)
+        payload_queries.append(entry)
+    payload = {
+        "queries": payload_queries,
+        "session": {"cache": cache_stats},
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for index, entry in enumerate(payload_queries):
+            if "outputs" in entry:
+                outs = ", ".join(
+                    f"uo={node}: {info['matches']}"
+                    for node, info in entry["outputs"].items()
+                )
+                print(f"#{index} [{entry['mode']}] {outs}")
+            else:
+                print(
+                    f"#{index} [{entry['algorithm']}] k={entry['k']}: "
+                    f"{entry['matches']}"
+                )
+        hits = sum(v for key, v in cache_stats.items() if key.endswith("_hits"))
+        builds = sum(v for key, v in cache_stats.items() if key.endswith("_builds"))
+        print(
+            f"session: {len(payload_queries)} queries, "
+            f"cache {hits} hits / {builds} builds"
+        )
     return 0
 
 
@@ -208,6 +353,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "delta propagation (reference representation)")
     match.add_argument("--json", action="store_true", help="machine-readable output")
     match.set_defaults(func=_cmd_match)
+
+    batch = sub.add_parser(
+        "batch",
+        help="serve a query batch through one MatchSession (shared snapshot)",
+    )
+    batch.add_argument("--graph", required=True)
+    batch.add_argument("--queries", required=True,
+                       help="repro-batch-json file (see module docstring)")
+    batch.add_argument("--k", type=int, default=10,
+                       help="default k for queries that do not set one")
+    batch.add_argument("--lam", type=float, default=0.5,
+                       help="default lambda for diversified queries")
+    batch.add_argument("--no-csr", action="store_true",
+                       help="disable the CSR snapshot fast path (reference run)")
+    batch.add_argument("--no-rset-bitset", action="store_true",
+                       help="disable packed relevant-set groups (reference "
+                            "representation)")
+    batch.add_argument("--json", action="store_true", help="machine-readable output")
+    batch.set_defaults(func=_cmd_batch)
 
     stream = sub.add_parser(
         "update-stream",

@@ -20,14 +20,19 @@ Because ``Σ_{pairs of S} F' = F(S)``, this simulates the greedy MAXDISP
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 from repro.errors import MatchingError
 from repro.graph.digraph import Graph
 from repro.patterns.pattern import Pattern
 from repro.ranking.context import RankingContext
 from repro.ranking.diversification import DiversificationObjective
+from repro.session.config import ExecutionConfig
 from repro.topk.result import EngineStats, TopKResult
 from repro.diversify.maxdisp import greedy_max_dispersion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.cache import SessionCache
 
 
 def top_k_diversified_approx(
@@ -41,6 +46,8 @@ def top_k_diversified_approx(
     use_csr: bool | None = None,
     scc_incremental: bool | None = None,
     rset_bitset: bool | None = None,
+    config: "ExecutionConfig | None" = None,
+    cache: "SessionCache | None" = None,
 ) -> TopKResult:
     """Run ``TopKDiv``; returns a set with ``F(S) ≥ F(S*) / 2``.
 
@@ -49,23 +56,34 @@ def top_k_diversified_approx(
     reuses an existing full evaluation.  ``optimized=False`` forces the
     dict-of-sets reference simulation.
 
-    The engine-family toggles are accepted for API symmetry, so facade
-    callers can pass one option set to either diversification method:
-    ``use_csr`` overrides ``optimized`` for the full-evaluation
-    simulation; ``scc_incremental`` / ``rset_bitset`` select in-flight
-    engine machinery TopKDiv does not run (it ranks over the context's
-    exact relevant sets) and are no-ops here.
+    The engine-family toggles (and ``config=`` carrying them) are
+    accepted for API symmetry, so facade callers can pass one option
+    set to either diversification method: the resolved ``use_csr``
+    selects the full-evaluation simulation path, while
+    ``scc_incremental`` / ``rset_bitset`` pick in-flight engine
+    machinery TopKDiv does not run (it ranks over the context's exact
+    relevant sets) and are no-ops here.  ``cache`` (a session's
+    artifact store) serves the full evaluation as a shared
+    :class:`RankingContext`.
     """
-    del scc_incremental, rset_bitset  # no in-flight engine state to toggle
-    if use_csr is not None:
-        optimized = use_csr
+    cfg = ExecutionConfig.adapt(
+        config,
+        optimized=optimized,
+        use_csr=use_csr,
+        scc_incremental=scc_incremental,
+        rset_bitset=rset_bitset,
+    ).resolved()
+    optimized = cfg.use_csr
     if k < 1:
         raise MatchingError(f"k must be positive; got {k}")
     pattern.validate()
     started = time.perf_counter()
 
     if context is None:
-        context = RankingContext(pattern, graph, optimized=optimized)
+        if cache is not None:
+            context = cache.ranking_context(pattern, optimized)
+        else:
+            context = RankingContext(pattern, graph, optimized=optimized)
     stats = EngineStats()
     if not context.simulation.total:
         stats.total_matches = 0

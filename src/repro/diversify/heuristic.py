@@ -17,16 +17,21 @@ No approximation guarantee (it is a heuristic), but Section 6 measures
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 from repro.errors import MatchingError
 from repro.graph.digraph import Graph
 from repro.patterns.pattern import Pattern
 from repro.ranking.diversification import DiversificationObjective
+from repro.session.config import ExecutionConfig
 from repro.simulation.candidates import CandidateSets
 from repro.topk.engine import TopKEngine
 from repro.topk.policies import DiversifiedPolicy
 from repro.topk.result import TopKResult
 from repro.topk.selection import GreedySelection, RandomSelection
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.cache import SessionCache
 
 
 def top_k_diversified_heuristic(
@@ -44,24 +49,37 @@ def top_k_diversified_heuristic(
     use_csr: bool | None = None,
     scc_incremental: bool | None = None,
     rset_bitset: bool | None = None,
+    config: ExecutionConfig | None = None,
+    cache: "SessionCache | None" = None,
 ) -> TopKResult:
     """Run the early-terminating diversified heuristic.
 
     The algorithm name in the result follows the paper's convention:
-    ``TopKDAGDH`` on DAG patterns, ``TopKDH`` otherwise.  ``use_csr``
-    toggles the engine's CSR fast path; it defaults to following
-    ``optimized``, so ``optimized=False`` is the dict reference path.
-    ``scc_incremental`` toggles the cyclic engine's incremental SCC
-    group machinery and defaults to following the CSR toggle, as does
-    ``rset_bitset`` (packed relevant sets + batched delta propagation;
-    the diversified objective's Jaccard terms then run word-parallel
-    over the frozen bitset views).
+    ``TopKDAGDH`` on DAG patterns, ``TopKDH`` otherwise.  Execution
+    toggles arrive as one :class:`ExecutionConfig` (``config=``) or as
+    the legacy kwargs, adapted onto the same config —
+    :meth:`ExecutionConfig.resolved` owns the defaulting chain, so
+    ``optimized=False`` is the dict reference path with random seed
+    selection.  With ``rset_bitset`` resolved on, the diversified
+    objective's Jaccard terms run word-parallel over the frozen bitset
+    views.  ``cache`` injects a session's shared artifact store.
     """
     obj = objective if objective is not None else DiversificationObjective(lam=lam, k=k)
     if obj.k != k:
         raise MatchingError(f"objective is configured for k={obj.k}, not k={k}")
+    cfg = ExecutionConfig.adapt(
+        config,
+        optimized=optimized,
+        seed=seed,
+        bound_strategy=bound_strategy,
+        batch_size=batch_size,
+        presimulate=presimulate,
+        use_csr=use_csr,
+        scc_incremental=scc_incremental,
+        rset_bitset=rset_bitset,
+    )
     name = "TopKDAGDH" if pattern.is_dag() else "TopKDH"
-    strategy = GreedySelection() if optimized else RandomSelection(seed)
+    strategy = GreedySelection() if cfg.optimized else RandomSelection(cfg.seed)
     started = time.perf_counter()
     engine = TopKEngine(
         pattern,
@@ -69,14 +87,10 @@ def top_k_diversified_heuristic(
         k,
         policy=DiversifiedPolicy(obj),
         strategy=strategy,
-        bound_strategy=bound_strategy,
-        batch_size=batch_size,
         candidates=candidates,
         algorithm_name=name,
-        presimulate=presimulate,
-        use_csr=optimized if use_csr is None else use_csr,
-        scc_incremental=scc_incremental,
-        rset_bitset=rset_bitset,
+        config=cfg,
+        cache=cache,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

@@ -23,6 +23,14 @@ class MatchingError(ReproError):
     """Raised when a matching routine receives inconsistent inputs."""
 
 
+class StaleSessionError(MatchingError):
+    """Raised when a :class:`repro.session.MatchSession` with the
+    ``"refuse"`` mutation policy is asked to execute a query after its
+    pinned graph was structurally mutated.  Call
+    :meth:`~repro.session.MatchSession.refresh` to recompile, or open
+    the session with ``on_mutation="refresh"``."""
+
+
 class RankingError(ReproError):
     """Raised on invalid ranking-function configuration (e.g. bad lambda)."""
 

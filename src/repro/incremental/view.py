@@ -101,6 +101,14 @@ class MatchView:
         is cached on the graph, so the rebuilds a single update triggers
         across many registered views all share one compilation pass.
         ``False`` forces the dict-of-sets reference path.
+    cache:
+        Optional :class:`repro.session.SessionCache` (normally injected
+        by :meth:`repro.session.MatchSession.register_view`): full
+        rebuilds then fetch candidates and the simulation fixpoint
+        through the session's shared artifact store, so a view rebuild
+        and the session's ad-hoc queries over the same pattern compute
+        them once between them.  The view copies what it keeps, so its
+        maintained sets never alias the shared artifacts.
 
     >>> from repro.datasets.examples import figure1
     >>> fig = figure1()
@@ -119,6 +127,7 @@ class MatchView:
         recompute_threshold: int | None = None,
         name: str | None = None,
         optimized: bool = True,
+        cache=None,
     ) -> None:
         pattern.validate()
         if k < 1:
@@ -129,6 +138,7 @@ class MatchView:
         self.lam = lam
         self.name = name
         self.optimized = optimized
+        self._cache = cache
         self.relevance_fn = (
             relevance_fn if relevance_fn is not None else CardinalityRelevance()
         )
@@ -414,13 +424,27 @@ class MatchView:
         # With ``optimized`` both passes run over graph.snapshot() —
         # cached on the graph, so a threshold overflow that rebuilds
         # several registered views compiles the snapshot only once.
-        candidates = compute_candidates(self.pattern, self.graph, optimized=self.optimized)
-        result = maximal_simulation(
-            self.pattern, self.graph, candidates, optimized=self.optimized
-        )
+        if self._cache is not None:
+            # Session-shared rebuild: candidates and the fixpoint come
+            # from the session's artifact store (refreshed there if the
+            # mutation that triggered this rebuild staled it), so the
+            # view and the session's ad-hoc queries compute them once.
+            # Copy everything kept — delta maintenance mutates in place.
+            candidates, result = self._cache.view_rebuild(
+                self.pattern, self.optimized
+            )
+            sim = [set(s) for s in result.sim]
+        else:
+            candidates = compute_candidates(
+                self.pattern, self.graph, optimized=self.optimized
+            )
+            result = maximal_simulation(
+                self.pattern, self.graph, candidates, optimized=self.optimized
+            )
+            sim = result.sim
         self._can_lists = [list(lst) for lst in candidates.lists]
         self._can_sets = [set(s) for s in candidates.sets]
-        self._sim = result.sim
+        self._sim = sim
         self._cached_simulation = None
         self._cached_context = None
 

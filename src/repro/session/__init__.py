@@ -1,0 +1,38 @@
+"""Session-scoped serving: shared snapshots, configs, batched queries.
+
+Public names:
+
+* :class:`ExecutionConfig` — one validated object for every engine
+  toggle (the home of the toggle-default chain);
+* :class:`MatchSession` — pins a graph + compiled snapshot generation
+  and owns the cross-query caches;
+* :class:`QuerySpec` / :class:`QueryHandle` — batch query descriptions
+  and lazy results;
+* :class:`SessionCache` — the shared artifact store (advanced use:
+  inject into engine wrappers directly via their ``cache=`` parameter).
+"""
+
+from repro.session.cache import SessionCache, SessionCacheStats, pattern_structure_key
+from repro.session.config import EXECUTION_BOUND_STRATEGIES, ExecutionConfig
+from repro.session.session import (
+    DIVERSIFY_METHODS,
+    QUERY_MODES,
+    MatchSession,
+    QueryHandle,
+    QuerySpec,
+    SessionStats,
+)
+
+__all__ = [
+    "EXECUTION_BOUND_STRATEGIES",
+    "DIVERSIFY_METHODS",
+    "QUERY_MODES",
+    "ExecutionConfig",
+    "MatchSession",
+    "QueryHandle",
+    "QuerySpec",
+    "SessionCache",
+    "SessionCacheStats",
+    "SessionStats",
+    "pattern_structure_key",
+]

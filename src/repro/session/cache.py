@@ -1,0 +1,346 @@
+"""Cross-query caches pinned to one graph snapshot generation.
+
+A :class:`SessionCache` owns every artifact that is expensive to build
+yet pure in ``(pattern structure, graph state, representation arm)``:
+
+* **label buckets** — the pre-predicate candidate base lists, shared
+  across *every* pattern in the session (two patterns asking for label
+  ``"music"`` scan the bucket once);
+* **candidate sets** — ``can(u)`` per pattern search-condition row;
+* **simulation** — the maximal-simulation fixpoint (the dominant cost
+  of engine initialisation), plus the match-narrowed candidate sets
+  the engines rank over;
+* **bound indexes** — the :class:`SimBoundIndex` built from the
+  narrowed relation (shared across output nodes of a multi-output
+  fan-out, and across every query of the same pattern);
+* **pair-CSRs** — the compiled per-component pair graphs of the cyclic
+  engine, keyed on the pattern's component structure (the pid layout
+  is a pure function of the shared narrowed candidates, so one compile
+  serves every run);
+* **ranking contexts** — full-evaluation :class:`RankingContext`
+  objects (relevant sets included) serving ``Match`` / ``TopKDiv``
+  style queries and :class:`MatchView` ranking.
+
+Artifacts are keyed structurally — label row, edge list, predicate
+objects — so two equal patterns share, and separately per
+representation arm (``use_csr``), so the dict reference arm never
+silently consumes CSR-computed state (the twin-oracle property the
+test suite pins).
+
+The cache subscribes to its graph's change events: any structural
+mutation marks it *stale*, after which the owning
+:class:`~repro.session.session.MatchSession` refuses or refreshes per
+its policy.  :meth:`refresh` drops every artifact and bumps the
+generation counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Callable
+
+from repro.graph import csr
+from repro.graph.digraph import Graph
+from repro.index.label_index import SimBoundIndex
+from repro.patterns.pattern import Pattern
+from repro.ranking.context import RankingContext
+from repro.simulation.candidates import (
+    WILDCARD_LABEL,
+    CandidateSets,
+    compute_candidates,
+)
+from repro.simulation.match import SimulationResult, maximal_simulation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.csr import ComponentPairCSR
+
+
+@dataclass
+class SessionCacheStats:
+    """Hit/build counters per artifact class, session lifetime totals."""
+
+    bucket_hits: int = 0
+    bucket_builds: int = 0
+    candidates_hits: int = 0
+    candidates_builds: int = 0
+    sim_hits: int = 0
+    sim_builds: int = 0
+    bounds_hits: int = 0
+    bounds_builds: int = 0
+    paircsr_hits: int = 0
+    paircsr_builds: int = 0
+    context_hits: int = 0
+    context_builds: int = 0
+    result_hits: int = 0
+    result_builds: int = 0
+    refreshes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def pattern_structure_key(pattern: Pattern):
+    """A structural cache key: labels, edges, predicates, nothing else.
+
+    Output-node designations are deliberately excluded — candidates,
+    simulation, bounds and pair-CSRs are all output-independent, which
+    is exactly what lets a multi-output fan-out share one compilation.
+    Patterns whose predicates are unhashable (arbitrary user objects
+    with list-valued constants) fall back to an identity key: no
+    structural sharing, but never an unsound collision.
+    """
+    key = (
+        tuple(pattern.label(u) for u in pattern.nodes()),
+        tuple(pattern.edges()),
+        tuple(pattern.predicate(u) for u in pattern.nodes()),
+    )
+    try:
+        hash(key)
+    except TypeError:
+        return ("@id", id(pattern), pattern)
+    return key
+
+
+class SessionCache:
+    """The shared artifact store behind a :class:`MatchSession`.
+
+    The compiled :class:`~repro.graph.csr.CSRSnapshot` itself is *not*
+    duplicated here — it is always obtained through
+    :meth:`Graph.snapshot`, whose cache lives in ``graph.derived``, so
+    session queries, ad-hoc one-shot calls and :class:`MatchView`
+    rebuilds all share the one compilation pass.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.stats = SessionCacheStats()
+        self.generation = 0
+        self._stale = False
+        #: Monotone count of graph mutations observed — never reset, so
+        #: an owner (the session) can latch "mutated since I last
+        #: acknowledged" independently of artifact-level refreshes
+        #: (e.g. the implicit one a view rebuild performs).
+        self.mutation_count = 0
+        self._closed = False
+        self._buckets: dict[tuple, list[int]] = {}
+        self._candidates: dict[tuple, CandidateSets] = {}
+        # Full-fixpoint simulation + (for total relations) the narrowed
+        # candidate sets the engines rank over.
+        self._sim: dict[tuple, tuple[SimulationResult, CandidateSets | None]] = {}
+        self._bounds: dict[tuple, SimBoundIndex] = {}
+        self._pair_csr: dict[tuple, "ComponentPairCSR"] = {}
+        self._contexts: dict[tuple, RankingContext] = {}
+        self._results: dict[tuple, object] = {}
+        self._unsubscribe = graph.add_listener(self._on_mutation)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _on_mutation(self, op) -> None:
+        self._stale = True
+        self.mutation_count += 1
+
+    @property
+    def stale(self) -> bool:
+        """True while cached artifacts predate the last graph mutation.
+
+        Cleared by :meth:`refresh` (including the implicit one a view
+        rebuild triggers) — this is *artifact* validity; the session's
+        refuse policy latches on :attr:`mutation_count` instead, so an
+        implicit refresh never silently waives it.
+        """
+        return self._stale
+
+    def refresh(self) -> None:
+        """Drop every artifact and start a fresh generation."""
+        self._buckets.clear()
+        self._candidates.clear()
+        self._sim.clear()
+        self._bounds.clear()
+        self._pair_csr.clear()
+        self._contexts.clear()
+        self._results.clear()
+        self._stale = False
+        self.generation += 1
+        self.stats.refreshes += 1
+
+    def close(self) -> None:
+        """Detach from the graph's change events and drop all state."""
+        if self._closed:
+            return
+        self._closed = True
+        self._unsubscribe()
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # artifacts
+    # ------------------------------------------------------------------
+    def _base_source(self, use_csr: bool) -> Callable[[str], list[int]]:
+        """A label → pre-predicate base list lookup over the bucket cache."""
+        graph = self.graph
+        snapshot = graph.snapshot() if use_csr and csr.available() else None
+
+        def base(label: str) -> list[int]:
+            key = (label, snapshot is not None)
+            cached = self._buckets.get(key)
+            if cached is not None:
+                self.stats.bucket_hits += 1
+                return cached
+            self.stats.bucket_builds += 1
+            if snapshot is not None:
+                if label == WILDCARD_LABEL:
+                    bucket = snapshot.live_list()
+                else:
+                    label_id = graph.labels.get(label)
+                    bucket = (
+                        []
+                        if label_id is None
+                        else snapshot.label_bucket_list(label_id)
+                    )
+            elif label == WILDCARD_LABEL:
+                bucket = list(graph.live_nodes())
+            else:
+                bucket = graph.nodes_with_label(label)
+            self._buckets[key] = bucket
+            return bucket
+
+        return base
+
+    def candidates(self, pattern: Pattern, use_csr: bool) -> tuple[CandidateSets, bool]:
+        """``can(u)`` rows for ``pattern``; returns ``(sets, was_hit)``."""
+        key = ("can", pattern_structure_key(pattern), use_csr)
+        cached = self._candidates.get(key)
+        if cached is not None:
+            self.stats.candidates_hits += 1
+            return cached, True
+        self.stats.candidates_builds += 1
+        built = compute_candidates(
+            pattern, self.graph, optimized=use_csr,
+            base_source=self._base_source(use_csr),
+        )
+        self._candidates[key] = built
+        return built, False
+
+    def simulation(
+        self, pattern: Pattern, use_csr: bool
+    ) -> tuple[SimulationResult, CandidateSets | None, bool]:
+        """The maximal-simulation fixpoint plus match-narrowed candidates.
+
+        Returns ``(simulation, narrowed_candidates, was_hit)``;
+        ``narrowed_candidates`` is ``None`` when the match is not total
+        (then ``M(Q, G)`` is empty and there is nothing to rank).
+        Narrowed lists are sorted, exactly as the engines build them.
+        """
+        key = ("sim", pattern_structure_key(pattern), use_csr)
+        cached = self._sim.get(key)
+        if cached is not None:
+            self.stats.sim_hits += 1
+            return cached[0], cached[1], True
+        self.stats.sim_builds += 1
+        base, _ = self.candidates(pattern, use_csr)
+        result = maximal_simulation(pattern, self.graph, base, optimized=use_csr)
+        narrowed = (
+            CandidateSets(
+                lists=[sorted(s) for s in result.sim],
+                sets=[set(s) for s in result.sim],
+            )
+            if result.total
+            else None
+        )
+        self._sim[key] = (result, narrowed)
+        return result, narrowed, False
+
+    def sim_bounds(
+        self,
+        pattern: Pattern,
+        use_csr: bool,
+        sim_sets: list[set[int]],
+        snapshot,
+    ) -> tuple[SimBoundIndex, bool]:
+        """The :class:`SimBoundIndex` over the narrowed relation."""
+        key = ("bounds", pattern_structure_key(pattern), use_csr)
+        cached = self._bounds.get(key)
+        if cached is not None:
+            self.stats.bounds_hits += 1
+            return cached, True
+        self.stats.bounds_builds += 1
+        built = SimBoundIndex(
+            pattern, self.graph, [set(s) for s in sim_sets], snapshot=snapshot
+        )
+        self._bounds[key] = built
+        return built, False
+
+    def pair_csr(
+        self,
+        pattern: Pattern,
+        use_csr: bool,
+        comp: int,
+        build: Callable[[], "ComponentPairCSR"],
+    ) -> tuple["ComponentPairCSR", bool]:
+        """The compiled pair graph of pattern component ``comp``.
+
+        Sound to share because the pid layout is a pure function of the
+        narrowed candidate lists, which the engines of one session
+        share from :meth:`simulation` — callers must only consult this
+        when their candidates came from this cache.
+        """
+        key = ("paircsr", pattern_structure_key(pattern), use_csr, comp)
+        cached = self._pair_csr.get(key)
+        if cached is not None:
+            self.stats.paircsr_hits += 1
+            return cached, True
+        self.stats.paircsr_builds += 1
+        built = build()
+        self._pair_csr[key] = built
+        return built, False
+
+    def ranking_context(self, pattern: Pattern, use_csr: bool) -> RankingContext:
+        """A full-evaluation :class:`RankingContext` (relevant sets et al).
+
+        Serves the find-all-then-rank family (``Match``, ``TopKDiv``):
+        the context's lazily-computed relevant sets persist across the
+        batch, so repeated baseline/approx queries over one pattern pay
+        the evaluation once.
+        """
+        key = ("ctx", pattern_structure_key(pattern), use_csr, pattern.output_node)
+        cached = self._contexts.get(key)
+        if cached is not None:
+            self.stats.context_hits += 1
+            return cached
+        self.stats.context_builds += 1
+        result, _, _ = self.simulation(pattern, use_csr)
+        context = RankingContext(pattern, self.graph, simulation=result)
+        self._contexts[key] = context
+        return context
+
+    def cached_result(self, key: tuple):
+        """A previously stored query result, or ``None``.
+
+        Results live and die with the artifact generation (any refresh
+        drops them), so a stored answer can never outlive the graph
+        state it was computed on.
+        """
+        cached = self._results.get(key)
+        if cached is not None:
+            self.stats.result_hits += 1
+        return cached
+
+    def store_result(self, key: tuple, result) -> None:
+        self.stats.result_builds += 1
+        self._results[key] = result
+
+    def view_rebuild(
+        self, pattern: Pattern, use_csr: bool
+    ) -> tuple[CandidateSets, SimulationResult]:
+        """Candidates + full simulation for a :class:`MatchView` rebuild.
+
+        View rebuilds run *because* the graph mutated, so a stale cache
+        refreshes implicitly here (maintenance is mutation-driven; the
+        session's refuse policy guards query submission, not repair).
+        The caller must copy the returned sets before mutating them.
+        """
+        if self._stale:
+            self.refresh()
+        result, _, _ = self.simulation(pattern, use_csr)
+        base, _ = self.candidates(pattern, use_csr)
+        return base, result

@@ -1,0 +1,483 @@
+"""``MatchSession`` — batched multi-query serving over one shared snapshot.
+
+The paper's cost model recomputes the expensive artifacts — the
+simulation relation, relevant sets, bound indexes — per query; the CSR
+layer made them snapshot-keyed and reusable.  A :class:`MatchSession`
+pins one graph (and thereby one compiled snapshot generation) and owns
+the cross-query caches of :mod:`repro.session.cache`, so a batch of
+queries pays for candidates, simulation, bounds and pair-CSRs once per
+distinct pattern structure instead of once per query::
+
+    from repro.session import ExecutionConfig, MatchSession, QuerySpec
+
+    with MatchSession(graph) as session:
+        handle = session.submit(pattern, k=10)            # lazy
+        results = session.run_batch([
+            QuerySpec(p1, k=10),
+            QuerySpec(p2, k=5, mode="diversified", lam=0.3),
+            QuerySpec(p3, k=10, mode="multi"),
+        ])
+        top = handle.result()
+
+Freshness: the session subscribes to the graph's change events.  A
+structural mutation marks the pinned snapshot stale, and the next
+query submission either raises :class:`~repro.errors.StaleSessionError`
+(``on_mutation="refuse"``, the default — a serving tier should decide
+explicitly when to recompile) or transparently recompiles
+(``on_mutation="refresh"``).  :meth:`MatchSession.refresh` is the
+explicit recompile.
+
+Every query executes through the exact engine wrappers the one-shot
+API uses — a session changes *where artifacts come from*, never what
+is computed — so batch answers are identical to looped one-shot calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.errors import MatchingError, StaleSessionError
+from repro.graph.digraph import Graph
+from repro.patterns.pattern import Pattern
+from repro.ranking.diversification import DiversificationObjective
+from repro.ranking.relevance import RelevanceFunction
+from repro.session.cache import SessionCache, pattern_structure_key
+from repro.session.config import ExecutionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a topk import cycle)
+    from repro.topk.result import TopKResult
+
+QUERY_MODES = ("topk", "diversified", "baseline", "multi")
+DIVERSIFY_METHODS = ("heuristic", "approx")
+
+
+@dataclass
+class QuerySpec:
+    """*What* to compute for one query of a batch.
+
+    ``mode`` selects the algorithm family: ``"topk"`` (early-terminating
+    topKP, routed ``TopKDAG``/``TopK`` by pattern shape), ``"diversified"``
+    (topKDP via ``method`` — the early-terminating heuristic or the
+    2-approximation), ``"baseline"`` (the find-all ``Match``), and
+    ``"multi"`` (topKP fanned out over every designated output node,
+    returning ``{output_node: TopKResult}``).  ``config`` overrides the
+    session's :class:`ExecutionConfig` for this query only.
+    """
+
+    pattern: Pattern
+    k: int = 10
+    mode: str = "topk"
+    lam: float = 0.5
+    method: str = "heuristic"
+    objective: DiversificationObjective | None = None
+    relevance_fn: RelevanceFunction | None = None
+    output_node: int | None = None
+    config: ExecutionConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in QUERY_MODES:
+            raise MatchingError(
+                f"unknown query mode {self.mode!r}; expected one of {QUERY_MODES}"
+            )
+        if self.method not in DIVERSIFY_METHODS:
+            raise MatchingError(
+                f"unknown diversification method {self.method!r}; "
+                f"expected one of {DIVERSIFY_METHODS}"
+            )
+        if self.k < 1:
+            raise MatchingError(f"k must be positive; got {self.k}")
+
+
+class QueryHandle:
+    """A lazily-executed query pinned to its session.
+
+    Created by :meth:`MatchSession.submit`; :meth:`result` executes on
+    first call (raising :class:`StaleSessionError` if the graph mutated
+    under a refuse-mode session) and caches the answer thereafter — a
+    handle resolved before a mutation stays valid after it.
+    """
+
+    __slots__ = ("session", "spec", "_result", "_done")
+
+    def __init__(self, session: "MatchSession", spec: QuerySpec) -> None:
+        self.session = session
+        self.spec = spec
+        self._result: Any = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> TopKResult | dict[int, TopKResult]:
+        if not self._done:
+            self._result = self.session._execute(self.spec)
+            self._done = True
+        return self._result
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "pending"
+        return f"QueryHandle({self.spec.mode}, k={self.spec.k}, {state})"
+
+
+@dataclass
+class SessionStats:
+    """Serving counters of one :class:`MatchSession`."""
+
+    queries_executed: int = 0
+    results_reused: int = 0
+    batches_executed: int = 0
+    refreshes: int = 0
+    cache: dict[str, int] = field(default_factory=dict)
+
+
+class MatchSession:
+    """One pinned graph + shared caches serving many queries.
+
+    Parameters
+    ----------
+    graph:
+        The data graph every query of this session runs against.
+    config:
+        Session-wide :class:`ExecutionConfig` default (per-query specs
+        may override).  ``None`` is the all-defaults config (every fast
+        path on).
+    on_mutation:
+        ``"refuse"`` (default): executing a query after a structural
+        graph mutation raises :class:`StaleSessionError` until
+        :meth:`refresh` is called.  ``"refresh"``: the session
+        recompiles transparently before the next query.
+    reuse_results:
+        Serve an *identical* resubmitted query (same pattern structure,
+        mode, ``k``, ``lam``, method, output designation and resolved
+        config; default relevance/objective only) from the session's
+        result store — as an independent copy — instead of re-running
+        it.  Sound because every
+        query is deterministic in (spec, graph generation) and the
+        store dies with the generation on any refresh; ``False`` forces
+        a full run per submission.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: ExecutionConfig | None = None,
+        on_mutation: str = "refuse",
+        reuse_results: bool = True,
+    ) -> None:
+        if on_mutation not in ("refuse", "refresh"):
+            raise MatchingError(
+                f"on_mutation must be 'refuse' or 'refresh'; got {on_mutation!r}"
+            )
+        self.graph = graph
+        self.config = config if config is not None else ExecutionConfig()
+        self.on_mutation = on_mutation
+        self.reuse_results = reuse_results
+        self.cache = SessionCache(graph)
+        self.stats = SessionStats()
+        self._acked_mutations = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle / freshness
+    # ------------------------------------------------------------------
+    @property
+    def stale(self) -> bool:
+        """True when the graph mutated since this session last
+        acknowledged it (via :meth:`refresh` or the ``"refresh"``
+        policy).  Deliberately independent of the cache's artifact
+        state: a registered view's rebuild may refresh the artifacts
+        mid-update, but under the ``"refuse"`` policy the *session*
+        still demands an explicit :meth:`refresh` before serving."""
+        return self.cache.mutation_count != self._acked_mutations
+
+    def refresh(self) -> None:
+        """Explicitly acknowledge mutations and recompile lazily.
+
+        Cached artifacts are dropped only if they actually predate the
+        last mutation — a view rebuild may have refreshed them already,
+        and re-dropping would waste its work.
+        """
+        if self.cache.stale:
+            self.cache.refresh()
+        self._acked_mutations = self.cache.mutation_count
+        self.stats.refreshes += 1
+
+    def close(self) -> None:
+        """Release the graph-event subscription and all cached state."""
+        if not self._closed:
+            self._closed = True
+            self.cache.close()
+
+    def __enter__(self) -> "MatchSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_fresh(self) -> None:
+        if self._closed:
+            raise MatchingError("session is closed")
+        if self.stale:
+            if self.on_mutation == "refresh":
+                self.refresh()
+            else:
+                raise StaleSessionError(
+                    "graph mutated under this session's pinned snapshot; "
+                    "call refresh() (or open the session with "
+                    "on_mutation='refresh') before submitting more queries"
+                )
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        pattern: Pattern,
+        k: int = 10,
+        *,
+        mode: str = "topk",
+        lam: float = 0.5,
+        method: str = "heuristic",
+        objective: DiversificationObjective | None = None,
+        relevance_fn: RelevanceFunction | None = None,
+        output_node: int | None = None,
+        config: ExecutionConfig | None = None,
+    ) -> QueryHandle:
+        """Register a query and return its lazy :class:`QueryHandle`."""
+        spec = QuerySpec(
+            pattern=pattern,
+            k=k,
+            mode=mode,
+            lam=lam,
+            method=method,
+            objective=objective,
+            relevance_fn=relevance_fn,
+            output_node=output_node,
+            config=config,
+        )
+        return QueryHandle(self, spec)
+
+    def run_batch(
+        self, queries: Iterable[QuerySpec | QueryHandle]
+    ) -> list[TopKResult | dict[int, TopKResult]]:
+        """Execute a heterogeneous batch with shared candidate computation.
+
+        Queries are grouped by pattern structure signature (stable —
+        first appearance fixes a group's turn), so each group's label
+        bucket scans, simulation prefix, bound index and pair-CSRs are
+        computed once and reused by the rest of the group.  Results are
+        returned in input order, each identical to the corresponding
+        one-shot ``api`` call.
+        """
+        self._check_fresh()
+        handles: list[QueryHandle] = [
+            q if isinstance(q, QueryHandle) else QueryHandle(self, q)
+            for q in queries
+        ]
+        group_rank: dict[Any, int] = {}
+        ranked: list[tuple[int, int, QueryHandle]] = []
+        for index, handle in enumerate(handles):
+            signature = pattern_structure_key(handle.spec.pattern)
+            rank = group_rank.setdefault(signature, len(group_rank))
+            ranked.append((rank, index, handle))
+        ranked.sort(key=lambda item: (item[0], item[1]))
+        for _, _, handle in ranked:
+            handle.result()
+        self.stats.batches_executed += 1
+        return [handle.result() for handle in handles]
+
+    # ------------------------------------------------------------------
+    # immediate-mode conveniences
+    # ------------------------------------------------------------------
+    def top_k(self, pattern: Pattern, k: int = 10, **options) -> TopKResult:
+        """Immediate topKP through the session caches."""
+        return self.submit(pattern, k, mode="topk", **options).result()
+
+    def diversified(self, pattern: Pattern, k: int = 10, **options) -> TopKResult:
+        """Immediate topKDP through the session caches."""
+        return self.submit(pattern, k, mode="diversified", **options).result()
+
+    def baseline(self, pattern: Pattern, k: int = 10, **options) -> TopKResult:
+        """Immediate find-all ``Match`` baseline through the session caches."""
+        return self.submit(pattern, k, mode="baseline", **options).result()
+
+    def top_k_multi(
+        self, pattern: Pattern, k: int = 10, **options
+    ) -> dict[int, TopKResult]:
+        """topKP fanned out over every designated output node.
+
+        One session run per output node, all sharing the pattern's
+        candidates, simulation, bound index and pair-CSRs — built once,
+        not once per output node.
+        """
+        return self.submit(pattern, k, mode="multi", **options).result()
+
+    def register_view(self, pattern: Pattern, k: int = 10, **view_options):
+        """Materialize a :class:`MatchView` wired to this session's cache.
+
+        The view's full rebuilds (initial build, threshold fallbacks)
+        fetch candidates and simulation through the session cache, so a
+        view rebuild and the session's ad-hoc queries over the same
+        pattern share one computation — and all of them share the one
+        compiled snapshot in ``graph.derived``.
+        """
+        from repro.incremental.manager import MatchViewManager
+
+        view_options.setdefault("cache", self.cache)
+        return MatchViewManager.for_graph(self.graph).register(
+            pattern, k=k, **view_options
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _config_for(self, spec: QuerySpec) -> ExecutionConfig:
+        return (spec.config if spec.config is not None else self.config).resolved()
+
+    def _result_key(self, spec: QuerySpec, cfg: ExecutionConfig):
+        """The result-store key of ``spec``, or ``None`` if uncacheable.
+
+        Custom relevance functions and objectives are opaque (possibly
+        stateful) — those queries always run.
+        """
+        if not self.reuse_results:
+            return None
+        if spec.relevance_fn is not None or spec.objective is not None:
+            return None
+        return (
+            pattern_structure_key(spec.pattern),
+            tuple(spec.pattern.output_nodes),
+            spec.mode,
+            spec.k,
+            spec.lam,
+            spec.method,
+            spec.output_node,
+            cfg,
+        )
+
+    @staticmethod
+    def _copy_result(result):
+        """An independent copy of a stored answer.
+
+        ``TopKResult`` is mutable (``matches`` list, ``scores`` dict,
+        harness-filled ``stats``), so the store keeps a private master
+        and every serve — including the store write itself — works on
+        copies: a caller mutating its answer can never corrupt later
+        ones.
+        """
+        from dataclasses import replace
+
+        if isinstance(result, dict):  # multi-output fan-out
+            return {
+                node: MatchSession._copy_result(res)
+                for node, res in result.items()
+            }
+        from repro.topk.result import TopKResult as _TopKResult
+
+        return _TopKResult(
+            matches=list(result.matches),
+            scores=dict(result.scores),
+            algorithm=result.algorithm,
+            stats=replace(result.stats),
+            objective_value=result.objective_value,
+        )
+
+    def _execute(self, spec: QuerySpec) -> TopKResult | dict[int, TopKResult]:
+        self._check_fresh()
+        cfg = self._config_for(spec)
+        key = self._result_key(spec, cfg)
+        if key is not None:
+            cached = self.cache.cached_result(key)
+            if cached is not None:
+                self.stats.results_reused += 1
+                return self._copy_result(cached)
+        result = self._execute_fresh(spec, cfg)
+        if key is not None:
+            self.cache.store_result(key, self._copy_result(result))
+        return result
+
+    def _execute_fresh(
+        self, spec: QuerySpec, cfg: ExecutionConfig
+    ) -> TopKResult | dict[int, TopKResult]:
+        pattern = spec.pattern
+        self.stats.queries_executed += 1
+        if spec.mode == "topk":
+            return self._run_topk(pattern, spec, cfg, spec.output_node)
+        if spec.mode == "multi":
+            if not pattern.output_nodes:
+                raise MatchingError("pattern has no designated output nodes")
+            return {
+                node: self._run_topk(pattern, spec, cfg, node)
+                for node in pattern.output_nodes
+            }
+        if spec.mode == "baseline":
+            from repro.topk.match_all import match_baseline
+
+            return match_baseline(
+                pattern,
+                self.graph,
+                spec.k,
+                relevance_fn=spec.relevance_fn,
+                context=self.cache.ranking_context(pattern, cfg.use_csr),
+            )
+        # diversified
+        if spec.method == "approx":
+            from repro.diversify.approx import top_k_diversified_approx
+
+            return top_k_diversified_approx(
+                pattern,
+                self.graph,
+                spec.k,
+                lam=spec.lam,
+                objective=spec.objective,
+                context=self.cache.ranking_context(pattern, cfg.use_csr),
+            )
+        from repro.diversify.heuristic import top_k_diversified_heuristic
+
+        return top_k_diversified_heuristic(
+            pattern,
+            self.graph,
+            spec.k,
+            lam=spec.lam,
+            objective=spec.objective,
+            config=cfg,
+            cache=self.cache,
+        )
+
+    def _run_topk(
+        self,
+        pattern: Pattern,
+        spec: QuerySpec,
+        cfg: ExecutionConfig,
+        output_node: int | None,
+    ) -> TopKResult:
+        if pattern.is_dag():
+            from repro.topk.dag import top_k_dag as runner
+        else:
+            from repro.topk.cyclic import top_k as runner
+        return runner(
+            pattern,
+            self.graph,
+            spec.k,
+            relevance_fn=spec.relevance_fn,
+            output_node=output_node,
+            config=cfg,
+            cache=self.cache,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/build counters per cached artifact class."""
+        return self.cache.stats.as_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchSession(|V|={self.graph.num_nodes}, "
+            f"generation={self.cache.generation}, "
+            f"queries={self.stats.queries_executed}, "
+            f"{'stale' if self.stale else 'fresh'})"
+        )

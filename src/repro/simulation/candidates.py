@@ -49,7 +49,7 @@ class CandidateSets:
 
 
 def compute_candidates(
-    pattern: Pattern, graph: Graph, optimized: bool = True
+    pattern: Pattern, graph: Graph, optimized: bool = True, base_source=None
 ) -> CandidateSets:
     """Compute ``can(u)`` for every query node ``u``.
 
@@ -59,13 +59,21 @@ def compute_candidates(
     dict index.  Both produce identical candidate lists (live nodes in
     ascending id order).  The node predicate (if any) is applied on top;
     the wildcard label ``"*"`` matches any live node.
+
+    ``base_source`` (``label -> list[int]``) overrides the pre-predicate
+    base-list lookup — the session cache passes its shared label-bucket
+    store here so repeated labels across a query batch scan once.  The
+    returned lists may be shared and must not be mutated.
     """
-    snapshot = graph.snapshot() if optimized and csr.available() else None
+    if base_source is None:
+        snapshot = graph.snapshot() if optimized and csr.available() else None
     lists: list[list[int]] = []
     sets: list[set[int]] = []
     for u in pattern.nodes():
         label = pattern.label(u)
-        if snapshot is not None:
+        if base_source is not None:
+            base = base_source(label)
+        elif snapshot is not None:
             if label == WILDCARD_LABEL:
                 base = snapshot.live_list()
             else:

@@ -14,15 +14,20 @@ paper describes ``TopK`` extending ``TopKDAG``.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 from repro.graph.digraph import Graph
 from repro.patterns.pattern import Pattern
 from repro.ranking.relevance import RelevanceFunction
+from repro.session.config import ExecutionConfig
 from repro.simulation.candidates import CandidateSets
 from repro.topk.engine import TopKEngine
 from repro.topk.policies import RelevancePolicy
 from repro.topk.result import TopKResult
 from repro.topk.selection import GreedySelection, RandomSelection
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.cache import SessionCache
 
 
 def top_k(
@@ -40,23 +45,35 @@ def top_k(
     use_csr: bool | None = None,
     scc_incremental: bool | None = None,
     rset_bitset: bool | None = None,
+    config: ExecutionConfig | None = None,
+    cache: "SessionCache | None" = None,
 ) -> TopKResult:
     """Find top-k matches of the output node of any pattern.
 
-    ``optimized=False`` gives the paper's ``TopKnopt`` (random seed
-    selection); ``use_csr`` toggles the engine's CSR fast path and
-    defaults to following ``optimized``, so ``optimized=False`` is the
-    full dict-of-sets reference algorithm.  ``scc_incremental`` toggles
-    the incremental nontrivial-SCC group machinery (frontier-driven
-    cycle collapse, counter-gated settlement) independently; it defaults
-    to following the CSR toggle, keeping the dict path the rescan
-    reference oracle.  ``rset_bitset`` toggles the packed relevant-set
-    representation with batched delta propagation; it likewise defaults
-    to following the CSR toggle, so the dict/set arm stays the
-    one-delta-at-a-time reference.
+    Execution toggles arrive either as one validated
+    :class:`ExecutionConfig` (``config=``, the session-era surface) or
+    as the legacy kwargs this function has always accepted — the
+    deprecation adapter maps them onto the same config, and
+    :meth:`ExecutionConfig.resolved` owns the defaulting chain
+    (``scc_incremental``/``rset_bitset`` follow ``use_csr``, which
+    follows ``optimized``), so ``optimized=False`` remains the full
+    dict-of-sets reference algorithm with random seed selection
+    (the paper's ``TopKnopt``).  ``cache`` injects a session's shared
+    artifact store (simulation prefix, bound index, pair-CSRs).
     """
-    strategy = GreedySelection() if optimized else RandomSelection(seed)
-    name = "TopK" if optimized else "TopKnopt"
+    cfg = ExecutionConfig.adapt(
+        config,
+        optimized=optimized,
+        seed=seed,
+        bound_strategy=bound_strategy,
+        batch_size=batch_size,
+        presimulate=presimulate,
+        use_csr=use_csr,
+        scc_incremental=scc_incremental,
+        rset_bitset=rset_bitset,
+    )
+    strategy = GreedySelection() if cfg.optimized else RandomSelection(cfg.seed)
+    name = "TopK" if cfg.optimized else "TopKnopt"
     started = time.perf_counter()
     engine = TopKEngine(
         pattern,
@@ -64,16 +81,12 @@ def top_k(
         k,
         policy=RelevancePolicy(),
         strategy=strategy,
-        bound_strategy=bound_strategy,
-        batch_size=batch_size,
         candidates=candidates,
         relevance_fn=relevance_fn,
         algorithm_name=name,
-        presimulate=presimulate,
         output_node=output_node,
-        use_csr=optimized if use_csr is None else use_csr,
-        scc_incremental=scc_incremental,
-        rset_bitset=rset_bitset,
+        config=cfg,
+        cache=cache,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

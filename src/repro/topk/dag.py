@@ -14,16 +14,21 @@ The ``optimized`` flag toggles the seed-selection strategy: greedy cover
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 from repro.errors import MatchingError
 from repro.graph.digraph import Graph
 from repro.patterns.pattern import Pattern
 from repro.ranking.relevance import RelevanceFunction
+from repro.session.config import ExecutionConfig
 from repro.simulation.candidates import CandidateSets
 from repro.topk.engine import TopKEngine
 from repro.topk.policies import RelevancePolicy
 from repro.topk.result import TopKResult
 from repro.topk.selection import GreedySelection, RandomSelection
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.cache import SessionCache
 
 
 def top_k_dag(
@@ -41,19 +46,22 @@ def top_k_dag(
     use_csr: bool | None = None,
     scc_incremental: bool | None = None,
     rset_bitset: bool | None = None,
+    config: ExecutionConfig | None = None,
+    cache: "SessionCache | None" = None,
 ) -> TopKResult:
     """Find top-k matches of the output node of a DAG pattern.
 
-    ``use_csr`` toggles the engine's CSR fast path independently of the
-    seed-selection strategy; it defaults to following ``optimized``, so
-    ``optimized=False`` is the full dict-of-sets reference algorithm.
-    ``scc_incremental`` is accepted for engine-API symmetry with
+    Execution toggles arrive as one :class:`ExecutionConfig`
+    (``config=``) or as the legacy kwargs, adapted onto the same config
+    — :meth:`ExecutionConfig.resolved` owns the defaulting chain, so
+    ``optimized=False`` is the full dict-of-sets reference algorithm
+    with random seed selection (``TopKDAGnopt``).  ``scc_incremental``
+    is carried for engine-API symmetry with
     :func:`repro.topk.cyclic.top_k`; with every SCC of a DAG pattern
     trivial, the machinery it selects never runs.  ``rset_bitset``
-    toggles the packed relevant-set representation with batched delta
-    propagation (active on DAG patterns too — trivial-SCC relevance
-    still flows through the group delta queue) and defaults to
-    following the CSR toggle.
+    stays active on DAG patterns (trivial-SCC relevance still flows
+    through the group delta queue).  ``cache`` injects a session's
+    shared artifact store.
 
     Raises :class:`MatchingError` when the pattern is cyclic — use
     :func:`repro.topk.cyclic.top_k` there (it subsumes this algorithm but
@@ -61,8 +69,19 @@ def top_k_dag(
     """
     if not pattern.is_dag():
         raise MatchingError("TopKDAG requires a DAG pattern; use top_k for cyclic patterns")
-    strategy = GreedySelection() if optimized else RandomSelection(seed)
-    name = "TopKDAG" if optimized else "TopKDAGnopt"
+    cfg = ExecutionConfig.adapt(
+        config,
+        optimized=optimized,
+        seed=seed,
+        bound_strategy=bound_strategy,
+        batch_size=batch_size,
+        presimulate=presimulate,
+        use_csr=use_csr,
+        scc_incremental=scc_incremental,
+        rset_bitset=rset_bitset,
+    )
+    strategy = GreedySelection() if cfg.optimized else RandomSelection(cfg.seed)
+    name = "TopKDAG" if cfg.optimized else "TopKDAGnopt"
     started = time.perf_counter()
     engine = TopKEngine(
         pattern,
@@ -70,16 +89,12 @@ def top_k_dag(
         k,
         policy=RelevancePolicy(),
         strategy=strategy,
-        bound_strategy=bound_strategy,
-        batch_size=batch_size,
         candidates=candidates,
         relevance_fn=relevance_fn,
         algorithm_name=name,
-        presimulate=presimulate,
         output_node=output_node,
-        use_csr=optimized if use_csr is None else use_csr,
-        scc_incremental=scc_incremental,
-        rset_bitset=rset_bitset,
+        config=cfg,
+        cache=cache,
     )
     result = engine.run()
     result.stats.elapsed_seconds = time.perf_counter() - started

@@ -71,6 +71,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.errors import MatchingError
 from repro.graph import csr
@@ -80,6 +81,7 @@ from repro.index.label_index import BoundIndex, SimBoundIndex
 from repro.patterns.pattern import Pattern
 from repro.ranking.context import RankingContext
 from repro.ranking.relevance import CardinalityRelevance, RelevanceFunction
+from repro.session.config import ExecutionConfig
 from repro.simulation.candidates import CandidateSets, compute_candidates
 from repro.simulation.match import SimulationResult
 from repro.topk.policies import SelectionPolicy
@@ -89,6 +91,9 @@ from repro.topk.selection import (
     SelectionStrategy,
     default_batch_size,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.cache import SessionCache
 
 PENDING = 0
 CONFIRMED = 1
@@ -117,50 +122,71 @@ class TopKEngine:
         use_csr: bool | None = None,
         scc_incremental: bool | None = None,
         rset_bitset: bool | None = None,
+        config: "ExecutionConfig | None" = None,
+        cache: "SessionCache | None" = None,
     ) -> None:
         if k < 1:
             raise MatchingError(f"k must be positive; got {k}")
         pattern.validate()
+        # Execution configuration: one validated object instead of the
+        # loose toggle kwargs.  The legacy kwargs remain accepted (the
+        # adapter builds the equivalent config); an explicit ``config``
+        # wins outright, and ExecutionConfig.resolved() is the single
+        # home of the toggle-default chain (scc_incremental/rset_bitset
+        # follow use_csr, which follows optimized).
+        cfg = ExecutionConfig.adapt(
+            config,
+            use_csr=use_csr,
+            scc_incremental=scc_incremental,
+            rset_bitset=rset_bitset,
+            bound_strategy=bound_strategy,
+            batch_size=batch_size,
+            presimulate=presimulate,
+        ).resolved()
+        self.config = cfg
         self.pattern = pattern
         self.graph = graph
         self.k = k
         self.policy = policy
         self.strategy = strategy if strategy is not None else GreedySelection()
-        self.batch_size = batch_size
+        self.batch_size = cfg.batch_size
         self.algorithm_name = algorithm_name
         # Multi-output patterns (Section 2.2 extension): the engine ranks
         # one output node per run; the facade fans out over all of them.
         self.uo = output_node if output_node is not None else pattern.output_node
         self.analysis = pattern.analysis
-        self.presimulate = presimulate and bound_strategy == "sim"
+        self.presimulate = cfg.presimulate and cfg.bound_strategy == "sim"
+        self.stats = EngineStats()
+        # External cache provider (a session's SessionCache): serves the
+        # simulation prefix, bound index and pair-CSRs across runs.  Only
+        # consulted when the candidates come from the shared store too —
+        # caller-supplied candidates would break the shared pid layout.
+        self._session_cache = cache if candidates is None else None
         # The CSR fast path (default on): initialisation scans, bound
         # construction and pid lookups run over the graph's compiled
-        # snapshot; ``use_csr=False`` forces the dict reference path.
-        self._snapshot = (
-            graph.snapshot() if use_csr is not False and csr.available() else None
-        )
+        # snapshot; ``use_csr=False`` (or resolved off) forces the dict
+        # reference path.
+        if cfg.use_csr:
+            if csr.CSR_SNAPSHOT_KEY in graph.derived:
+                self.stats.snapshot_hits += 1
+            else:
+                self.stats.snapshot_builds += 1
+            self._snapshot = graph.snapshot()
+        else:
+            self._snapshot = None
         self.use_csr = self._snapshot is not None
-        # Incremental SCC group machinery (nontrivial components only):
-        # frontier-driven cycle collapse plus counter-gated group
-        # settlement over a compiled pair-CSR.  Defaults to following
-        # the CSR toggle so the dict path stays the rescan reference
-        # oracle; either combination can be forced for testing.
-        self.scc_incremental = (
-            self.use_csr if scc_incremental is None else bool(scc_incremental)
-        )
-        # Packed relevant sets + batched delta propagation.  Pure-Python
-        # big-int bitsets (no numpy dependency), so either combination
-        # with ``use_csr`` can be forced; the default follows the CSR
-        # toggle so the dict/set path stays the reference oracle.
-        self.rset_bitset = self.use_csr if rset_bitset is None else bool(rset_bitset)
-        self.candidates = (
-            candidates
-            if candidates is not None
-            else compute_candidates(pattern, graph, optimized=self.use_csr)
-        )
+        self.scc_incremental = cfg.scc_incremental
+        self.rset_bitset = cfg.rset_bitset
+        if candidates is not None:
+            self.candidates = candidates
+        elif self._session_cache is not None:
+            self.candidates, _ = self._session_cache.candidates(
+                pattern, self.use_csr
+            )
+        else:
+            self.candidates = compute_candidates(pattern, graph, optimized=self.use_csr)
         self.relevance_fn = relevance_fn if relevance_fn is not None else CardinalityRelevance()
         self._fast_cardinality = isinstance(self.relevance_fn, CardinalityRelevance)
-        self.stats = EngineStats()
 
         self._infeasible = self.candidates.any_empty()
         if not self._infeasible and self.presimulate:
@@ -170,30 +196,56 @@ class TopKEngine:
             # match-aware — the ranking/propagation phase, which is the
             # expensive part the paper terminates early, still runs
             # incrementally below.
-            from repro.simulation.match import maximal_simulation
-
-            simulation = maximal_simulation(
-                pattern, graph, self.candidates, optimized=self.use_csr
-            )
-            if not simulation.total:
-                self._infeasible = True
-            else:
-                self.candidates = CandidateSets(
-                    lists=[sorted(s) for s in simulation.sim],
-                    sets=[set(s) for s in simulation.sim],
+            if self._session_cache is not None:
+                _, narrowed, hit = self._session_cache.simulation(
+                    pattern, self.use_csr
                 )
+                if hit:
+                    self.stats.sim_hits += 1
+                else:
+                    self.stats.sim_builds += 1
+                if narrowed is None:
+                    self._infeasible = True
+                else:
+                    self.candidates = narrowed
+            else:
+                from repro.simulation.match import maximal_simulation
+
+                simulation = maximal_simulation(
+                    pattern, graph, self.candidates, optimized=self.use_csr
+                )
+                self.stats.sim_builds += 1
+                if not simulation.total:
+                    self._infeasible = True
+                else:
+                    self.candidates = CandidateSets(
+                        lists=[sorted(s) for s in simulation.sim],
+                        sets=[set(s) for s in simulation.sim],
+                    )
         if not self._infeasible:
             if self.presimulate:
-                self._bounds = SimBoundIndex(
-                    pattern,
-                    graph,
-                    [set(s) for s in self.candidates.sets],
-                    snapshot=self._snapshot,
-                )
+                if self._session_cache is not None:
+                    self._bounds, hit = self._session_cache.sim_bounds(
+                        pattern, self.use_csr, self.candidates.sets, self._snapshot
+                    )
+                    if hit:
+                        self.stats.bounds_hits += 1
+                    else:
+                        self.stats.bounds_builds += 1
+                else:
+                    self._bounds = SimBoundIndex(
+                        pattern,
+                        graph,
+                        [set(s) for s in self.candidates.sets],
+                        snapshot=self._snapshot,
+                    )
+                    self.stats.bounds_builds += 1
             else:
+                bound_strategy = cfg.bound_strategy
                 if bound_strategy == "sim":
                     bound_strategy = "hop"
                 self._bounds = BoundIndex(pattern, graph, self.candidates, bound_strategy)
+                self.stats.bounds_builds += 1
             self._context: RankingContext | None = None
             # Confirmed matches per query node (drives totality, feeds the
             # RankingContext shim policies may touch at bind time).
@@ -567,36 +619,58 @@ class TopKEngine:
         """
         pcsr = self._pair_csr_cache.get(comp)
         if pcsr is None:
-            comp_edges: dict[int, list[tuple[int, int]]] = {}
-            for u in self.pattern.nodes():
-                if self._comp_of_node[u] != comp:
-                    continue
-                external_flags = self._edge_external[u]
-                comp_edges[u] = [
-                    (local_idx, u_child)
-                    for local_idx, u_child in enumerate(self._out_edges[u])
-                    if not external_flags[local_idx]
-                ]
-            pid_arr = self._pid_arr
-            if pid_arr is not None:
-                def child_pid_of(u_child: int, v_child: int) -> int:
-                    return pid_arr[u_child][v_child]
+            if self._session_cache is not None and self.presimulate:
+                # Sound across runs: the session's shared narrowed
+                # candidates fix the pid layout, so the compiled arrays
+                # are identical for every engine of this generation.
+                # (Non-presimulated engines rank over raw candidates —
+                # a different pid layout — and compile locally.)
+                pcsr, hit = self._session_cache.pair_csr(
+                    self.pattern,
+                    self.use_csr,
+                    comp,
+                    lambda: self._build_pair_csr(comp),
+                )
+                if hit:
+                    self.stats.paircsr_hits += 1
+                else:
+                    self.stats.paircsr_builds += 1
             else:
-                pid_maps = self._pid_of
-
-                def child_pid_of(u_child: int, v_child: int) -> int:
-                    return pid_maps[u_child].get(v_child, -1)
-
-            pcsr = csr.build_component_pair_csr(
-                self._comp_pairs[comp],
-                self._pair_u,
-                self._pair_v,
-                comp_edges,
-                self._succs,
-                child_pid_of,
-            )
+                pcsr = self._build_pair_csr(comp)
+                self.stats.paircsr_builds += 1
             self._pair_csr_cache[comp] = pcsr
         return pcsr
+
+    def _build_pair_csr(self, comp: int) -> csr.ComponentPairCSR:
+        """Compile component ``comp``'s pair graph into flat CSR arrays."""
+        comp_edges: dict[int, list[tuple[int, int]]] = {}
+        for u in self.pattern.nodes():
+            if self._comp_of_node[u] != comp:
+                continue
+            external_flags = self._edge_external[u]
+            comp_edges[u] = [
+                (local_idx, u_child)
+                for local_idx, u_child in enumerate(self._out_edges[u])
+                if not external_flags[local_idx]
+            ]
+        pid_arr = self._pid_arr
+        if pid_arr is not None:
+            def child_pid_of(u_child: int, v_child: int) -> int:
+                return pid_arr[u_child][v_child]
+        else:
+            pid_maps = self._pid_of
+
+            def child_pid_of(u_child: int, v_child: int) -> int:
+                return pid_maps[u_child].get(v_child, -1)
+
+        return csr.build_component_pair_csr(
+            self._comp_pairs[comp],
+            self._pair_u,
+            self._pair_v,
+            comp_edges,
+            self._succs,
+            child_pid_of,
+        )
 
     # ------------------------------------------------------------------
     # relevant-set groups

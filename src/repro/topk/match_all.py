@@ -16,6 +16,7 @@ the ground-truth oracle in the test-suite.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 from repro.errors import MatchingError
 from repro.graph.digraph import Graph
@@ -26,8 +27,12 @@ from repro.ranking.relevance import (
     RelevanceFunction,
     top_k_by_relevance,
 )
+from repro.session.config import ExecutionConfig
 from repro.simulation.match import maximal_simulation
 from repro.topk.result import EngineStats, TopKResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.cache import SessionCache
 
 
 def match_baseline(
@@ -37,12 +42,17 @@ def match_baseline(
     relevance_fn: RelevanceFunction | None = None,
     context: RankingContext | None = None,
     optimized: bool = True,
+    config: ExecutionConfig | None = None,
+    cache: "SessionCache | None" = None,
 ) -> TopKResult:
     """Run the ``Match`` algorithm; returns exact top-k with exact scores.
 
     ``context`` may be supplied to reuse an existing full evaluation (the
     diversified baseline does this to avoid recomputing ``M(Q, G)``).
-    ``optimized=False`` forces the dict-of-sets reference simulation.
+    ``optimized=False`` forces the dict-of-sets reference simulation;
+    ``config=`` carries the same choice session-style (its resolved
+    ``use_csr`` selects the simulation path), and ``cache`` serves the
+    evaluation from a session's shared :class:`RankingContext` store.
     """
     if k < 1:
         raise MatchingError(f"k must be positive; got {k}")
@@ -50,9 +60,14 @@ def match_baseline(
     started = time.perf_counter()
     fn = relevance_fn if relevance_fn is not None else CardinalityRelevance()
 
+    if config is not None:
+        optimized = ExecutionConfig.adapt(config).resolved().use_csr
     if context is None:
-        simulation = maximal_simulation(pattern, graph, optimized=optimized)
-        context = RankingContext(pattern, graph, simulation)
+        if cache is not None:
+            context = cache.ranking_context(pattern, bool(optimized))
+        else:
+            simulation = maximal_simulation(pattern, graph, optimized=optimized)
+            context = RankingContext(pattern, graph, simulation)
     stats = EngineStats()
     if not context.simulation.total:
         stats.elapsed_seconds = time.perf_counter() - started

@@ -43,6 +43,17 @@ class EngineStats:
         at a time).
     deltas_applied:
         Drain steps that actually extended a group's relevant set.
+    snapshot_hits / snapshot_builds:
+        Compiled CSR snapshot served from the graph-level cache versus
+        compiled for this run.
+    sim_hits / sim_builds:
+        Pre-simulation fixpoint (plus narrowed candidates) served from
+        a session cache versus computed by this run.
+    bounds_hits / bounds_builds:
+        ``SimBoundIndex`` served from a session cache versus built.
+    paircsr_hits / paircsr_builds:
+        Component pair-CSRs served from a session cache versus
+        compiled (one counter tick per component touched).
     elapsed_seconds:
         Wall-clock runtime of the algorithm body.
     """
@@ -56,7 +67,29 @@ class EngineStats:
     deltas_enqueued: int = 0
     deltas_coalesced: int = 0
     deltas_applied: int = 0
+    snapshot_hits: int = 0
+    snapshot_builds: int = 0
+    sim_hits: int = 0
+    sim_builds: int = 0
+    bounds_hits: int = 0
+    bounds_builds: int = 0
+    paircsr_hits: int = 0
+    paircsr_builds: int = 0
     elapsed_seconds: float = 0.0
+
+    def cache_counters(self) -> dict[str, int]:
+        """The cache-effectiveness counters as a flat dict (for harness
+        ``extra`` payloads and the ``run_all.py --profile`` table)."""
+        return {
+            "snapshot_hits": self.snapshot_hits,
+            "snapshot_builds": self.snapshot_builds,
+            "sim_hits": self.sim_hits,
+            "sim_builds": self.sim_builds,
+            "bounds_hits": self.bounds_hits,
+            "bounds_builds": self.bounds_builds,
+            "paircsr_hits": self.paircsr_hits,
+            "paircsr_builds": self.paircsr_builds,
+        }
 
     @property
     def match_ratio(self) -> float | None:

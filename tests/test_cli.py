@@ -138,3 +138,70 @@ class TestUpdateStream:
         payload = json.loads(capsys.readouterr().out)
         assert payload["algorithm"] == "MatchView/TopKDiv"
         assert "objective_value" in payload
+
+
+class TestBatch:
+    def _batch_file(self, tmp_path, graph_file, inline: bool = False):
+        from repro.patterns.io import pattern_to_dict
+        from repro.workloads.pattern_gen import random_dag_pattern
+
+        g = load_json(graph_file)
+        dag = random_dag_pattern(g, 3, 2, seed=1)
+        other = random_dag_pattern(g, 4, 3, seed=5)
+        dag_path = tmp_path / "q_dag.json"
+        save_pattern(dag, dag_path)
+        queries = [
+            {"pattern": "q_dag.json", "k": 5},
+            {"pattern": pattern_to_dict(other) if inline else "q_dag.json",
+             "k": 3, "mode": "diversified", "lam": 0.4},
+            {"pattern": "q_dag.json", "k": 5, "mode": "baseline"},
+        ]
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps({"format": "repro-batch-json", "queries": queries}))
+        return path, dag_path
+
+    def test_batch_json_output_matches_one_shot(self, tmp_path, graph_file, capsys):
+        from repro import api
+        from repro.patterns.io import load_pattern
+
+        batch_file, dag_path = self._batch_file(tmp_path, graph_file, inline=True)
+        assert main(["batch", "--graph", str(graph_file),
+                     "--queries", str(batch_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["queries"]) == 3
+        graph = load_json(graph_file)
+        dag = load_pattern(dag_path)
+        expected_topk = api.top_k_matches(dag, graph, 5)
+        assert payload["queries"][0]["matches"] == expected_topk.matches
+        expected_base = api.baseline_matches(dag, graph, 5)
+        assert payload["queries"][2]["algorithm"] == "Match"
+        assert payload["queries"][2]["matches"] == expected_base.matches
+        cache = payload["session"]["cache"]
+        assert cache["sim_hits"] >= 1  # the repeats actually shared
+
+    def test_batch_text_output(self, tmp_path, graph_file, capsys):
+        batch_file, _ = self._batch_file(tmp_path, graph_file)
+        assert main(["batch", "--graph", str(graph_file),
+                     "--queries", str(batch_file)]) == 0
+        out = capsys.readouterr().out
+        assert "session: 3 queries" in out and "cache" in out
+
+    def test_batch_rejects_bad_format(self, tmp_path, graph_file):
+        from repro.errors import MatchingError
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "nope", "queries": []}))
+        with pytest.raises(MatchingError):
+            main(["batch", "--graph", str(graph_file), "--queries", str(bad)])
+
+    def test_batch_rejects_unknown_query_keys(self, tmp_path, graph_file):
+        from repro.errors import MatchingError
+
+        _, dag_path = self._batch_file(tmp_path, graph_file)
+        bad = tmp_path / "typo.json"
+        bad.write_text(json.dumps({
+            "format": "repro-batch-json",
+            "queries": [{"pattern": dag_path.name, "mod": "diversified"}],
+        }))
+        with pytest.raises(MatchingError, match="unknown keys.*mod"):
+            main(["batch", "--graph", str(graph_file), "--queries", str(bad)])
