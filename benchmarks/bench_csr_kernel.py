@@ -40,6 +40,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.bench.harness import peak_memory_bytes
 from repro.bench.workloads import BENCH_SCALE, bench_graph, bench_pattern
 from repro.graph import csr
 from repro.simulation.candidates import compute_candidates
@@ -101,6 +102,17 @@ def _run_shape(dataset, shape, cyclic, k, rounds, scale_factor):
     eng_dict_s = _best_of(lambda: engine(pattern, graph, k, use_csr=False), rounds)
     eng_csr_s = _best_of(lambda: engine(pattern, graph, k, use_csr=True), rounds)
 
+    # Separate memory pass: tracemalloc slows execution, so it never
+    # overlaps the timed rounds above.
+    peak_memory = {
+        "engine_dict": peak_memory_bytes(
+            lambda: engine(pattern, graph, k, use_csr=False)
+        ),
+        "engine_csr": peak_memory_bytes(
+            lambda: engine(pattern, graph, k, use_csr=True)
+        ),
+    }
+
     return {
         "shape": list(shape),
         "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
@@ -115,6 +127,7 @@ def _run_shape(dataset, shape, cyclic, k, rounds, scale_factor):
             "csr_seconds": round(eng_csr_s, 5),
             "speedup": round(eng_dict_s / eng_csr_s, 2) if eng_csr_s else None,
         },
+        "peak_memory_bytes": peak_memory,
         "mismatches": mismatches,
     }
 

@@ -59,6 +59,7 @@ import time
 from pathlib import Path
 
 from repro import api
+from repro.bench.harness import peak_memory_bytes
 from repro.bench.workloads import BENCH_SCALE, bench_graph, bench_pattern
 from repro.graph import csr
 from repro.session import MatchSession, QuerySpec
@@ -185,6 +186,13 @@ def _run_case(figure: str, spec: dict, factor: float, rounds: int) -> dict:
         run_session(specs, graph)
         best["session"] = min(best["session"], time.perf_counter() - started)
 
+    # Separate memory pass: tracemalloc slows execution, so it never
+    # overlaps the timed rounds above.
+    peak_memory = {
+        "oneshot": peak_memory_bytes(lambda: run_oneshot(specs, graph)),
+        "session": peak_memory_bytes(lambda: run_session(specs, graph)),
+    }
+
     seconds = {arm: round(value, 5) for arm, value in best.items()}
     distinct = len(spec["shapes"]) * len(spec["seeds"])
     return {
@@ -193,6 +201,7 @@ def _run_case(figure: str, spec: dict, factor: float, rounds: int) -> dict:
         "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
         "batch": {"queries": len(specs), "distinct_patterns": distinct},
         "batch_seconds": seconds,
+        "peak_memory_bytes": peak_memory,
         "speedup": (
             round(seconds["oneshot"] / seconds["session"], 2)
             if seconds["session"]
@@ -252,6 +261,7 @@ def main(argv: list[str] | None = None) -> int:
     failures = 0
     for figure, record in result["workloads"].items():
         sec = record["batch_seconds"]
+        mem = record["peak_memory_bytes"]
         cache = record["session_cache"]
         hits = sum(v for key, v in cache.items() if key.endswith("_hits"))
         builds = sum(v for key, v in cache.items() if key.endswith("_builds"))
@@ -262,6 +272,7 @@ def main(argv: list[str] | None = None) -> int:
             f"oneshot {sec['oneshot'] * 1000:8.1f}ms  "
             f"session {sec['session'] * 1000:8.1f}ms "
             f"({record['speedup']}x), cache {hits} hits / {builds} builds, "
+            f"peak mem {mem['oneshot'] / 1e6:.1f}/{mem['session'] / 1e6:.1f}MB, "
             f"mismatches {record['mismatches']}"
         )
         if record["mismatches"]:

@@ -10,13 +10,14 @@ The output is what EXPERIMENTS.md records: per figure, the swept
 parameter, the series the paper plots, and the reproduced values.
 ``--profile`` wraps the sweep in cProfile and prints the top functions
 by cumulative time, so hotspot claims ("the cyclic engine is dominated
-by the SCC group machinery") are reproducible in one command.  It also
-prints the engine's relevance-delta counters (enqueued / coalesced /
-applied) summed per algorithm, so the delta-flood volume the packed
-rset path coalesces away is visible alongside the time profile — and
-the cache-effectiveness counters (snapshot / simulation / bound-index /
-pair-CSR hits vs rebuilds), so the artifact reuse a MatchSession would
-amortise is quantified per algorithm too.
+by the SCC group machinery") are reproducible in one command.  The
+counter tables it prints alongside — the engine's relevance-delta
+volume (enqueued / coalesced / applied) and the cache-effectiveness
+ratios (snapshot / simulation / bound-index / pair-CSR hits vs
+rebuilds), each summed per algorithm — are read straight from a
+:class:`repro.obs.MetricsRegistry` installed ambiently around the
+sweep: the same ``repro_engine_*_total`` series any serving deployment
+would scrape, not a bench-only side channel.
 """
 
 from __future__ import annotations
@@ -24,72 +25,66 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.harness import exact_objective, run_algorithm as _run_algorithm
+from repro.bench.harness import exact_objective, run_algorithm
 from repro.bench.reporting import format_table
 from repro.bench.workloads import BENCH_SCALE, bench_graph, bench_pattern, total_matches
 from repro.errors import DatasetError
+from repro.obs import MetricsRegistry, use_metrics
 from repro.workloads.paper_queries import youtube_q1, youtube_q2
 
-#: Per-algorithm totals of the engine's relevance-delta counters,
-#: accumulated across every run of the sweep and reported by --profile.
-_DELTA_TOTALS: dict[str, dict[str, int]] = {}
 
-#: Per-algorithm totals of the cache-effectiveness counters (snapshot /
-#: simulation / bound-index / pair-CSR hits vs rebuilds), likewise
-#: accumulated across the sweep for the --profile report.
-_CACHE_TOTALS: dict[str, dict[str, int]] = {}
-
-_CACHE_KEYS = (
-    "snapshot_hits", "snapshot_builds", "sim_hits", "sim_builds",
-    "bounds_hits", "bounds_builds", "paircsr_hits", "paircsr_builds",
-)
+def _algorithms_observed(registry: MetricsRegistry) -> list[str]:
+    runs = registry.get("repro_engine_runs_total")
+    if runs is None:
+        return []
+    return sorted({labels["algorithm"] for labels, _ in runs.samples()})
 
 
-def run_algorithm(name, pattern, graph, k, lam=0.5, **kwargs):
-    """Harness pass-through that also aggregates the profile counters."""
-    record = _run_algorithm(name, pattern, graph, k, lam, **kwargs)
-    totals = _DELTA_TOTALS.setdefault(
-        name, {"runs": 0, "enqueued": 0, "coalesced": 0, "applied": 0}
-    )
-    totals["runs"] += 1
-    totals["enqueued"] += record.extra.get("deltas_enqueued", 0)
-    totals["coalesced"] += record.extra.get("deltas_coalesced", 0)
-    totals["applied"] += record.extra.get("deltas_applied", 0)
-    cache_totals = _CACHE_TOTALS.setdefault(
-        name, {key: 0 for key in ("runs",) + _CACHE_KEYS}
-    )
-    cache_totals["runs"] += 1
-    for key in _CACHE_KEYS:
-        cache_totals[key] += record.extra.get(key, 0)
-    return record
+def _counter(registry: MetricsRegistry, field: str, algorithm: str) -> int:
+    return int(registry.value(f"repro_engine_{field}_total", algorithm=algorithm))
 
 
-def _delta_counter_table() -> None:
+def _delta_counter_table(registry: MetricsRegistry) -> None:
     print("\n## Relevance-delta counters (per algorithm, summed over the sweep)\n")
-    rows = [
-        [name, t["runs"], t["enqueued"], t["coalesced"], t["applied"]]
-        for name, t in sorted(_DELTA_TOTALS.items())
-        if t["enqueued"] or t["applied"]
-    ]
+    rows = []
+    for name in _algorithms_observed(registry):
+        enqueued = _counter(registry, "deltas_enqueued", name)
+        applied = _counter(registry, "deltas_applied", name)
+        if not (enqueued or applied):
+            continue
+        rows.append([
+            name,
+            _counter(registry, "runs", name),
+            enqueued,
+            _counter(registry, "deltas_coalesced", name),
+            applied,
+        ])
     if not rows:
         print("(no engine runs recorded)")
         return
     print(format_table(["algorithm", "runs", "deltas enq", "coalesced", "applied"], rows))
 
 
-def _cache_counter_table() -> None:
+def _cache_counter_table(registry: MetricsRegistry) -> None:
     print("\n## Cache effectiveness (hits/builds per algorithm, summed over the sweep)\n")
+    pairs = (
+        ("snapshot_hits", "snapshot_builds"),
+        ("sim_hits", "sim_builds"),
+        ("bounds_hits", "bounds_builds"),
+        ("paircsr_hits", "paircsr_builds"),
+    )
     rows = []
-    for name, t in sorted(_CACHE_TOTALS.items()):
-        if not any(t[key] for key in _CACHE_KEYS):
+    for name in _algorithms_observed(registry):
+        cells = [
+            (_counter(registry, hits, name), _counter(registry, builds, name))
+            for hits, builds in pairs
+        ]
+        if not any(hit or build for hit, build in cells):
             continue
-        rows.append([
-            name, t["runs"],
-            f"{t['snapshot_hits']}/{t['snapshot_builds']}",
-            f"{t['sim_hits']}/{t['sim_builds']}",
-            f"{t['bounds_hits']}/{t['bounds_builds']}",
-            f"{t['paircsr_hits']}/{t['paircsr_builds']}",
-        ])
+        rows.append(
+            [name, _counter(registry, "runs", name)]
+            + [f"{hit}/{build}" for hit, build in cells]
+        )
     if not rows:
         print("(no engine runs recorded)")
         return
@@ -248,12 +243,14 @@ def main(argv: list[str] | None = None) -> int:
     import cProfile
     import pstats
 
+    registry = MetricsRegistry()
     profiler = cProfile.Profile()
     profiler.enable()
-    status = run_sweeps()
+    with use_metrics(registry):
+        status = run_sweeps()
     profiler.disable()
-    _delta_counter_table()
-    _cache_counter_table()
+    _delta_counter_table(registry)
+    _cache_counter_table(registry)
     print("\n## cProfile: top functions by cumulative time\n")
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.profile_top)
     return status

@@ -36,6 +36,23 @@ the materialized view follows along without per-query recomputation:
 >>> view = api.register_view(pattern, graph, k=10)     # doctest: +SKIP
 >>> api.update_graph(graph, ops)                       # doctest: +SKIP
 >>> top = view.top_k()                                 # doctest: +SKIP
+
+**Observability.**  Every one-shot call (and every session query) runs
+through the instrumented engine wrappers of :mod:`repro.obs`:
+``ExecutionConfig(trace=True)`` records phase spans into the
+process-default tracer, ``ExecutionConfig(metrics=True)`` publishes
+engine counters, cache hit/miss ratios and latency histograms to the
+process-default registry, and a run slower than
+``ExecutionConfig(slow_query_seconds=...)`` (or the
+``REPRO_SLOW_QUERY_SECONDS`` environment default) WARNs on the
+``repro.slowquery`` logger — one-shot shims included, not just
+batches.  Install your own collectors with
+:func:`repro.obs.use_tracer` / :func:`repro.obs.use_metrics`:
+
+>>> from repro.obs import Tracer, use_tracer                        # doctest: +SKIP
+>>> with use_tracer(Tracer()) as t:                                 # doctest: +SKIP
+...     api.top_k_matches(pattern, graph, k=10)
+...     t.export_jsonl("trace.jsonl")
 """
 
 from __future__ import annotations

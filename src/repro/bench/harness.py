@@ -10,8 +10,9 @@ suite can aggregate.
 from __future__ import annotations
 
 import time
+import tracemalloc
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.diversify.approx import top_k_diversified_approx
 from repro.diversify.heuristic import top_k_diversified_heuristic
@@ -150,6 +151,28 @@ def exact_objective(
     objective = DiversificationObjective(lam=lam, k=k)
     objective.prepare(ctx)
     return objective.score_matches(ctx, matches)
+
+
+def peak_memory_bytes(fn: Callable[[], Any]) -> int:
+    """Peak traced heap allocation (bytes) while running ``fn``.
+
+    tracemalloc adds substantial per-allocation overhead, so callers
+    must run this as a *separate* pass, never inside timed rounds.  When
+    tracing is already active (e.g. nested benchmarks) the peak counter
+    is reset instead of restarting the tracer, and tracing is left on.
+    """
+    nested = tracemalloc.is_tracing()
+    if nested:
+        tracemalloc.reset_peak()
+    else:
+        tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not nested:
+            tracemalloc.stop()
+    return peak
 
 
 def averaged(records: list[RunRecord]) -> dict[str, float]:

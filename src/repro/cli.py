@@ -8,9 +8,18 @@ Examples::
     python -m repro match --graph yt.json --pattern q1.json --k 10 \\
         --diversify --lam 0.5
     python -m repro match --graph yt.json --pattern q1.json --algorithm Match
+    python -m repro match --graph yt.json --pattern q1.json --trace out.jsonl
     python -m repro batch --graph yt.json --queries batch.json --json
+    python -m repro batch --graph yt.json --queries batch.json --slow-query 0.5
+    python -m repro metrics --graph yt.json --pattern q1.json --format prometheus
     python -m repro update-stream --graph yt.json --pattern q1.json \\
         --deltas updates.jsonl --k 10
+
+``--trace FILE`` records the run's phase spans (repro-trace-v1 JSON
+lines, see :mod:`repro.obs`); the span count goes to stderr so ``--json``
+output stays parseable.  The ``metrics`` subcommand runs a query under a
+fresh metrics registry and prints the Prometheus text exposition (or
+JSON with ``--format json``).
 
 Pattern files use the JSON schema of :mod:`repro.patterns.io`; delta
 files are JSON lines in the schema of :mod:`repro.graph.delta`.
@@ -40,6 +49,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 
 from repro.bench.harness import ALGORITHMS, run_algorithm
 from repro.datasets import load_dataset
@@ -76,6 +86,24 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextmanager
+def _maybe_tracing(path: str | None):
+    """Record the block's spans into ``path`` (JSON lines) when given.
+
+    The span count goes to stderr so ``--json`` stdout stays parseable.
+    """
+    if not path:
+        yield None
+        return
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        yield tracer
+    count = tracer.export_jsonl(path)
+    print(f"wrote {count} spans to {path}", file=sys.stderr)
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
     graph = load_json(args.graph)
     pattern = load_pattern(args.pattern)
@@ -101,7 +129,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
         # a time); by default the engine packs them into bitsets
         # whenever the CSR path is active.
         options["rset_bitset"] = False
-    record = run_algorithm(algorithm, pattern, graph, args.k, args.lam, **options)
+    with _maybe_tracing(args.trace):
+        record = run_algorithm(
+            algorithm, pattern, graph, args.k, args.lam, **options
+        )
     payload = {
         "algorithm": record.algorithm,
         "k": args.k,
@@ -183,6 +214,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     config = ExecutionConfig(
         use_csr=False if args.no_csr else None,
         rset_bitset=False if args.no_rset_bitset else None,
+        slow_query_seconds=args.slow_query,
     )
     specs = [
         QuerySpec(
@@ -196,7 +228,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for entry in entries
     ]
 
-    with MatchSession(graph, config=config) as session:
+    with _maybe_tracing(args.trace), MatchSession(graph, config=config) as session:
         results = session.run_batch(specs)
         cache_stats = session.cache_stats()
 
@@ -252,6 +284,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"session: {len(payload_queries)} queries, "
             f"cache {hits} hits / {builds} builds"
         )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import MetricsRegistry, use_metrics
+
+    graph = load_json(args.graph)
+    pattern = load_pattern(args.pattern)
+    if args.algorithm:
+        algorithm = args.algorithm
+    else:
+        algorithm = "TopKDAG" if pattern.is_dag() else "TopK"
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        for _ in range(max(1, args.repeat)):
+            run_algorithm(algorithm, pattern, graph, args.k, args.lam)
+    if args.format == "json":
+        text = registry.dump_json()
+    else:
+        text = registry.render_prometheus()
+    if not text.endswith("\n"):
+        text += "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -351,6 +412,8 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--no-rset-bitset", action="store_true",
                        help="disable packed relevant-set groups / batched "
                             "delta propagation (reference representation)")
+    match.add_argument("--trace", metavar="FILE",
+                       help="record the run's phase spans as JSON lines here")
     match.add_argument("--json", action="store_true", help="machine-readable output")
     match.set_defaults(func=_cmd_match)
 
@@ -370,8 +433,30 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-rset-bitset", action="store_true",
                        help="disable packed relevant-set groups (reference "
                             "representation)")
+    batch.add_argument("--trace", metavar="FILE",
+                       help="record the batch's phase spans as JSON lines here")
+    batch.add_argument("--slow-query", type=float, default=None, metavar="SECONDS",
+                       help="WARN on the repro.slowquery logger when a query "
+                            "exceeds this many seconds")
     batch.add_argument("--json", action="store_true", help="machine-readable output")
     batch.set_defaults(func=_cmd_batch)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a query under a fresh metrics registry and print the export",
+    )
+    metrics.add_argument("--graph", required=True)
+    metrics.add_argument("--pattern", required=True)
+    metrics.add_argument("--k", type=int, default=10)
+    metrics.add_argument("--lam", type=float, default=0.5)
+    metrics.add_argument("--algorithm", choices=list(ALGORITHMS),
+                         help="force a specific algorithm")
+    metrics.add_argument("--repeat", type=int, default=1,
+                         help="run the query this many times (histogram samples)")
+    metrics.add_argument("--format", choices=["prometheus", "json"],
+                         default="prometheus")
+    metrics.add_argument("--out", help="write the export here instead of stdout")
+    metrics.set_defaults(func=_cmd_metrics)
 
     stream = sub.add_parser(
         "update-stream",

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import MatchingError
 from repro.graph.digraph import Graph
+from repro.obs import instrumentation, record_run
 from repro.patterns.pattern import Pattern
 from repro.ranking.context import RankingContext
 from repro.ranking.diversification import DiversificationObjective
@@ -79,36 +80,44 @@ def top_k_diversified_approx(
     pattern.validate()
     started = time.perf_counter()
 
-    if context is None:
-        if cache is not None:
-            context = cache.ranking_context(pattern, optimized)
-        else:
-            context = RankingContext(pattern, graph, optimized=optimized)
-    stats = EngineStats()
-    if not context.simulation.total:
-        stats.total_matches = 0
+    with instrumentation(cfg):
+        if context is None:
+            if cache is not None:
+                context = cache.ranking_context(pattern, optimized)
+            else:
+                context = RankingContext(pattern, graph, optimized=optimized)
+        stats = EngineStats()
+        if not context.simulation.total:
+            stats.total_matches = 0
+            stats.elapsed_seconds = time.perf_counter() - started
+            return record_run(
+                TopKResult([], {}, "TopKDiv", stats), pattern, k, cfg
+            )
+
+        obj = objective if objective is not None else DiversificationObjective(lam=lam, k=k)
+        if obj.k != k:
+            raise MatchingError(f"objective is configured for k={obj.k}, not k={k}")
+        obj.prepare(context)
+
+        matches = context.matches
+        relevant = context.relevant
+
+        def pair_weight(v1: int, v2: int) -> float:
+            return obj.pair_objective(context, v1, relevant[v1], v2, relevant[v2])
+
+        def single_weight(v: int) -> float:
+            return (1.0 - obj.lam) / max(1, k - 1) * obj.relevance.value(context, v, relevant[v])
+
+        selected = greedy_max_dispersion(matches, k, pair_weight, single_weight)
+
+        scores = {v: obj.relevance.value(context, v, relevant[v]) for v in selected}
+        objective_value = obj.score_matches(context, selected)
+        stats.inspected_matches = len(matches)
+        stats.total_matches = len(matches)
         stats.elapsed_seconds = time.perf_counter() - started
-        return TopKResult([], {}, "TopKDiv", stats)
-
-    obj = objective if objective is not None else DiversificationObjective(lam=lam, k=k)
-    if obj.k != k:
-        raise MatchingError(f"objective is configured for k={obj.k}, not k={k}")
-    obj.prepare(context)
-
-    matches = context.matches
-    relevant = context.relevant
-
-    def pair_weight(v1: int, v2: int) -> float:
-        return obj.pair_objective(context, v1, relevant[v1], v2, relevant[v2])
-
-    def single_weight(v: int) -> float:
-        return (1.0 - obj.lam) / max(1, k - 1) * obj.relevance.value(context, v, relevant[v])
-
-    selected = greedy_max_dispersion(matches, k, pair_weight, single_weight)
-
-    scores = {v: obj.relevance.value(context, v, relevant[v]) for v in selected}
-    objective_value = obj.score_matches(context, selected)
-    stats.inspected_matches = len(matches)
-    stats.total_matches = len(matches)
-    stats.elapsed_seconds = time.perf_counter() - started
-    return TopKResult(selected, scores, "TopKDiv", stats, objective_value)
+        return record_run(
+            TopKResult(selected, scores, "TopKDiv", stats, objective_value),
+            pattern,
+            k,
+            cfg,
+        )

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import MatchingError
 from repro.graph.digraph import Graph
+from repro.obs import instrumentation, record_run
 from repro.patterns.pattern import Pattern
 from repro.ranking.diversification import DiversificationObjective
 from repro.session.config import ExecutionConfig
@@ -80,18 +81,19 @@ def top_k_diversified_heuristic(
     )
     name = "TopKDAGDH" if pattern.is_dag() else "TopKDH"
     strategy = GreedySelection() if cfg.optimized else RandomSelection(cfg.seed)
-    started = time.perf_counter()
-    engine = TopKEngine(
-        pattern,
-        graph,
-        k,
-        policy=DiversifiedPolicy(obj),
-        strategy=strategy,
-        candidates=candidates,
-        algorithm_name=name,
-        config=cfg,
-        cache=cache,
-    )
-    result = engine.run()
-    result.stats.elapsed_seconds = time.perf_counter() - started
-    return result
+    with instrumentation(cfg):
+        started = time.perf_counter()
+        engine = TopKEngine(
+            pattern,
+            graph,
+            k,
+            policy=DiversifiedPolicy(obj),
+            strategy=strategy,
+            candidates=candidates,
+            algorithm_name=name,
+            config=cfg,
+            cache=cache,
+        )
+        result = engine.run()
+        result.stats.elapsed_seconds = time.perf_counter() - started
+        return record_run(result, pattern, k, cfg)

@@ -16,6 +16,7 @@ pattern labels it can affect.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import MatchingError
@@ -29,6 +30,7 @@ from repro.graph.delta import (
 )
 from repro.graph.digraph import Graph
 from repro.incremental import delta_sim
+from repro.obs import current_metrics, trace
 from repro.patterns.pattern import Pattern
 from repro.ranking.context import RankingContext
 from repro.ranking.diversification import DiversificationObjective
@@ -221,16 +223,19 @@ class MatchView:
     def top_k(self, k: int | None = None) -> TopKResult:
         """Top-k matches by relevance, re-ranked from the view state."""
         k = self.k if k is None else k
+        started = time.perf_counter()
         ctx = self.ranking_context()
         stats = EngineStats(
             inspected_matches=len(ctx.matches), total_matches=len(ctx.matches)
         )
         if not ctx.simulation.total:
+            stats.elapsed_seconds = time.perf_counter() - started
             return TopKResult([], {}, "MatchView", stats)
         fn = self.relevance_fn
         fn.prepare(ctx)
         selected = top_k_by_relevance(ctx, k, fn)
         scores = {v: fn.value(ctx, v, ctx.relevant[v]) for v in selected}
+        stats.elapsed_seconds = time.perf_counter() - started
         return TopKResult(selected, scores, "MatchView", stats)
 
     def diversified(
@@ -312,7 +317,29 @@ class MatchView:
         matches a query node with pattern children (impossible once its
         edges were processed) and answered with a full rebuild; missed
         *edge* events alone cannot be detected, so don't hand-feed ops.
+
+        Maintenance latency is observable: each call runs under a
+        ``view.apply`` span and feeds the ambient registry's
+        ``repro_view_apply_seconds`` histogram, labelled by op kind.
         """
+        started = time.perf_counter()
+        with trace("view.apply", kind=op.kind) as span:
+            outcome = self._apply(op)
+            if span is not None:
+                span.set_attr(
+                    changed=outcome.changed,
+                    overflowed=outcome.overflowed,
+                    pairs_touched=outcome.pairs_touched,
+                )
+        registry = current_metrics()
+        if registry is not None:
+            registry.histogram(
+                "repro_view_apply_seconds",
+                "MatchView delta-maintenance latency by op kind.",
+            ).observe(time.perf_counter() - started, kind=op.kind)
+        return outcome
+
+    def _apply(self, op: DeltaOp) -> delta_sim.DeltaOutcome:
         self.stats.ops_applied += 1
         pre_rebuild_sim: list[set[int]] | None = None
         if op.kind == ADD_EDGE:
@@ -421,6 +448,10 @@ class MatchView:
         self.stats.full_recomputes += 1
 
     def _rebuild(self) -> None:
+        with trace("view.rebuild", shared=self._cache is not None):
+            self._rebuild_state()
+
+    def _rebuild_state(self) -> None:
         # With ``optimized`` both passes run over graph.snapshot() —
         # cached on the graph, so a threshold overflow that rebuilds
         # several registered views compiles the snapshot only once.

@@ -1,0 +1,81 @@
+"""Observability: tracing, metrics, exporters, and the slow-query log.
+
+The serving path's shared instrumentation substrate (zero dependencies,
+stdlib only).  Three pieces:
+
+* :mod:`repro.obs.trace` — contextvar-based nested spans with events,
+  exception tagging and JSON-lines export;
+* :mod:`repro.obs.metrics` — a named counter/gauge/histogram registry
+  with JSON and Prometheus text exporters;
+* :mod:`repro.obs.slowlog` — the per-query slow-query log every engine
+  wrapper feeds.
+
+Instrumentation sites consult the *ambient* collectors
+(:func:`current_tracer` / :func:`current_metrics`): install them with
+:func:`use_tracer` / :func:`use_metrics`, or let
+``ExecutionConfig(trace=True, metrics=True)`` install the process
+defaults per run via :func:`instrumentation`.  With nothing installed
+every hook is a strict no-op (one contextvar read per phase boundary).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    publish_engine_stats,
+    use_metrics,
+)
+from repro.obs.runtime import (
+    default_metrics,
+    default_tracer,
+    instrumentation,
+    record_run,
+    reset_defaults,
+)
+from repro.obs.slowlog import (
+    SLOW_QUERY_ENV,
+    maybe_log_slow_query,
+    slow_query_threshold,
+)
+from repro.obs.trace import (
+    TRACE_FORMAT,
+    Span,
+    SpanEvent,
+    Tracer,
+    current_tracer,
+    load_jsonl,
+    span_event,
+    trace,
+    use_tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SLOW_QUERY_ENV",
+    "Span",
+    "SpanEvent",
+    "TRACE_FORMAT",
+    "Tracer",
+    "current_metrics",
+    "current_tracer",
+    "default_metrics",
+    "default_tracer",
+    "instrumentation",
+    "load_jsonl",
+    "maybe_log_slow_query",
+    "publish_engine_stats",
+    "record_run",
+    "reset_defaults",
+    "slow_query_threshold",
+    "span_event",
+    "trace",
+    "use_metrics",
+    "use_tracer",
+]

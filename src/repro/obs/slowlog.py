@@ -1,0 +1,77 @@
+"""The slow-query log: one WARNING line per query over threshold.
+
+Every execution path — one-shot ``api.*`` shims, direct engine wrapper
+calls, :meth:`MatchSession.run_batch` — funnels through the five engine
+wrappers (``top_k`` / ``top_k_dag`` / ``top_k_diversified_heuristic`` /
+``top_k_diversified_approx`` / ``match_baseline``), and each of them
+calls :func:`maybe_log_slow_query` on completion, so single-call users
+get the same signal a serving batch does.
+
+The threshold resolves per query: ``ExecutionConfig.slow_query_seconds``
+when set, else the process default from the ``REPRO_SLOW_QUERY_SECONDS``
+environment variable, else off.  Logging goes through the stdlib
+``repro.slowquery`` logger — wire a handler (or ``logging.basicConfig``)
+to see it; nothing is printed by default.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.patterns.pattern import Pattern
+    from repro.session.config import ExecutionConfig
+
+SLOW_QUERY_ENV = "REPRO_SLOW_QUERY_SECONDS"
+
+logger = logging.getLogger("repro.slowquery")
+
+
+def default_threshold() -> float | None:
+    """The process-wide threshold from the environment, or ``None``."""
+    raw = os.environ.get(SLOW_QUERY_ENV)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def slow_query_threshold(config: "ExecutionConfig | None") -> float | None:
+    """The effective threshold for one query (config beats environment)."""
+    if config is not None and config.slow_query_seconds is not None:
+        return config.slow_query_seconds
+    return default_threshold()
+
+
+def maybe_log_slow_query(
+    algorithm: str,
+    pattern: "Pattern",
+    k: int,
+    elapsed_seconds: float,
+    config: "ExecutionConfig | None" = None,
+) -> bool:
+    """Log ``algorithm``'s run if it breached the threshold.
+
+    Returns whether a line was emitted (tests and callers can branch on
+    it).  Disabled (no threshold anywhere) costs one attribute check —
+    no formatting, no logger dispatch.
+    """
+    threshold = slow_query_threshold(config)
+    if threshold is None or elapsed_seconds < threshold:
+        return False
+    shape = pattern.shape
+    logger.warning(
+        "slow query: %s |Q|=(%d,%d) k=%d took %.4fs (threshold %.4fs)",
+        algorithm,
+        shape[0],
+        shape[1],
+        k,
+        elapsed_seconds,
+        threshold,
+    )
+    return True

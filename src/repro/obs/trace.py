@@ -1,0 +1,303 @@
+"""Contextvar-based tracing: nested spans over the serving path.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — wall-time,
+attributes, point-in-time events, exception tagging — and exports them
+as JSON lines.  Instrumentation sites never receive a tracer by
+parameter: they consult the ambient contextvar through
+:func:`current_tracer` / :func:`trace`, so the engine internals can
+annotate phases without any plumbing and the disabled path costs one
+contextvar read per phase boundary::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with trace("engine.run", algorithm="TopK") as span:
+            ...
+            span_event("scc.merge", comp=3)
+    tracer.export_jsonl("trace.jsonl")
+
+With no tracer installed, :func:`trace` returns a shared no-op context
+manager (``__enter__`` yields ``None``) and :func:`span_event` returns
+immediately — nothing allocates.
+
+Zero dependencies: stdlib ``contextvars`` + ``json`` only.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, TextIO
+
+_TRACER: ContextVar["Tracer | None"] = ContextVar("repro_tracer", default=None)
+
+#: Schema version stamped on every exported span line.
+TRACE_FORMAT = "repro-trace-v1"
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation inside a span."""
+
+    name: str
+    offset_seconds: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "offset_seconds": round(self.offset_seconds, 9),
+        }
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        return payload
+
+
+@dataclass
+class Span:
+    """One timed phase of a run, possibly nested inside another."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    start_seconds: float  # perf_counter timebase (durations / offsets)
+    started_at: float  # wall clock (export only)
+    attrs: dict[str, Any] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+    duration_seconds: float | None = None
+    status: str = "ok"
+    error_type: str | None = None
+    error_message: str | None = None
+
+    def set_attr(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def as_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "format": TRACE_FORMAT,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "started_at": self.started_at,
+            "duration_seconds": (
+                None
+                if self.duration_seconds is None
+                else round(self.duration_seconds, 9)
+            ),
+            "status": self.status,
+        }
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        if self.events:
+            payload["events"] = [event.as_dict() for event in self.events]
+        if self.status == "error":
+            payload["error_type"] = self.error_type
+            payload["error_message"] = self.error_message
+        return payload
+
+
+class _SpanContext:
+    """The context manager :meth:`Tracer.span` returns.
+
+    Closes its span on exit even when the body raises — the exception is
+    tagged on the span (``status="error"`` plus type/message) and then
+    re-raised unchanged, so tracing never swallows a failure.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.status = "error"
+            self._span.error_type = exc_type.__name__
+            self._span.error_message = str(exc)
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Collects a nested-span trace of one (or many) runs.
+
+    Spans finish in LIFO order under normal control flow; the tracer
+    keeps the open-span stack itself, so nesting follows call structure.
+    Finished *and* still-open spans are all visible through
+    :attr:`spans` (open ones carry ``duration_seconds=None``).
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("phase") as s:``."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            depth=0 if parent is None else parent.depth + 1,
+            start_seconds=time.perf_counter(),
+            started_at=time.time(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.duration_seconds = time.perf_counter() - span.start_seconds
+        # Normal exits pop exactly the top; an abandoned inner span (a
+        # generator that never resumed, say) is closed along the way so
+        # the stack can never wedge.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.duration_seconds is None:
+                top.duration_seconds = time.perf_counter() - top.start_seconds
+
+    @property
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Attach a point-in-time event to the innermost open span.
+
+        Dropped silently when no span is open — instrumentation sites
+        fire unconditionally and must not care about phase boundaries.
+        """
+        span = self.current_span
+        if span is None:
+            return
+        span.events.append(
+            SpanEvent(
+                name=name,
+                offset_seconds=time.perf_counter() - span.start_seconds,
+                attrs=dict(attrs),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # aggregation / export
+    # ------------------------------------------------------------------
+    def phase_totals(self) -> dict[str, dict[str, float]]:
+        """Per span name: count and summed duration of finished spans."""
+        totals: dict[str, dict[str, float]] = {}
+        for span in self.spans:
+            if span.duration_seconds is None:
+                continue
+            entry = totals.setdefault(
+                span.name, {"count": 0, "total_seconds": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_seconds"] += span.duration_seconds
+        return totals
+
+    def export_jsonl(self, target: str | Path | TextIO) -> int:
+        """Write the trace as JSON lines; returns the span count written."""
+        lines = [json.dumps(span.as_dict()) for span in self.spans]
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if hasattr(target, "write"):
+            target.write(text)  # type: ignore[union-attr]
+        else:
+            Path(target).write_text(text)
+        return len(lines)
+
+
+def load_jsonl(source: str | Path | Iterable[str]) -> list[dict[str, Any]]:
+    """Parse an exported trace back into span dicts (schema-checked)."""
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text().splitlines()
+    else:
+        lines = source
+    spans = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        if payload.get("format") != TRACE_FORMAT:
+            raise ValueError(f"not a {TRACE_FORMAT} span line: {line[:80]}")
+        spans.append(payload)
+    return spans
+
+
+# ----------------------------------------------------------------------
+# the ambient surface instrumentation sites call
+# ----------------------------------------------------------------------
+class _NullSpanContext:
+    """Shared no-op for the disabled path: enters to ``None``, frees
+    nothing, allocates nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+def current_tracer() -> Tracer | None:
+    """The ambient tracer, or ``None`` when tracing is off."""
+    return _TRACER.get()
+
+
+class use_tracer:
+    """Install ``tracer`` as the ambient tracer for a ``with`` block."""
+
+    __slots__ = ("_tracer", "_token")
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> Tracer:
+        self._token = _TRACER.set(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _TRACER.reset(self._token)
+        return False
+
+
+def trace(name: str, **attrs: Any):
+    """Open a span on the ambient tracer, or a shared no-op without one.
+
+    The yielded value is the :class:`Span` (mutable: ``set_attr``) when
+    tracing is on and ``None`` otherwise, so sites write::
+
+        with trace("simulation.fixpoint", path="csr") as span:
+            ...
+            if span is not None:
+                span.set_attr(rounds=rounds)
+    """
+    tracer = _TRACER.get()
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def span_event(name: str, **attrs: Any) -> None:
+    """Record an event on the ambient tracer's open span (no-op if off)."""
+    tracer = _TRACER.get()
+    if tracer is not None:
+        tracer.event(name, **attrs)

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.graph import csr
 from repro.graph.digraph import Graph
 from repro.index.label_index import SimBoundIndex
+from repro.obs import current_metrics, trace
 from repro.patterns.pattern import Pattern
 from repro.ranking.context import RankingContext
 from repro.simulation.candidates import (
@@ -175,6 +176,16 @@ class SessionCache:
     # ------------------------------------------------------------------
     # artifacts
     # ------------------------------------------------------------------
+    @staticmethod
+    def _observe(artifact: str, outcome: str) -> None:
+        """Mirror one hit/build tick into the ambient metrics registry."""
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter(
+                "repro_session_cache_total",
+                "SessionCache artifact lookups by artifact class and outcome.",
+            ).inc(1, artifact=artifact, outcome=outcome)
+
     def _base_source(self, use_csr: bool) -> Callable[[str], list[int]]:
         """A label → pre-predicate base list lookup over the bucket cache."""
         graph = self.graph
@@ -185,8 +196,10 @@ class SessionCache:
             cached = self._buckets.get(key)
             if cached is not None:
                 self.stats.bucket_hits += 1
+                self._observe("bucket", "hit")
                 return cached
             self.stats.bucket_builds += 1
+            self._observe("bucket", "build")
             if snapshot is not None:
                 if label == WILDCARD_LABEL:
                     bucket = snapshot.live_list()
@@ -212,12 +225,15 @@ class SessionCache:
         cached = self._candidates.get(key)
         if cached is not None:
             self.stats.candidates_hits += 1
+            self._observe("candidates", "hit")
             return cached, True
         self.stats.candidates_builds += 1
-        built = compute_candidates(
-            pattern, self.graph, optimized=use_csr,
-            base_source=self._base_source(use_csr),
-        )
+        self._observe("candidates", "build")
+        with trace("cache.build", artifact="candidates"):
+            built = compute_candidates(
+                pattern, self.graph, optimized=use_csr,
+                base_source=self._base_source(use_csr),
+            )
         self._candidates[key] = built
         return built, False
 
@@ -235,18 +251,23 @@ class SessionCache:
         cached = self._sim.get(key)
         if cached is not None:
             self.stats.sim_hits += 1
+            self._observe("simulation", "hit")
             return cached[0], cached[1], True
         self.stats.sim_builds += 1
-        base, _ = self.candidates(pattern, use_csr)
-        result = maximal_simulation(pattern, self.graph, base, optimized=use_csr)
-        narrowed = (
-            CandidateSets(
-                lists=[sorted(s) for s in result.sim],
-                sets=[set(s) for s in result.sim],
+        self._observe("simulation", "build")
+        with trace("cache.build", artifact="simulation"):
+            base, _ = self.candidates(pattern, use_csr)
+            result = maximal_simulation(
+                pattern, self.graph, base, optimized=use_csr
             )
-            if result.total
-            else None
-        )
+            narrowed = (
+                CandidateSets(
+                    lists=[sorted(s) for s in result.sim],
+                    sets=[set(s) for s in result.sim],
+                )
+                if result.total
+                else None
+            )
         self._sim[key] = (result, narrowed)
         return result, narrowed, False
 
@@ -262,11 +283,14 @@ class SessionCache:
         cached = self._bounds.get(key)
         if cached is not None:
             self.stats.bounds_hits += 1
+            self._observe("bounds", "hit")
             return cached, True
         self.stats.bounds_builds += 1
-        built = SimBoundIndex(
-            pattern, self.graph, [set(s) for s in sim_sets], snapshot=snapshot
-        )
+        self._observe("bounds", "build")
+        with trace("cache.build", artifact="bounds"):
+            built = SimBoundIndex(
+                pattern, self.graph, [set(s) for s in sim_sets], snapshot=snapshot
+            )
         self._bounds[key] = built
         return built, False
 
@@ -288,9 +312,12 @@ class SessionCache:
         cached = self._pair_csr.get(key)
         if cached is not None:
             self.stats.paircsr_hits += 1
+            self._observe("pair_csr", "hit")
             return cached, True
         self.stats.paircsr_builds += 1
-        built = build()
+        self._observe("pair_csr", "build")
+        with trace("cache.build", artifact="pair_csr", comp=comp):
+            built = build()
         self._pair_csr[key] = built
         return built, False
 
@@ -306,10 +333,13 @@ class SessionCache:
         cached = self._contexts.get(key)
         if cached is not None:
             self.stats.context_hits += 1
+            self._observe("ranking_context", "hit")
             return cached
         self.stats.context_builds += 1
-        result, _, _ = self.simulation(pattern, use_csr)
-        context = RankingContext(pattern, self.graph, simulation=result)
+        self._observe("ranking_context", "build")
+        with trace("cache.build", artifact="ranking_context"):
+            result, _, _ = self.simulation(pattern, use_csr)
+            context = RankingContext(pattern, self.graph, simulation=result)
         self._contexts[key] = context
         return context
 
@@ -323,10 +353,12 @@ class SessionCache:
         cached = self._results.get(key)
         if cached is not None:
             self.stats.result_hits += 1
+            self._observe("result", "hit")
         return cached
 
     def store_result(self, key: tuple, result) -> None:
         self.stats.result_builds += 1
+        self._observe("result", "build")
         self._results[key] = result
 
     def view_rebuild(

@@ -62,6 +62,21 @@ class ExecutionConfig:
         initialisation); required by the ``"sim"`` bound strategy.
     seed:
         RNG seed for the non-optimized random seed selection.
+    trace:
+        Install the process-default :class:`repro.obs.Tracer` for this
+        query's run (phase spans, SCC merge/settle events, exported via
+        :meth:`Tracer.export_jsonl`).  Default off — and off is a
+        strict no-op: instrumentation sites read one contextvar per
+        phase boundary and nothing else.
+    metrics:
+        Install the process-default
+        :class:`repro.obs.MetricsRegistry` for this query's run (engine
+        counters, cache hit/miss, fixpoint rounds, latency histograms).
+        Same strict-no-op guarantee when off.
+    slow_query_seconds:
+        Per-query slow-query log threshold (the ``repro.slowquery``
+        logger WARNs when a run exceeds it).  ``None`` falls back to
+        the ``REPRO_SLOW_QUERY_SECONDS`` environment default, else off.
     """
 
     optimized: bool = True
@@ -72,6 +87,9 @@ class ExecutionConfig:
     batch_size: int | None = None
     presimulate: bool = True
     seed: int = 0
+    trace: bool = False
+    metrics: bool = False
+    slow_query_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.bound_strategy not in EXECUTION_BOUND_STRATEGIES:
@@ -82,6 +100,10 @@ class ExecutionConfig:
         if self.batch_size is not None and self.batch_size < 1:
             raise MatchingError(
                 f"batch_size must be positive; got {self.batch_size}"
+            )
+        if self.slow_query_seconds is not None and self.slow_query_seconds <= 0:
+            raise MatchingError(
+                f"slow_query_seconds must be positive; got {self.slow_query_seconds}"
             )
 
     def resolved(self) -> "ExecutionConfig":

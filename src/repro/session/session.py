@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.errors import MatchingError, StaleSessionError
 from repro.graph.digraph import Graph
+from repro.obs import instrumentation, trace
 from repro.patterns.pattern import Pattern
 from repro.ranking.diversification import DiversificationObjective
 from repro.ranking.relevance import RelevanceFunction
@@ -283,8 +284,11 @@ class MatchSession:
             rank = group_rank.setdefault(signature, len(group_rank))
             ranked.append((rank, index, handle))
         ranked.sort(key=lambda item: (item[0], item[1]))
-        for _, _, handle in ranked:
-            handle.result()
+        with instrumentation(self.config), trace(
+            "session.run_batch", queries=len(handles), groups=len(group_rank)
+        ):
+            for _, _, handle in ranked:
+                handle.result()
         self.stats.batches_executed += 1
         return [handle.result() for handle in handles]
 
@@ -387,15 +391,20 @@ class MatchSession:
     def _execute(self, spec: QuerySpec) -> TopKResult | dict[int, TopKResult]:
         self._check_fresh()
         cfg = self._config_for(spec)
-        key = self._result_key(spec, cfg)
-        if key is not None:
-            cached = self.cache.cached_result(key)
-            if cached is not None:
-                self.stats.results_reused += 1
-                return self._copy_result(cached)
-        result = self._execute_fresh(spec, cfg)
-        if key is not None:
-            self.cache.store_result(key, self._copy_result(result))
+        with instrumentation(cfg), trace(
+            "session.query", mode=spec.mode, k=spec.k
+        ) as span:
+            key = self._result_key(spec, cfg)
+            if key is not None:
+                cached = self.cache.cached_result(key)
+                if cached is not None:
+                    self.stats.results_reused += 1
+                    if span is not None:
+                        span.set_attr(result="reused")
+                    return self._copy_result(cached)
+            result = self._execute_fresh(spec, cfg)
+            if key is not None:
+                self.cache.store_result(key, self._copy_result(result))
         return result
 
     def _execute_fresh(
@@ -421,6 +430,7 @@ class MatchSession:
                 spec.k,
                 relevance_fn=spec.relevance_fn,
                 context=self.cache.ranking_context(pattern, cfg.use_csr),
+                config=cfg,
             )
         # diversified
         if spec.method == "approx":
@@ -433,6 +443,7 @@ class MatchSession:
                 lam=spec.lam,
                 objective=spec.objective,
                 context=self.cache.ranking_context(pattern, cfg.use_csr),
+                config=cfg,
             )
         from repro.diversify.heuristic import top_k_diversified_heuristic
 

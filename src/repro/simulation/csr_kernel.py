@@ -30,6 +30,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs import current_metrics, trace
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.csr import CSRSnapshot
     from repro.graph.digraph import Graph
@@ -57,6 +59,31 @@ def simulation_fixpoint_csr(
     Exactly :func:`repro.simulation.match.maximal_simulation`'s fixpoint,
     computed over ``snapshot`` (defaults to ``graph.snapshot()``).
     """
+    with trace("simulation.fixpoint", path="csr") as span:
+        result, rounds = _fixpoint_cascade(pattern, graph, candidates, snapshot)
+        if span is not None:
+            span.set_attr(rounds=rounds)
+    registry = current_metrics()
+    if registry is not None:
+        registry.counter(
+            "repro_simulation_fixpoints_total",
+            "Simulation fixpoint computations by path.",
+        ).inc(1, path="csr")
+        if rounds:
+            registry.counter(
+                "repro_simulation_rounds_total",
+                "Removal-cascade rounds run to reach the fixpoint.",
+            ).inc(rounds, path="csr")
+    return result
+
+
+def _fixpoint_cascade(
+    pattern: "Pattern",
+    graph: "Graph",
+    candidates: "CandidateSets",
+    snapshot: "CSRSnapshot | None",
+) -> tuple[list[set[int]], int]:
+    """The cascade body: the fixpoint plus the number of rounds it ran."""
     snap = snapshot if snapshot is not None else graph.snapshot()
     n = snap.num_nodes
     num_q = pattern.num_nodes
@@ -116,6 +143,7 @@ def simulation_fixpoint_csr(
     sweep_cutoff = max(256, int(num_edges * SWEEP_FRACTION))
 
     # Level-synchronous cascade to the greatest fixpoint.
+    rounds = 0
     while True:
         level = pending
         pending = [[] for _ in range(num_q)]
@@ -132,6 +160,7 @@ def simulation_fixpoint_csr(
             total_weight += weight
         if not weights:
             break
+        rounds += 1
 
         if total_weight >= sweep_cutoff:
             # Heavy round: recount every child's support from current
@@ -179,4 +208,4 @@ def simulation_fixpoint_csr(
                             sim_u[w] = 0
                             bucket.append(w)
 
-    return [set(np.nonzero(view)[0].tolist()) for view in sim_views]
+    return [set(np.nonzero(view)[0].tolist()) for view in sim_views], rounds

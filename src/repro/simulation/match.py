@@ -26,6 +26,7 @@ from typing import Iterator
 
 from repro.graph import csr
 from repro.graph.digraph import Graph
+from repro.obs import current_metrics, trace
 from repro.patterns.pattern import Pattern
 from repro.simulation.candidates import CandidateSets, compute_candidates
 
@@ -113,6 +114,26 @@ def maximal_simulation(
         total = all(sim[u] for u in pattern.nodes()) and pattern.num_nodes > 0
         return SimulationResult(pattern, graph, sim, total, candidates)
 
+    with trace("simulation.fixpoint", path="dict") as span:
+        sim, removals = _reference_fixpoint(pattern, graph, candidates)
+        if span is not None:
+            span.set_attr(removals=removals)
+    registry = current_metrics()
+    if registry is not None:
+        registry.counter(
+            "repro_simulation_fixpoints_total",
+            "Simulation fixpoint computations by path.",
+        ).inc(1, path="dict")
+    total = all(sim[u] for u in pattern.nodes()) and pattern.num_nodes > 0
+    return SimulationResult(pattern, graph, sim, total, candidates)
+
+
+def _reference_fixpoint(
+    pattern: Pattern,
+    graph: Graph,
+    candidates: CandidateSets,
+) -> tuple[list[set[int]], int]:
+    """The dict-of-sets HHK fixpoint plus the number of pair removals."""
     sim: list[set[int]] = [set(lst) for lst in candidates.lists]
     edges = list(pattern.edges())
     # counters[e][v] = |successors(v) ∩ sim(u')| for edge e = (u, u'), v ∈ sim(u)
@@ -143,6 +164,7 @@ def maximal_simulation(
         counters.append(edge_counters)
 
     # Apply queued removals and propagate through predecessor counters.
+    removals = len(removed_pairs)
     for u, v in removed_pairs:
         sim[u].discard(v)
     while removal_queue:
@@ -158,10 +180,10 @@ def maximal_simulation(
                 edge_counters[v] = count
                 if count == 0 and v in sim[u]:
                     sim[u].discard(v)
+                    removals += 1
                     removal_queue.append((u, v))
 
-    total = all(sim[u] for u in pattern.nodes()) and pattern.num_nodes > 0
-    return SimulationResult(pattern, graph, sim, total, candidates)
+    return sim, removals
 
 
 def naive_simulation(pattern: Pattern, graph: Graph) -> list[set[int]]:

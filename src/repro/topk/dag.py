@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import MatchingError
 from repro.graph.digraph import Graph
+from repro.obs import instrumentation, record_run
 from repro.patterns.pattern import Pattern
 from repro.ranking.relevance import RelevanceFunction
 from repro.session.config import ExecutionConfig
@@ -82,20 +83,21 @@ def top_k_dag(
     )
     strategy = GreedySelection() if cfg.optimized else RandomSelection(cfg.seed)
     name = "TopKDAG" if cfg.optimized else "TopKDAGnopt"
-    started = time.perf_counter()
-    engine = TopKEngine(
-        pattern,
-        graph,
-        k,
-        policy=RelevancePolicy(),
-        strategy=strategy,
-        candidates=candidates,
-        relevance_fn=relevance_fn,
-        algorithm_name=name,
-        output_node=output_node,
-        config=cfg,
-        cache=cache,
-    )
-    result = engine.run()
-    result.stats.elapsed_seconds = time.perf_counter() - started
-    return result
+    with instrumentation(cfg):
+        started = time.perf_counter()
+        engine = TopKEngine(
+            pattern,
+            graph,
+            k,
+            policy=RelevancePolicy(),
+            strategy=strategy,
+            candidates=candidates,
+            relevance_fn=relevance_fn,
+            algorithm_name=name,
+            output_node=output_node,
+            config=cfg,
+            cache=cache,
+        )
+        result = engine.run()
+        result.stats.elapsed_seconds = time.perf_counter() - started
+        return record_run(result, pattern, k, cfg)

@@ -78,6 +78,7 @@ from repro.graph import csr
 from repro.graph.algorithms import strongly_connected_components
 from repro.graph.digraph import Graph
 from repro.index.label_index import BoundIndex, SimBoundIndex
+from repro.obs import current_tracer, trace
 from repro.patterns.pattern import Pattern
 from repro.ranking.context import RankingContext
 from repro.ranking.relevance import CardinalityRelevance, RelevanceFunction
@@ -157,6 +158,10 @@ class TopKEngine:
         self.analysis = pattern.analysis
         self.presimulate = cfg.presimulate and cfg.bound_strategy == "sim"
         self.stats = EngineStats()
+        # Ambient tracer, resolved once: inner-loop annotation sites
+        # (SCC merge/settle events) guard on this instead of paying a
+        # contextvar read per event.
+        self._tracer = current_tracer()
         # External cache provider (a session's SessionCache): serves the
         # simulation prefix, bound index and pair-CSRs across runs.  Only
         # consulted when the candidates come from the shared store too —
@@ -177,14 +182,17 @@ class TopKEngine:
         self.use_csr = self._snapshot is not None
         self.scc_incremental = cfg.scc_incremental
         self.rset_bitset = cfg.rset_bitset
-        if candidates is not None:
-            self.candidates = candidates
-        elif self._session_cache is not None:
-            self.candidates, _ = self._session_cache.candidates(
-                pattern, self.use_csr
-            )
-        else:
-            self.candidates = compute_candidates(pattern, graph, optimized=self.use_csr)
+        with trace("engine.candidates", algorithm=algorithm_name):
+            if candidates is not None:
+                self.candidates = candidates
+            elif self._session_cache is not None:
+                self.candidates, _ = self._session_cache.candidates(
+                    pattern, self.use_csr
+                )
+            else:
+                self.candidates = compute_candidates(
+                    pattern, graph, optimized=self.use_csr
+                )
         self.relevance_fn = relevance_fn if relevance_fn is not None else CardinalityRelevance()
         self._fast_cardinality = isinstance(self.relevance_fn, CardinalityRelevance)
 
@@ -196,63 +204,69 @@ class TopKEngine:
             # match-aware — the ranking/propagation phase, which is the
             # expensive part the paper terminates early, still runs
             # incrementally below.
-            if self._session_cache is not None:
-                _, narrowed, hit = self._session_cache.simulation(
-                    pattern, self.use_csr
-                )
-                if hit:
-                    self.stats.sim_hits += 1
-                else:
-                    self.stats.sim_builds += 1
-                if narrowed is None:
-                    self._infeasible = True
-                else:
-                    self.candidates = narrowed
-            else:
-                from repro.simulation.match import maximal_simulation
-
-                simulation = maximal_simulation(
-                    pattern, graph, self.candidates, optimized=self.use_csr
-                )
-                self.stats.sim_builds += 1
-                if not simulation.total:
-                    self._infeasible = True
-                else:
-                    self.candidates = CandidateSets(
-                        lists=[sorted(s) for s in simulation.sim],
-                        sets=[set(s) for s in simulation.sim],
-                    )
-        if not self._infeasible:
-            if self.presimulate:
+            with trace("engine.presimulate", algorithm=algorithm_name):
                 if self._session_cache is not None:
-                    self._bounds, hit = self._session_cache.sim_bounds(
-                        pattern, self.use_csr, self.candidates.sets, self._snapshot
+                    _, narrowed, hit = self._session_cache.simulation(
+                        pattern, self.use_csr
                     )
                     if hit:
-                        self.stats.bounds_hits += 1
+                        self.stats.sim_hits += 1
                     else:
+                        self.stats.sim_builds += 1
+                    if narrowed is None:
+                        self._infeasible = True
+                    else:
+                        self.candidates = narrowed
+                else:
+                    from repro.simulation.match import maximal_simulation
+
+                    simulation = maximal_simulation(
+                        pattern, graph, self.candidates, optimized=self.use_csr
+                    )
+                    self.stats.sim_builds += 1
+                    if not simulation.total:
+                        self._infeasible = True
+                    else:
+                        self.candidates = CandidateSets(
+                            lists=[sorted(s) for s in simulation.sim],
+                            sets=[set(s) for s in simulation.sim],
+                        )
+        if not self._infeasible:
+            with trace("engine.bounds", algorithm=algorithm_name):
+                if self.presimulate:
+                    if self._session_cache is not None:
+                        self._bounds, hit = self._session_cache.sim_bounds(
+                            pattern, self.use_csr, self.candidates.sets,
+                            self._snapshot,
+                        )
+                        if hit:
+                            self.stats.bounds_hits += 1
+                        else:
+                            self.stats.bounds_builds += 1
+                    else:
+                        self._bounds = SimBoundIndex(
+                            pattern,
+                            graph,
+                            [set(s) for s in self.candidates.sets],
+                            snapshot=self._snapshot,
+                        )
                         self.stats.bounds_builds += 1
                 else:
-                    self._bounds = SimBoundIndex(
-                        pattern,
-                        graph,
-                        [set(s) for s in self.candidates.sets],
-                        snapshot=self._snapshot,
+                    bound_strategy = cfg.bound_strategy
+                    if bound_strategy == "sim":
+                        bound_strategy = "hop"
+                    self._bounds = BoundIndex(
+                        pattern, graph, self.candidates, bound_strategy
                     )
                     self.stats.bounds_builds += 1
-            else:
-                bound_strategy = cfg.bound_strategy
-                if bound_strategy == "sim":
-                    bound_strategy = "hop"
-                self._bounds = BoundIndex(pattern, graph, self.candidates, bound_strategy)
-                self.stats.bounds_builds += 1
             self._context: RankingContext | None = None
             # Confirmed matches per query node (drives totality, feeds the
             # RankingContext shim policies may touch at bind time).
             self._confirmed_sets: list[set[int]] = [set() for _ in pattern.nodes()]
             self._matched_nodes = 0
             self.policy.bind(self)
-            self._build_structures()
+            with trace("engine.build_structures", algorithm=algorithm_name):
+                self._build_structures()
 
     # ------------------------------------------------------------------
     # construction of the per-pair state
@@ -863,28 +877,40 @@ class TopKEngine:
     def run(self) -> TopKResult:
         """Execute the algorithm and return its :class:`TopKResult`."""
         started = time.perf_counter()
-        if self._infeasible:
-            # Some query node has no candidate: G cannot match Q.
+        with trace(
+            "engine.run", algorithm=self.algorithm_name, k=self.k
+        ) as run_span:
+            if self._infeasible:
+                # Some query node has no candidate: G cannot match Q.
+                self.stats.elapsed_seconds = time.perf_counter() - started
+                return TopKResult([], {}, self.algorithm_name, self.stats)
+
+            batch = self.batch_size or default_batch_size(len(self._seeds))
+            terminated = False
+            while self._seed_cursor < len(self._seeds):
+                # One span per Sc propagation round — the span count
+                # reconciles with ``stats.batches`` by construction.
+                with trace("engine.batch", index=self.stats.batches):
+                    upper = min(self._seed_cursor + batch, len(self._seeds))
+                    for i in range(self._seed_cursor, upper):
+                        self._visit(self._seeds[i])
+                    self._seed_cursor = upper
+                    self.stats.batches += 1
+                    self.stats.visited_seeds = self._seed_cursor
+                    self._drain()
+                    if self._check_termination():
+                        terminated = self._seed_cursor < len(self._seeds)
+                        break
+            self.stats.terminated_early = terminated
+
+            result = self._build_result()
             self.stats.elapsed_seconds = time.perf_counter() - started
-            return TopKResult([], {}, self.algorithm_name, self.stats)
-
-        batch = self.batch_size or default_batch_size(len(self._seeds))
-        terminated = False
-        while self._seed_cursor < len(self._seeds):
-            upper = min(self._seed_cursor + batch, len(self._seeds))
-            for i in range(self._seed_cursor, upper):
-                self._visit(self._seeds[i])
-            self._seed_cursor = upper
-            self.stats.batches += 1
-            self.stats.visited_seeds = self._seed_cursor
-            self._drain()
-            if self._check_termination():
-                terminated = self._seed_cursor < len(self._seeds)
-                break
-        self.stats.terminated_early = terminated
-
-        result = self._build_result()
-        self.stats.elapsed_seconds = time.perf_counter() - started
+            if run_span is not None:
+                run_span.set_attr(
+                    batches=self.stats.batches,
+                    inspected_matches=self.stats.inspected_matches,
+                    terminated_early=terminated,
+                )
         return result
 
     def _build_result(self) -> TopKResult:
@@ -1203,6 +1229,7 @@ class TopKEngine:
         self._delta_dirty.clear()
         if not seeds:
             return
+        self.stats.delta_flushes += 1
 
         # DFS over the child → parent edges from the seeds; reverse
         # postorder is a topological order of the ancestor closure, so
@@ -1736,6 +1763,9 @@ class TopKEngine:
         find = self._find
         target = min(gids)
         use_bits = self.rset_bitset
+        self.stats.scc_merges += 1
+        if self._tracer is not None:
+            self._tracer.event("scc.merge", comp=comp, groups=len(gids))
         if len(gids) > 1:
             if use_bits:
                 merged_bits = self._g_bits[target]
@@ -1866,6 +1896,11 @@ class TopKEngine:
             if not out_roots <= g_final:
                 continue
             g_final.add(gid)
+            self.stats.groups_finalized += 1
+            if self._tracer is not None:
+                self._tracer.event(
+                    "scc.settle", comp=comp, members=len(self._g_members[gid])
+                )
             for pid in self._g_members[gid]:
                 self._finalize_pair(pid)
             # The rescan loop's ``changed`` sweep, made event-driven:
@@ -1932,6 +1967,11 @@ class TopKEngine:
                         break
                 if final:
                     self._g_final.add(gid)
+                    self.stats.groups_finalized += 1
+                    if self._tracer is not None:
+                        self._tracer.event(
+                            "scc.settle", comp=comp, members=len(members)
+                        )
                     for pid in members:
                         self._finalize_pair(pid)
                     del by_group[gid]

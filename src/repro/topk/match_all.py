@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import MatchingError
 from repro.graph.digraph import Graph
+from repro.obs import instrumentation, record_run
 from repro.patterns.pattern import Pattern
 from repro.ranking.context import RankingContext
 from repro.ranking.relevance import (
@@ -62,23 +63,30 @@ def match_baseline(
 
     if config is not None:
         optimized = ExecutionConfig.adapt(config).resolved().use_csr
-    if context is None:
-        if cache is not None:
-            context = cache.ranking_context(pattern, bool(optimized))
-        else:
-            simulation = maximal_simulation(pattern, graph, optimized=optimized)
-            context = RankingContext(pattern, graph, simulation)
-    stats = EngineStats()
-    if not context.simulation.total:
+    with instrumentation(config):
+        if context is None:
+            if cache is not None:
+                context = cache.ranking_context(pattern, bool(optimized))
+            else:
+                simulation = maximal_simulation(
+                    pattern, graph, optimized=optimized
+                )
+                context = RankingContext(pattern, graph, simulation)
+        stats = EngineStats()
+        if not context.simulation.total:
+            stats.elapsed_seconds = time.perf_counter() - started
+            stats.total_matches = 0
+            return record_run(
+                TopKResult([], {}, "Match", stats), pattern, k, config
+            )
+
+        selected = top_k_by_relevance(context, k, fn)
+        fn.prepare(context)
+        scores = {v: fn.value(context, v, context.relevant[v]) for v in selected}
+
+        stats.inspected_matches = len(context.matches)
+        stats.total_matches = len(context.matches)
         stats.elapsed_seconds = time.perf_counter() - started
-        stats.total_matches = 0
-        return TopKResult([], {}, "Match", stats)
-
-    selected = top_k_by_relevance(context, k, fn)
-    fn.prepare(context)
-    scores = {v: fn.value(context, v, context.relevant[v]) for v in selected}
-
-    stats.inspected_matches = len(context.matches)
-    stats.total_matches = len(context.matches)
-    stats.elapsed_seconds = time.perf_counter() - started
-    return TopKResult(selected, scores, "Match", stats)
+        return record_run(
+            TopKResult(selected, scores, "Match", stats), pattern, k, config
+        )

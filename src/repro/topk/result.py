@@ -43,6 +43,16 @@ class EngineStats:
         at a time).
     deltas_applied:
         Drain steps that actually extended a group's relevant set.
+    delta_flushes:
+        Topologically ordered flush passes of the packed-bitset delta
+        queue that had pending work (always 0 off the bitset path).
+    scc_merges:
+        Pair-cycle collapses — calls of the group-merge body, each
+        folding one set of group roots into a shared relevant set
+        (trivial-SCC-only runs never merge).
+    groups_finalized:
+        Relevant-set groups settled (declared final, triggering the
+        h-refinement of their member pairs).
     snapshot_hits / snapshot_builds:
         Compiled CSR snapshot served from the graph-level cache versus
         compiled for this run.
@@ -67,6 +77,9 @@ class EngineStats:
     deltas_enqueued: int = 0
     deltas_coalesced: int = 0
     deltas_applied: int = 0
+    delta_flushes: int = 0
+    scc_merges: int = 0
+    groups_finalized: int = 0
     snapshot_hits: int = 0
     snapshot_builds: int = 0
     sim_hits: int = 0
@@ -76,6 +89,36 @@ class EngineStats:
     paircsr_hits: int = 0
     paircsr_builds: int = 0
     elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, int | float | bool | None]:
+        """Every counter as a flat dict (exporters, harness payloads)."""
+        from dataclasses import fields as _fields
+
+        return {f.name: getattr(self, f.name) for f in _fields(self)}
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Fold ``other``'s counters into this instance (returns self).
+
+        Integer counters add; ``elapsed_seconds`` adds;
+        ``terminated_early`` ORs; ``total_matches`` adds when both sides
+        know it and degrades to ``None`` otherwise (an unknown
+        denominator poisons the sum, exactly like the match ratio).
+        Accumulators (per-arm bench totals, multi-run profiles) use this
+        instead of hand-summing a drifting subset of fields.
+        """
+        from dataclasses import fields as _fields
+
+        for f in _fields(self):
+            if f.name in ("total_matches", "terminated_early", "elapsed_seconds"):
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        if self.total_matches is None or other.total_matches is None:
+            self.total_matches = None
+        else:
+            self.total_matches += other.total_matches
+        self.terminated_early = self.terminated_early or other.terminated_early
+        self.elapsed_seconds += other.elapsed_seconds
+        return self
 
     def cache_counters(self) -> dict[str, int]:
         """The cache-effectiveness counters as a flat dict (for harness

@@ -1,0 +1,193 @@
+"""Tracer: nesting, exception safety, events, export round-trips."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs import (
+    TRACE_FORMAT,
+    Tracer,
+    current_tracer,
+    load_jsonl,
+    span_event,
+    trace,
+    use_tracer,
+)
+
+
+class TestNesting:
+    def test_parent_ids_and_depth_follow_call_structure(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.parent_id is None and outer.depth == 0
+        assert middle.parent_id == outer.span_id and middle.depth == 1
+        assert inner.parent_id == middle.span_id and inner.depth == 2
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == outer.span_id
+        assert a.depth == b.depth == 1
+
+    def test_span_ids_are_unique_and_ordered(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("phase"):
+                pass
+        assert [s.span_id for s in tracer.spans] == [0, 1, 2]
+
+    def test_current_span_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span is inner
+            assert tracer.current_span is outer
+        assert tracer.current_span is None
+
+    def test_durations_are_set_on_close(self):
+        tracer = Tracer()
+        with tracer.span("phase"):
+            pass
+        assert tracer.spans[0].duration_seconds >= 0.0
+
+
+class TestExceptionSafety:
+    def test_exception_is_tagged_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        span = tracer.spans[0]
+        assert span.status == "error"
+        assert span.error_type == "ValueError"
+        assert span.error_message == "boom"
+        assert span.duration_seconds is not None
+
+    def test_stack_unwinds_past_a_failing_inner_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("inner failure")
+        assert tracer.current_span is None
+        inner = next(s for s in tracer.spans if s.name == "inner")
+        outer = next(s for s in tracer.spans if s.name == "outer")
+        assert inner.status == "error"
+        assert outer.status == "error"  # propagates through the outer exit
+
+
+class TestEvents:
+    def test_event_attaches_to_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("scc.merge", comp=3)
+        inner = next(s for s in tracer.spans if s.name == "inner")
+        outer = next(s for s in tracer.spans if s.name == "outer")
+        assert [e.name for e in inner.events] == ["scc.merge"]
+        assert inner.events[0].attrs == {"comp": 3}
+        assert not outer.events
+
+    def test_event_without_open_span_is_dropped(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        assert tracer.spans == []
+
+    def test_ambient_span_event_requires_a_tracer(self):
+        span_event("no-op", detail=1)  # nothing installed: must not raise
+
+
+class TestAmbientSurface:
+    def test_trace_without_tracer_yields_none(self):
+        assert current_tracer() is None
+        with trace("anything", attr=1) as span:
+            assert span is None
+
+    def test_trace_with_tracer_yields_mutable_span(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with trace("phase", k=10) as span:
+                assert span is not None
+                span.set_attr(rounds=4)
+        assert tracer.spans[0].attrs == {"k": 10, "rounds": 4}
+
+    def test_use_tracer_restores_previous_state(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as installed:
+            assert installed is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+
+class TestPhaseTotals:
+    def test_counts_and_sums_finished_spans_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("engine.batch"):
+                pass
+        with tracer.span("engine.run"):
+            pass
+        totals = tracer.phase_totals()
+        assert totals["engine.batch"]["count"] == 3
+        assert totals["engine.run"]["count"] == 1
+        assert totals["engine.batch"]["total_seconds"] >= 0.0
+
+    def test_open_spans_are_excluded(self):
+        tracer = Tracer()
+        tracer.span("never-closed")
+        assert "never-closed" not in tracer.phase_totals()
+
+
+class TestExport:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("outer", algorithm="TopK"):
+            with tracer.span("inner"):
+                tracer.event("tick", n=1)
+        return tracer
+
+    def test_jsonl_round_trip_via_file(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        spans = load_jsonl(path)
+        assert [s["name"] for s in spans] == ["outer", "inner"]
+        assert all(s["format"] == TRACE_FORMAT for s in spans)
+        inner = spans[1]
+        assert inner["parent_id"] == spans[0]["span_id"]
+        assert inner["events"][0]["name"] == "tick"
+
+    def test_jsonl_round_trip_via_stream(self):
+        tracer = self._traced()
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 2
+        spans = load_jsonl(buffer.getvalue().splitlines())
+        assert len(spans) == 2
+
+    def test_load_rejects_foreign_lines(self):
+        with pytest.raises(ValueError, match=TRACE_FORMAT):
+            load_jsonl(['{"format": "something-else", "name": "x"}'])
+
+    def test_load_skips_blank_lines(self):
+        tracer = self._traced()
+        buffer = io.StringIO()
+        tracer.export_jsonl(buffer)
+        lines = ["", *buffer.getvalue().splitlines(), "   "]
+        assert len(load_jsonl(lines)) == 2
+
+    def test_empty_tracer_exports_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert Tracer().export_jsonl(path) == 0
+        assert path.read_text() == ""
+        assert load_jsonl(path) == []
