@@ -1,0 +1,92 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry acknowledges a finding without fixing it — the
+analyzer still reports it (as *baselined*) but does not fail.  Entries
+match on the line-number-free fingerprint
+``rule::path::symbol::detail`` so unrelated edits never invalidate
+them, and every entry must carry a ``justification`` string: the
+baseline file is reviewed like code, and an unexplained entry defeats
+the point of the invariant.
+
+``python -m repro.analysis --write-baseline`` regenerates the file
+from the current findings, preserving justifications for fingerprints
+that survive and stamping ``TODO: justify`` on new ones (CI rejects
+the placeholder via :meth:`Baseline.unjustified`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+PLACEHOLDER_JUSTIFICATION = "TODO: justify"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> justification for grandfathered findings."""
+
+    entries: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def fingerprints(self) -> set[str]:
+        return set(self.entries)
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def unjustified(self) -> list[str]:
+        """Fingerprints whose justification is missing or placeholder."""
+        return sorted(
+            fp
+            for fp, why in self.entries.items()
+            if not why.strip() or why.strip() == PLACEHOLDER_JUSTIFICATION
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path} (expected {BASELINE_VERSION})"
+            )
+        entries: dict[str, str] = {}
+        for entry in payload.get("findings", []):
+            entries[entry["fingerprint"]] = entry.get("justification", "")
+        return cls(entries)
+
+    @classmethod
+    def load_or_empty(cls, path: Path | None) -> "Baseline":
+        if path is None or not path.exists():
+            return cls()
+        return cls.load(path)
+
+    def save(self, path: Path) -> None:
+        findings = [
+            {"fingerprint": fp, "justification": why}
+            for fp, why in sorted(self.entries.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": findings}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------
+    # regeneration
+    # ------------------------------------------------------------------
+    def rebuilt_from(self, findings: Iterable[Finding]) -> "Baseline":
+        """A new baseline covering ``findings``, keeping old justifications."""
+        entries: dict[str, str] = {}
+        for finding in findings:
+            fp = finding.fingerprint()
+            entries[fp] = self.entries.get(fp, PLACEHOLDER_JUSTIFICATION)
+        return Baseline(entries)

@@ -1,0 +1,162 @@
+"""``python -m repro.analysis`` — run the project-invariant checker.
+
+Exit codes: 0 clean (modulo baseline and suppressions), 1 when any new
+finding (or an unjustified/stale baseline entry) exists, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import load_project, run_analysis
+from repro.analysis.report import (
+    render_explain,
+    render_json,
+    render_rule_list,
+    render_text,
+)
+from repro.analysis.rules import ALL_RULES
+
+#: ``src/repro/analysis/cli.py`` -> repository root.
+REPO_ROOT = Path(__file__).resolve().parents[3]
+DEFAULT_BASELINE = REPO_ROOT / "analysis-baseline.json"
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-invariant static analysis for the repro tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories to check (default: {DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover current findings "
+        "(preserves existing justifications; new entries get a "
+        "placeholder you must fill in)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print a rule's invariant, rationale and provenance, then exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also show baselined and suppressed findings in text output",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    if args.explain is not None:
+        text = render_explain(args.explain)
+        if text is None:
+            known = ", ".join(rule.id for rule in ALL_RULES)
+            print(f"unknown rule {args.explain!r}; known rules: {known}", file=sys.stderr)
+            return 2
+        print(text)
+        return 0
+
+    rules = list(ALL_RULES)
+    if args.rules is not None:
+        wanted = {part.strip().upper() for part in args.rules.split(",") if part.strip()}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    paths = [path.resolve() for path in args.paths] or [DEFAULT_TARGET]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None and DEFAULT_BASELINE.exists():
+        baseline_path = DEFAULT_BASELINE
+    baseline = (
+        Baseline() if args.no_baseline else Baseline.load_or_empty(baseline_path)
+    )
+
+    project = load_project(paths, root=REPO_ROOT)
+    report = run_analysis(project, rules, baseline)
+
+    if args.write_baseline:
+        target = baseline_path if baseline_path is not None else DEFAULT_BASELINE
+        rebuilt = baseline.rebuilt_from([*report.new, *report.baselined])
+        rebuilt.save(target)
+        print(
+            f"baseline written to {target} "
+            f"({len(rebuilt.entries)} entr{'y' if len(rebuilt.entries) == 1 else 'ies'}; "
+            f"{len(rebuilt.unjustified())} awaiting justification)"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+
+    unjustified = baseline.unjustified()
+    if unjustified:
+        print(
+            "baseline entries without justification (fill in the "
+            "'justification' field):",
+            file=sys.stderr,
+        )
+        for fingerprint in unjustified:
+            print(f"  {fingerprint}", file=sys.stderr)
+        return 1
+    if report.stale_baseline:
+        return 1
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

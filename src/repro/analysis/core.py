@@ -1,0 +1,464 @@
+"""Analyzer core: source model, suppression parsing, rule running.
+
+The model is deliberately simple — one :class:`SourceModule` per file
+(path, text, parsed AST, parent links, noqa map, module-constant
+table), one :class:`Project` holding them all plus the cross-module
+facts individual rules need (registered invalidation prefixes, frozen
+dataclass names).  Rules receive the whole project so they can
+cross-reference (e.g. R1 validates every ``graph.derived`` writer
+against the prefixes :mod:`repro.index.invalidation` registers).
+
+Suppressions are trailing comments on the flagged line::
+
+    graph.derived[key] = value  # repro: noqa[R1] -- rebuilt by hand below
+
+A bare ``# repro: noqa`` suppresses every rule on that line.
+Suppressed findings are still collected (reporters show them on
+request) but never fail a run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.baseline import Baseline
+
+#: Trailing-comment suppression syntax.  ``# repro: noqa`` (all rules)
+#: or ``# repro: noqa[R1,R3]`` (listed rules only).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``symbol`` is the enclosing definition's qualified name (or
+    ``<module>``) and ``detail`` a stable discriminator — together with
+    ``rule`` and ``path`` they form the line-number-free fingerprint
+    the baseline matches on, so findings survive unrelated edits that
+    shift lines.
+    """
+
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+    detail: str
+    suppressed: bool = False
+
+    def fingerprint(self) -> str:
+        return f"{self.rule}::{self.path}::{self.symbol}::{self.detail}"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "detail": self.detail,
+            "suppressed": self.suppressed,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+class SourceModule:
+    """One parsed source file plus the lookup structure rules share."""
+
+    def __init__(self, path: Path, rel_path: str, text: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.noqa = self._parse_noqa()
+        self.constants = _fold_module_constants(self.tree)
+        self.constant_exprs = _module_assignments(self.tree)
+        self.imports = _collect_imports(self.tree)
+
+    def _parse_noqa(self) -> dict[int, frozenset[str] | None]:
+        """Line number -> suppressed rule ids (``None`` = all rules)."""
+        table: dict[int, frozenset[str] | None] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            if "#" not in line:
+                continue
+            match = _NOQA_RE.search(line)
+            if match is None:
+                continue
+            listed = match.group(1)
+            if listed is None:
+                table[lineno] = None
+            else:
+                table[lineno] = frozenset(
+                    part.strip().upper()
+                    for part in listed.split(",")
+                    if part.strip()
+                )
+        return table
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return rules is None or rule_id.upper() in rules
+
+    def qualname_of(self, node: ast.AST) -> str:
+        """The dotted name of the definitions enclosing ``node``."""
+        parts: list[str] = []
+        current: ast.AST | None = node
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                parts.append(current.name)
+            current = self.parents.get(current)
+        return ".".join(reversed(parts)) or "<module>"
+
+    def enclosing_loop(self, node: ast.AST) -> ast.AST | None:
+        """The innermost ``for``/``while`` ``node`` sits in, if any.
+
+        Stops at function boundaries: a call inside a nested ``def``
+        that is merely *defined* in a loop does not run per iteration.
+        """
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.For, ast.While)):
+                return current
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return None
+            current = self.parents.get(current)
+        return None
+
+    def guarding_tests(self, node: ast.AST) -> Iterator[ast.expr]:
+        """Tests of every ``if`` whose *body* lexically contains ``node``.
+
+        Walks outward through the parent chain; an ``orelse`` position
+        also yields the test (rules that need the polarity inspect the
+        expression themselves)."""
+        child = node
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.If):
+                yield current.test
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return
+            child = current
+            current = self.parents.get(current)
+        del child
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully qualified origin for top-level imports."""
+    table: dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def _module_assignments(tree: ast.Module) -> dict[str, ast.expr]:
+    """Name -> value expression for single-target module-level assigns."""
+    table: dict[str, ast.expr] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                table[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                table[node.target.id] = node.value
+    return table
+
+
+def _fold_module_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level string constants, with ``NAME + "lit"`` folding.
+
+    Iterates to a fixpoint so constants defined in terms of earlier
+    constants (``CSR_SNAPSHOT_KEY = CSR_KEY_PREFIX + "graph"``) fold
+    too.  Only ``str`` values are kept — that is all the key-prefix
+    cross-referencing needs.
+    """
+    table: dict[str, str] = {}
+    assignments: list[tuple[str, ast.expr]] = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                assignments.append((target.id, node.value))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                assignments.append((node.target.id, node.value))
+    changed = True
+    while changed:
+        changed = False
+        for name, value in assignments:
+            if name in table:
+                continue
+            folded = fold_str(value, table)
+            if folded is not None:
+                table[name] = folded
+                changed = True
+    return table
+
+
+def fold_str(node: ast.expr, constants: dict[str, str]) -> str | None:
+    """Evaluate ``node`` to a ``str`` using ``constants``, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return constants.get(node.id)
+    if isinstance(node, ast.Attribute):
+        # ``module.CONSTANT`` — resolved by Project.fold_key against the
+        # defining module; locally only the bare attribute name helps.
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = fold_str(node.left, constants)
+        right = fold_str(node.right, constants)
+        if left is not None and right is not None:
+            return left + right
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            elif isinstance(value, ast.FormattedValue):
+                folded = fold_str(value.value, constants)
+                if folded is None:
+                    return None
+                parts.append(folded)
+            else:
+                return None
+        return "".join(parts)
+    return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Project:
+    """Every module under analysis plus shared cross-module facts."""
+
+    def __init__(self, modules: list[SourceModule]) -> None:
+        self.modules = modules
+        self.by_rel_path = {module.rel_path: module for module in modules}
+        self._module_constants: dict[str, dict[str, str]] = {}
+        for module in modules:
+            rel = module.rel_path
+            # Anchor import names at the package root: src/repro/x.py
+            # and repro/x.py both resolve as ``repro.x``.
+            if rel.startswith("src/"):
+                rel = rel[len("src/") :]
+            dotted = rel.replace("/", ".").removesuffix(".py")
+            self._module_constants[dotted] = module.constants
+            if dotted.endswith(".__init__"):
+                self._module_constants[dotted.removesuffix(".__init__")] = (
+                    module.constants
+                )
+
+    def find_module(self, suffix: str) -> SourceModule | None:
+        """The module whose repo-relative path ends with ``suffix``."""
+        for module in self.modules:
+            if module.rel_path.endswith(suffix):
+                return module
+        return None
+
+    def fold_key(
+        self,
+        module: SourceModule,
+        node: ast.expr,
+        _seen: frozenset[str] = frozenset(),
+    ) -> str | None:
+        """Fold ``node`` to a string, chasing cross-module constants.
+
+        Extends :func:`fold_str` with the module's import table (a name
+        imported ``from repro.graph.csr import CSR_SNAPSHOT_KEY`` folds
+        to that module's folded value) and with module-level constants
+        *built from* imports (``KEY = CSR_KEY_PREFIX + "main"`` folds by
+        chasing the assignment expression).  ``_seen`` breaks cycles.
+        """
+        local = fold_str(node, module.constants)
+        if local is not None:
+            return local
+        if isinstance(node, ast.Name):
+            origin = module.imports.get(node.id)
+            if origin is not None:
+                owner, _, name = origin.rpartition(".")
+                value = self._imported_constant(owner, name)
+                if value is not None:
+                    return value
+            expr = module.constant_exprs.get(node.id)
+            if expr is not None and node.id not in _seen:
+                return self.fold_key(module, expr, _seen | {node.id})
+        if isinstance(node, ast.Attribute):
+            chain = dotted_name(node)
+            if chain is not None:
+                head, _, name = chain.rpartition(".")
+                origin = module.imports.get(head, head)
+                value = self._imported_constant(origin, name)
+                if value is not None:
+                    return value
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            left = self.fold_key(module, node.left, _seen)
+            right = self.fold_key(module, node.right, _seen)
+            if left is not None and right is not None:
+                return left + right
+        return None
+
+    def _imported_constant(self, owner_module: str, name: str) -> str | None:
+        table = self._module_constants.get(owner_module)
+        if table is not None and name in table:
+            return table[name]
+        return None
+
+
+class Rule:
+    """Base class for project-invariant checks.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``rationale`` and ``reference`` feed ``--explain`` — the reference
+    points at the CHANGES.md incident or ROADMAP item that motivated
+    the invariant, so suppressions are informed decisions.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    reference: str = ""
+
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        message: str,
+        detail: str,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.id,
+            path=module.rel_path,
+            line=line,
+            symbol=module.qualname_of(node),
+            message=message,
+            detail=detail,
+            suppressed=module.is_suppressed(self.id, line),
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analyzer run, partitioned for reporting."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+    stale_baseline: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def all_findings(self) -> list[Finding]:
+        return [*self.new, *self.baselined, *self.suppressed]
+
+
+def iter_source_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def load_project(paths: Iterable[Path], root: Path | None = None) -> Project:
+    """Parse every ``.py`` under ``paths`` into a :class:`Project`.
+
+    ``root`` anchors the repo-relative paths findings and baselines
+    use; it defaults to the common parent so fingerprints are stable
+    regardless of the invocation directory.
+    """
+    resolved = [Path(p).resolve() for p in paths]
+    if root is None:
+        root = _common_root(resolved)
+    modules: list[SourceModule] = []
+    for file_path in iter_source_files(resolved):
+        try:
+            rel = file_path.relative_to(root).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        text = file_path.read_text(encoding="utf-8")
+        modules.append(SourceModule(file_path, rel, text))
+    return Project(modules)
+
+
+def _common_root(paths: list[Path]) -> Path:
+    if not paths:
+        return Path.cwd()
+    candidates = [p if p.is_dir() else p.parent for p in paths]
+    root = candidates[0]
+    for candidate in candidates[1:]:
+        while not candidate.is_relative_to(root):
+            root = root.parent
+    return root
+
+
+def run_analysis(
+    project: Project,
+    rules: Iterable[Rule],
+    baseline: "Baseline | None" = None,
+) -> AnalysisReport:
+    """Run ``rules`` over ``project`` and partition the findings."""
+    rules = list(rules)
+    report = AnalysisReport(
+        files_checked=len(project.modules),
+        rules_run=tuple(rule.id for rule in rules),
+    )
+    seen_fingerprints: set[str] = set()
+    for module in project.modules:
+        for rule in rules:
+            for finding in rule.check(module, project):
+                seen_fingerprints.add(finding.fingerprint())
+                if finding.suppressed:
+                    report.suppressed.append(finding)
+                elif baseline is not None and baseline.contains(finding):
+                    report.baselined.append(finding)
+                else:
+                    report.new.append(finding)
+    if baseline is not None:
+        report.stale_baseline = sorted(
+            fp for fp in baseline.fingerprints if fp not in seen_fingerprints
+        )
+    for bucket in (report.new, report.baselined, report.suppressed):
+        bucket.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

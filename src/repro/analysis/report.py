@@ -1,0 +1,96 @@
+"""Human and JSON reporters for analyzer runs."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.core import AnalysisReport, Finding
+from repro.analysis.rules import ALL_RULES, get_rule
+
+
+def render_text(report: AnalysisReport, verbose: bool = False) -> str:
+    """The human report: findings grouped by rule, then a summary line."""
+    lines: list[str] = []
+    by_rule: dict[str, list[Finding]] = {}
+    for finding in report.new:
+        by_rule.setdefault(finding.rule, []).append(finding)
+    for rule_id in sorted(by_rule):
+        rule = get_rule(rule_id)
+        title = rule.title if rule is not None else ""
+        lines.append(f"{rule_id} ({title}):")
+        for finding in by_rule[rule_id]:
+            lines.append(f"  {finding.location()}  [{finding.symbol}]")
+            lines.append(f"      {finding.message}")
+        lines.append("")
+    if verbose and report.baselined:
+        lines.append("baselined (grandfathered, not failing):")
+        for finding in report.baselined:
+            lines.append(f"  {finding.rule} {finding.location()}  {finding.message}")
+        lines.append("")
+    if verbose and report.suppressed:
+        lines.append("suppressed (# repro: noqa):")
+        for finding in report.suppressed:
+            lines.append(f"  {finding.rule} {finding.location()}")
+        lines.append("")
+    if report.stale_baseline:
+        lines.append(
+            "stale baseline entries (finding no longer produced — run "
+            "--write-baseline to prune):"
+        )
+        for fingerprint in report.stale_baseline:
+            lines.append(f"  {fingerprint}")
+        lines.append("")
+    lines.append(
+        f"{len(report.new)} new finding(s), {len(report.baselined)} "
+        f"baselined, {len(report.suppressed)} suppressed across "
+        f"{report.files_checked} file(s); rules: "
+        f"{', '.join(report.rules_run)}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    payload = {
+        "ok": report.ok,
+        "summary": {
+            "new": len(report.new),
+            "baselined": len(report.baselined),
+            "suppressed": len(report.suppressed),
+            "files_checked": report.files_checked,
+            "rules_run": list(report.rules_run),
+            "stale_baseline": report.stale_baseline,
+        },
+        "findings": [finding.as_dict() for finding in report.new],
+        "baselined": [finding.as_dict() for finding in report.baselined],
+        "suppressed": [finding.as_dict() for finding in report.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_explain(rule_id: str) -> str | None:
+    """The ``--explain RULE`` text: invariant, rationale, provenance."""
+    rule = get_rule(rule_id)
+    if rule is None:
+        return None
+    return "\n".join(
+        [
+            f"{rule.id} — {rule.title}",
+            "",
+            rule.rationale,
+            "",
+            f"Motivated by: {rule.reference}",
+            "",
+            f"Suppress a single occurrence with `# repro: noqa[{rule.id}]` "
+            "plus a trailing justification; grandfather with "
+            "`python -m repro.analysis --write-baseline` and fill in the "
+            "justification field.",
+        ]
+    )
+
+
+def render_rule_list(rules: Iterable = ALL_RULES) -> str:
+    lines = []
+    for rule in rules:
+        lines.append(f"{rule.id}  {rule.title}")
+    return "\n".join(lines)

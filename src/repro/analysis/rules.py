@@ -1,0 +1,782 @@
+"""The project-invariant rules (R1–R6).
+
+Each rule encodes one architectural invariant of the optimized/oracle
+design.  They are deliberately *project-specific*: generic linters
+cannot know that ``graph.derived`` writers must register an
+invalidation prefix, or that ``trace()`` inside the engine's batch
+loop costs the disabled path real allocations.  See each rule's
+``rationale`` (``python -m repro.analysis --explain R1``) for the
+incident or roadmap item that motivated it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Finding, Project, Rule, SourceModule, dotted_name
+
+#: The four legacy engine toggles PR 5 folded into ``ExecutionConfig``.
+LEGACY_TOGGLES = ("use_csr", "scc_incremental", "rset_bitset")
+#: ``optimized`` predates the sprawl and remains the documented arm
+#: selector of leaf kernels; it only counts as legacy surface when it
+#: appears alongside a ``config=`` parameter (the wrapper signature).
+OPTIMIZED = "optimized"
+
+#: Structural DeltaOp kinds — ``set_attrs`` is exempt by design: it
+#: changes no structure, and the label-based structural caches stay
+#: valid (``Graph.set_attrs`` docstring).
+STRUCTURAL_KINDS = frozenset({"ADD_NODE", "ADD_EDGE", "REMOVE_EDGE", "REMOVE_NODE"})
+
+#: Engine-private buffers of the cyclic top-k engine (PRs 3–4).  Their
+#: layout and maintenance discipline (union-find aliasing, pending
+#: masks, version stamps) is an implementation detail of
+#: ``repro/topk/`` — outside it, only ``self``-owned attributes of the
+#: same name are legitimate (e.g. the session cache's own pair-CSR
+#: store).
+ENGINE_PRIVATE_BUFFERS = frozenset(
+    {
+        "_g_bits",
+        "_g_card",
+        "_g_self",
+        "_g_members",
+        "_g_parents",
+        "_g_final",
+        "_g_comp_out",
+        "_g_comp_in",
+        "_g_ext_pending",
+        "_g_unresolved",
+        "_pending_bits",
+        "_pair_csr",
+        "_pair_u",
+        "_pair_v",
+        "_pid_of",
+    }
+)
+
+#: Ambient-collector accessors of :mod:`repro.obs` — return ``None``
+#: when the corresponding instrumentation is disabled.
+AMBIENT_ACCESSORS = frozenset({"current_tracer", "current_metrics"})
+#: The convenience hooks that consult the ambient contextvar per call.
+AMBIENT_HOOKS = frozenset({"trace", "span_event"})
+#: Packages whose inner loops are the serving hot path (R3 scope).
+HOT_PATH_PACKAGES = ("repro/topk/", "repro/simulation/", "repro/session/")
+
+#: The gradually-typed core (R6 scope): fully annotated, mypy-strict.
+TYPED_CORE = (
+    "repro/session/",
+    "repro/obs/",
+    "repro/index/",
+    "repro/graph/delta.py",
+    "repro/api.py",
+    "repro/analysis/",
+)
+
+
+def _in_packages(module: SourceModule, packages: Iterable[str]) -> bool:
+    rel = module.rel_path
+    return any(
+        rel.endswith(entry) if entry.endswith(".py") else entry in rel
+        for entry in packages
+    )
+
+
+def _function_defs(
+    module: SourceModule,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _all_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.arg]:
+    args = node.args
+    return [*args.posonlyargs, *args.args, *args.kwonlyargs]
+
+
+def _params_with_defaults(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[ast.arg, ast.expr]]:
+    args = node.args
+    positional = [*args.posonlyargs, *args.args]
+    out: list[tuple[ast.arg, ast.expr]] = []
+    for arg, default in zip(positional[len(positional) - len(args.defaults) :], args.defaults):
+        out.append((arg, default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            out.append((arg, default))
+    return out
+
+
+class InvalidationSoundness(Rule):
+    """R1 — structural mutations invalidate; derived writers register."""
+
+    id = "R1"
+    title = "invalidation soundness"
+    rationale = (
+        "Every structural-mutation method of Graph must call "
+        "_invalidate_caches() before its first structural change event, "
+        "and every module writing graph.derived[...] must use a key "
+        "whose prefix is registered in "
+        "repro.index.invalidation.STRUCTURAL_KEY_PREFIXES — otherwise a "
+        "mutation leaves the entry live and a later read serves state "
+        "from a previous graph generation."
+    )
+    reference = (
+        "CHANGES.md PR 2: remove_node cached a CSR snapshot with the "
+        "node still live (the stale-snapshot bug this rule machine-"
+        "checks); ROADMAP 'Delta-aware snapshot patching' multiplies "
+        "the derived-key surface."
+    )
+
+    #: Methods that emit structural events without owning the mutation:
+    #: none today — delegating bulk helpers (``add_nodes``,
+    #: ``apply_delta``) contain no *direct* ``_emit`` and fall out
+    #: naturally.
+
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        if module.rel_path.endswith("graph/digraph.py"):
+            yield from self._check_mutators(module)
+        elif not module.rel_path.endswith("index/invalidation.py"):
+            yield from self._check_derived_writers(module, project)
+
+    # -- part A: digraph mutators ------------------------------------
+    def _check_mutators(self, module: SourceModule) -> Iterator[Finding]:
+        for func in _function_defs(module):
+            emit_line = self._first_structural_emit(func)
+            if emit_line is None:
+                continue
+            guard_line = self._invalidate_call_line(func)
+            if guard_line is None:
+                yield self.finding(
+                    module,
+                    func,
+                    f"structural mutator {func.name}() emits a structural "
+                    "DeltaOp but never calls self._invalidate_caches()",
+                    f"mutator-missing-invalidate:{func.name}",
+                )
+            elif guard_line > emit_line:
+                yield self.finding(
+                    module,
+                    func,
+                    f"structural mutator {func.name}() emits its structural "
+                    "DeltaOp (line %d) before self._invalidate_caches() "
+                    "(line %d) — listeners observe the change while stale "
+                    "caches are still live" % (emit_line, guard_line),
+                    f"mutator-late-invalidate:{func.name}",
+                )
+
+    def _first_structural_emit(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> int | None:
+        """Line of the first direct ``self._emit(DeltaOp(<structural>))``."""
+        first: int | None = None
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee != "self._emit" or not node.args:
+                continue
+            op = node.args[0]
+            if not (
+                isinstance(op, ast.Call)
+                and isinstance(op.func, ast.Name)
+                and op.func.id == "DeltaOp"
+                and op.args
+            ):
+                continue
+            kind = op.args[0]
+            if isinstance(kind, ast.Name) and kind.id in STRUCTURAL_KINDS:
+                if first is None or node.lineno < first:
+                    first = node.lineno
+        return first
+
+    def _invalidate_call_line(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> int | None:
+        """Line of the first *unconditional* ``self._invalidate_caches()``.
+
+        Only statements directly in the function body count — a call
+        nested under an ``if`` may be skipped on some exit path.
+        """
+        for stmt in func.body:
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and dotted_name(stmt.value.func) == "self._invalidate_caches"
+            ):
+                return stmt.lineno
+        return None
+
+    # -- part B: graph.derived writers -------------------------------
+    def _check_derived_writers(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        prefixes = self._registered_prefixes(project)
+        for node, key_expr in self._derived_writes(module):
+            key = project.fold_key(module, key_expr)
+            if key is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "write to graph.derived with a key the analyzer cannot "
+                    "resolve to a registered invalidation prefix — use a "
+                    "module-level string constant built from a prefix in "
+                    "repro.index.invalidation.STRUCTURAL_KEY_PREFIXES",
+                    "derived-key-unresolvable",
+                )
+            elif prefixes and not key.startswith(prefixes):
+                yield self.finding(
+                    module,
+                    node,
+                    f"graph.derived key {key!r} is not covered by any "
+                    "registered invalidation prefix "
+                    f"{sorted(prefixes)} — a structural mutation will "
+                    "leave this entry stale",
+                    f"derived-key-unregistered:{key}",
+                )
+
+    def _registered_prefixes(self, project: Project) -> tuple[str, ...]:
+        inv = project.find_module("index/invalidation.py")
+        if inv is None:
+            return ()
+        for node in inv.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "STRUCTURAL_KEY_PREFIXES"
+                and isinstance(node.value, (ast.Tuple, ast.List))
+            ):
+                prefixes = []
+                for element in node.value.elts:
+                    folded = project.fold_key(inv, element)
+                    if folded is not None:
+                        prefixes.append(folded)
+                return tuple(prefixes)
+        return ()
+
+    def _derived_writes(
+        self, module: SourceModule
+    ) -> Iterator[tuple[ast.AST, ast.expr]]:
+        for node in ast.walk(module.tree):
+            # graph.derived[key] = ... / graph.derived[key] |= ...
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr == "derived"
+                    ):
+                        yield node, target.slice
+            # graph.derived.setdefault(key, ...)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "setdefault"
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "derived"
+                    and node.args
+                ):
+                    yield node, node.args[0]
+
+
+class ConfigDiscipline(Rule):
+    """R2 — toggles flow through ``ExecutionConfig``, not loose kwargs."""
+
+    id = "R2"
+    title = "config discipline"
+    rationale = (
+        "PR 5 collapsed the optimized/use_csr/scc_incremental/"
+        "rset_bitset kwargs sprawl into ExecutionConfig; the defaulting "
+        "chain lives only in ExecutionConfig.resolved().  A function "
+        "may still *accept* the legacy kwargs as a deprecation surface, "
+        "but then it must funnel them through ExecutionConfig.adapt() "
+        "immediately — re-declaring the toggles with local defaulting "
+        "logic regrows three divergent copies of the chain."
+    )
+    reference = (
+        "CHANGES.md PR 5: 'the three copies of toggle defaulting deleted "
+        "from the wrappers'; ROADMAP items (shard-parallel kernels, "
+        "anytime streaming) each add toggles that must join "
+        "ExecutionConfig, not the kwargs surface."
+    )
+
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        if module.rel_path.endswith("session/config.py"):
+            return
+        # Module-local funnels: functions whose body reaches adapt()
+        # directly.  One level of indirection is enough for the facade
+        # pattern (api._adapt_options); deeper chains should not exist.
+        funnels = {
+            func.name
+            for func in _function_defs(module)
+            if self._calls_adapt(func)
+        }
+        for func in _function_defs(module):
+            declared = {arg.arg for arg, _ in _params_with_defaults(func)}
+            legacy = declared & set(LEGACY_TOGGLES)
+            if OPTIMIZED in declared and "config" in {
+                a.arg for a in _all_params(func)
+            }:
+                legacy.add(OPTIMIZED)
+            if not legacy:
+                continue
+            if not self._calls_adapt(func, funnels):
+                yield self.finding(
+                    module,
+                    func,
+                    f"{func.name}() declares legacy toggle kwargs "
+                    f"({', '.join(sorted(legacy))}) without funnelling "
+                    "them through ExecutionConfig.adapt() — the "
+                    "deprecation adapter in repro/session/config.py is "
+                    "the only place the legacy surface may be interpreted",
+                    f"legacy-kwargs:{func.name}:{','.join(sorted(legacy))}",
+                )
+
+    @staticmethod
+    def _calls_adapt(
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        funnels: frozenset[str] | set[str] = frozenset(),
+    ) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                callee = dotted_name(node.func)
+                if callee is not None and callee.endswith("ExecutionConfig.adapt"):
+                    return True
+                if isinstance(node.func, ast.Attribute) and node.func.attr == "adapt":
+                    base = dotted_name(node.func.value)
+                    if base in {"cls", "ExecutionConfig"}:
+                        return True
+                if isinstance(node.func, ast.Name) and node.func.id in funnels:
+                    return True
+        return False
+
+
+class ObsNoOpGuarantee(Rule):
+    """R3 — disabled observability costs nothing on the hot path."""
+
+    id = "R3"
+    title = "obs no-op guarantee"
+    rationale = (
+        "The serving path ships with instrumentation hooks compiled in; "
+        "the contract (benchmarks/bench_obs_overhead.py fails CI beyond "
+        "5%) is that with tracing/metrics disabled they are strict "
+        "no-ops.  Three things break that: calling methods directly on "
+        "current_tracer()/current_metrics() (None when disabled — "
+        "crashes or forces allocation), using an ambient collector "
+        "without an `is not None` guard, and calling trace()/"
+        "span_event() inside a loop (each call pays a contextvar read "
+        "plus a kwargs dict even when disabled — hot loops must resolve "
+        "the tracer once outside and guard on it)."
+    )
+    reference = (
+        "CHANGES.md PR 6: 'all strictly no-op when disabled' + the "
+        "bench_obs_overhead CI guard; the engine pre-resolves "
+        "self._tracer for exactly this reason (topk/engine.py)."
+    )
+
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        if not _in_packages(module, HOT_PATH_PACKAGES):
+            return
+        ambient_names = {
+            name
+            for name, origin in module.imports.items()
+            if origin.rpartition(".")[2] in AMBIENT_ACCESSORS
+        } | AMBIENT_ACCESSORS
+        hook_names = {
+            name
+            for name, origin in module.imports.items()
+            if origin.startswith("repro.obs") and origin.rpartition(".")[2] in AMBIENT_HOOKS
+        }
+        yield from self._check_chained_calls(module, ambient_names)
+        yield from self._check_unguarded_collectors(module, ambient_names)
+        yield from self._check_unguarded_spans(module, hook_names)
+        yield from self._check_hooks_in_loops(module, hook_names)
+
+    # -- current_tracer().x(...) --------------------------------------
+    def _check_chained_calls(
+        self, module: SourceModule, ambient_names: set[str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.func.id in ambient_names
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{node.value.func.id}() is None when disabled — bind "
+                    "it to a variable and guard with `is not None` instead "
+                    "of chaining a method call",
+                    f"chained-ambient:{node.value.func.id}",
+                )
+
+    # -- registry = current_metrics(); registry.counter(...) ----------
+    def _check_unguarded_collectors(
+        self, module: SourceModule, ambient_names: set[str]
+    ) -> Iterator[Finding]:
+        for func in _function_defs(module):
+            collectors = self._collector_bindings(func, ambient_names)
+            if not collectors:
+                continue
+            for node in ast.walk(func):
+                if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                    continue
+                target = dotted_name(node.func.value)
+                if target not in collectors:
+                    continue
+                if not self._guarded_by(module, node, target):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"call on ambient collector `{target}` without an "
+                        f"enclosing `if {target} is not None` guard — the "
+                        "disabled path would crash or allocate",
+                        f"unguarded-collector:{target}.{node.func.attr}",
+                    )
+
+    def _collector_bindings(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        ambient_names: set[str],
+    ) -> set[str]:
+        """Dotted names bound (anywhere in scope) from an ambient accessor."""
+        bound: set[str] = set()
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            callee = node.value.func
+            if isinstance(callee, ast.Name) and callee.id in ambient_names:
+                for target in node.targets:
+                    name = dotted_name(target)
+                    if name is not None:
+                        bound.add(name)
+        return bound
+
+    def _guarded_by(self, module: SourceModule, node: ast.AST, target: str) -> bool:
+        for test in module.guarding_tests(node):
+            for sub in ast.walk(test):
+                if dotted_name(sub) == target:
+                    return True
+        return False
+
+    # -- with trace(...) as span: span.set_attr(...) ------------------
+    def _check_unguarded_spans(
+        self, module: SourceModule, hook_names: set[str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.With):
+                continue
+            span_vars: set[str] = set()
+            for item in node.items:
+                call = item.context_expr
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Name)
+                    and call.func.id in hook_names
+                    and call.func.id == "trace"
+                    and item.optional_vars is not None
+                ):
+                    name = dotted_name(item.optional_vars)
+                    if name is not None:
+                        span_vars.add(name)
+            if not span_vars:
+                continue
+            for sub in ast.walk(node):
+                if not (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute)):
+                    continue
+                target = dotted_name(sub.func.value)
+                if target in span_vars and not self._guarded_by(module, sub, target):
+                    yield self.finding(
+                        module,
+                        sub,
+                        f"`{target}` is None when tracing is disabled — "
+                        f"guard `{target}.{sub.func.attr}(...)` with "
+                        f"`if {target} is not None`",
+                        f"unguarded-span:{target}.{sub.func.attr}",
+                    )
+
+    # -- trace()/span_event() inside for/while ------------------------
+    def _check_hooks_in_loops(
+        self, module: SourceModule, hook_names: set[str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in hook_names
+            ):
+                continue
+            if module.enclosing_loop(node) is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{node.func.id}() inside a loop pays a contextvar read "
+                "and a kwargs dict per iteration even when disabled — "
+                "resolve the tracer once outside the loop "
+                "(`tracer = current_tracer()`) and guard the span on "
+                "`tracer is not None`",
+                f"hook-in-loop:{node.func.id}",
+            )
+
+
+class EngineEncapsulation(Rule):
+    """R4 — engine-private buffers referenced only within repro/topk/."""
+
+    id = "R4"
+    title = "engine encapsulation"
+    rationale = (
+        "The cyclic engine's packed buffers (_g_bits, _g_card, "
+        "_pending_bits, _pair_csr, ...) are maintained under union-find "
+        "aliasing, deferred-flush pending masks and per-root version "
+        "stamps; reading them from outside repro/topk/ couples other "
+        "layers to representation details that change per PR and skips "
+        "the alias chase/flush a correct read needs.  Only the engine "
+        "package (and tests) may touch them; other classes may own "
+        "same-named `self.` attributes."
+    )
+    reference = (
+        "CHANGES.md PR 3/PR 4 (the buffers and their maintenance "
+        "discipline); ROADMAP 'shard-parallel kernels' will re-layout "
+        "these buffers, which must not leak."
+    )
+
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        if "repro/topk/" in module.rel_path:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in ENGINE_PRIVATE_BUFFERS:
+                continue
+            if isinstance(node.value, ast.Name) and node.value.id in {"self", "cls"}:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"engine-private buffer `.{node.attr}` referenced outside "
+                "repro/topk/ — go through the engine's public surface "
+                "(rset_of, partial_relevant, EngineStats) instead",
+                f"private-buffer:{node.attr}",
+            )
+
+
+class FrozenAndDefaults(Rule):
+    """R5 — no mutable default args, no frozen-dataclass mutation."""
+
+    id = "R5"
+    title = "mutable defaults / frozen mutation"
+    rationale = (
+        "A mutable default argument is shared across every call — "
+        "cross-query state leaking through a signature is exactly the "
+        "bug class the session/config split exists to prevent.  Frozen "
+        "dataclasses (ExecutionConfig, DeltaOp, QuerySpec) are hashed "
+        "into cache keys (SessionCache, the session result store); "
+        "mutating one in place (attribute assignment or "
+        "object.__setattr__ outside the defining class) silently "
+        "corrupts every cache entry keyed on it."
+    )
+    reference = (
+        "CHANGES.md PR 5: ExecutionConfig is a cache-key component of "
+        "the session result store; repro/session/cache.py keys "
+        "artifacts structurally."
+    )
+
+    MUTABLE_FACTORY = frozenset({"list", "dict", "set", "bytearray"})
+
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        yield from self._check_defaults(module)
+        yield from self._check_frozen_mutation(module, project)
+
+    def _check_defaults(self, module: SourceModule) -> Iterator[Finding]:
+        for func in _function_defs(module):
+            for arg, default in _params_with_defaults(func):
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default for parameter `{arg.arg}` of "
+                        f"{func.name}() — shared across calls; default to "
+                        "None and construct inside the body",
+                        f"mutable-default:{func.name}:{arg.arg}",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self.MUTABLE_FACTORY
+        )
+
+    def _check_frozen_mutation(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        frozen_classes = _frozen_dataclasses(project)
+        if not frozen_classes:
+            return
+        for func in _function_defs(module):
+            owner = module.parents.get(func)
+            owner_class = owner.name if isinstance(owner, ast.ClassDef) else None
+            instances = self._frozen_bindings(func, frozen_classes)
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in instances
+                        ):
+                            cls = instances[target.value.id]
+                            yield self.finding(
+                                module,
+                                node,
+                                f"assignment to `{target.value.id}.{target.attr}` "
+                                f"mutates frozen dataclass {cls} — use "
+                                "dataclasses.replace()",
+                                f"frozen-mutation:{cls}.{target.attr}",
+                            )
+                elif (
+                    isinstance(node, ast.Call)
+                    and dotted_name(node.func) == "object.__setattr__"
+                    and owner_class not in frozen_classes
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "object.__setattr__ outside a frozen dataclass's own "
+                        "methods bypasses immutability — use "
+                        "dataclasses.replace()",
+                        "frozen-setattr-escape",
+                    )
+
+    def _frozen_bindings(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        frozen_classes: set[str],
+    ) -> dict[str, str]:
+        """Local names provably bound to frozen-dataclass instances."""
+        bindings: dict[str, str] = {}
+        for arg in _all_params(func):
+            annotation = arg.annotation
+            if annotation is not None:
+                name = _annotation_class(annotation)
+                if name in frozen_classes:
+                    bindings[arg.arg] = name
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            callee = dotted_name(node.value.func)
+            if callee is None:
+                continue
+            cls = callee.split(".")[0]
+            if callee in frozen_classes or (
+                cls in frozen_classes and callee.endswith((".adapt", ".resolved"))
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bindings[target.id] = cls if cls in frozen_classes else callee
+        return bindings
+
+
+def _annotation_class(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotations like "ExecutionConfig | None".
+        head = node.value.split("|")[0].strip()
+        return head.split(".")[-1] or None
+    return None
+
+
+def _frozen_dataclasses(project: Project) -> set[str]:
+    found: set[str] = set()
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                if not (
+                    isinstance(decorator, ast.Call)
+                    and dotted_name(decorator.func) in {"dataclass", "dataclasses.dataclass"}
+                ):
+                    continue
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "frozen"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        found.add(node.name)
+    return found
+
+
+class TypedCore(Rule):
+    """R6 — the typed core stays fully annotated."""
+
+    id = "R6"
+    title = "typed-core annotation coverage"
+    rationale = (
+        "repro/session/, repro/obs/, repro/index/, repro/graph/delta.py "
+        "and repro/api.py are the mypy-strict set (mypy.ini): the "
+        "public serving surface plus the cache/invalidation machinery "
+        "where a type confusion becomes a wrong answer, not a crash.  "
+        "Every function there must annotate all parameters and its "
+        "return so mypy --strict has no Any holes and downstream users "
+        "of the py.typed package get real checking."
+    )
+    reference = (
+        "ISSUE 7 gradual-typing pass; mypy.ini [mypy-repro.session.*] "
+        "etc. — CI runs mypy on exactly this set."
+    )
+
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        if not _in_packages(module, TYPED_CORE):
+            return
+        for func in _function_defs(module):
+            missing: list[str] = []
+            params = _all_params(func)
+            for index, arg in enumerate(params):
+                if index == 0 and arg.arg in {"self", "cls"}:
+                    continue
+                if arg.annotation is None:
+                    missing.append(arg.arg)
+            for star in (func.args.vararg, func.args.kwarg):
+                if star is not None and star.annotation is None:
+                    missing.append(("*" if star is func.args.vararg else "**") + star.arg)
+            if func.returns is None:
+                missing.append("return")
+            if missing:
+                yield self.finding(
+                    module,
+                    func,
+                    f"{func.name}() in the typed core is missing "
+                    f"annotations for: {', '.join(missing)}",
+                    f"missing-annotations:{func.name}:{','.join(missing)}",
+                )
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    InvalidationSoundness(),
+    ConfigDiscipline(),
+    ObsNoOpGuarantee(),
+    EngineEncapsulation(),
+    FrozenAndDefaults(),
+    TypedCore(),
+)
+
+
+def get_rule(rule_id: str) -> Rule | None:
+    for rule in ALL_RULES:
+        if rule.id.upper() == rule_id.upper():
+            return rule
+    return None

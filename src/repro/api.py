@@ -151,7 +151,7 @@ def top_k_matches(
     optimized: bool = True,
     relevance_fn: RelevanceFunction | None = None,
     config: ExecutionConfig | None = None,
-    **engine_options,
+    **engine_options: Any,
 ) -> TopKResult:
     """topKP with early termination: ``TopKDAG`` or ``TopK`` as appropriate.
 
@@ -198,7 +198,7 @@ def diversified_matches(
     objective: DiversificationObjective | None = None,
     optimized: bool = True,
     config: ExecutionConfig | None = None,
-    **options,
+    **options: Any,
 ) -> TopKResult:
     """topKDP: diversified top-k matches of the output node.
 
@@ -239,7 +239,7 @@ def register_view(
     graph: Graph,
     k: int = 10,
     name: str | None = None,
-    **view_options,
+    **view_options: Any,
 ) -> MatchView:
     """Materialize a :class:`MatchView` of ``pattern`` over ``graph``.
 
@@ -282,7 +282,7 @@ def top_k_matches_multi(
     optimized: bool = True,
     relevance_fn: RelevanceFunction | None = None,
     config: ExecutionConfig | None = None,
-    **engine_options,
+    **engine_options: Any,
 ) -> dict[int, TopKResult]:
     """topKP for patterns with *multiple* output nodes (Section 2.2).
 

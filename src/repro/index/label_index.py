@@ -37,7 +37,7 @@ aggregation the paper quotes.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.errors import MatchingError
 from repro.graph.algorithms import condensation
@@ -45,6 +45,10 @@ from repro.graph.digraph import Graph
 from repro.index.descendants import hop_counts, unbounded_counts
 from repro.patterns.pattern import Pattern
 from repro.simulation.candidates import WILDCARD_LABEL, CandidateSets
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.algorithms import Condensation
+    from repro.graph.csr import CSRSnapshot
 
 BOUND_STRATEGIES = ("global", "counting", "exact", "hop")
 
@@ -227,7 +231,7 @@ class _ZEROS(Sequence[int]):
     def __len__(self) -> int:
         return self._length
 
-    def __getitem__(self, index):  # type: ignore[override]
+    def __getitem__(self, index: Any) -> int:  # type: ignore[override]
         return 0
 
 
@@ -256,7 +260,7 @@ class SimBoundIndex:
         pattern: Pattern,
         graph: Graph,
         sim: list[set[int]],
-        snapshot=None,
+        snapshot: "CSRSnapshot | None" = None,
     ) -> None:
         self.pattern = pattern
         self.graph = graph
@@ -273,11 +277,13 @@ class SimBoundIndex:
         self._sources: dict[int, list[tuple[int, Sequence[int]]]] = {}
         self._allowed: list[int] | None = None
         self._adjacency: list[tuple[int, ...]] | None = None
-        self._restricted: tuple | None = None
-        self._condensation = None
+        self._restricted: tuple[Any, Any] | None = None
+        self._condensation: (
+            "tuple[list[int], Condensation, set[int]] | None"
+        ) = None
 
     # -- shared restricted structure ----------------------------------
-    def _restricted_csr(self):
+    def _restricted_csr(self) -> tuple[Any, Any]:
         """Match-restricted adjacency as CSR arrays (snapshot mode only)."""
         if self._restricted is None:
             import numpy as np
@@ -319,7 +325,9 @@ class SimBoundIndex:
                 ]
         return self._adjacency
 
-    def _restricted_condensation(self):
+    def _restricted_condensation(
+        self,
+    ) -> "tuple[list[int], Condensation, set[int]]":
         """Condensation of the *match-node* subgraph (plus self-loop comps).
 
         Restricted-reachability structures are only ever consulted for

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import math
 from contextvars import ContextVar
+from types import TracebackType
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import MatchingError
@@ -238,7 +239,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, _Metric] = {}
 
-    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
+    def _get_or_create(
+        self, cls: type[_Metric], name: str, help: str, **kwargs: Any
+    ) -> _Metric:
         metric = self._metrics.get(name)
         if metric is None:
             metric = cls(name, help, **kwargs)
@@ -312,7 +315,12 @@ class use_metrics:
         self._token = _METRICS.set(self._registry)
         return self._registry
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         _METRICS.reset(self._token)
         return False
 

@@ -19,6 +19,7 @@ wrappers and :class:`MatchSession` wrap their execution in it:
 
 from __future__ import annotations
 
+from types import TracebackType
 from typing import TYPE_CHECKING
 
 from repro.obs.metrics import (
@@ -68,7 +69,12 @@ class _NullInstrumentation:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -83,7 +89,7 @@ class _Installer:
     def __init__(self, trace: bool, metrics: bool) -> None:
         self._trace = trace
         self._metrics = metrics
-        self._entered: list = []
+        self._entered: list[use_tracer | use_metrics] = []
 
     def __enter__(self) -> None:
         if self._trace and current_tracer() is None:
@@ -96,13 +102,20 @@ class _Installer:
             self._entered.append(cm)
         return None
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         while self._entered:
             self._entered.pop().__exit__(exc_type, exc, tb)
         return False
 
 
-def instrumentation(config: "ExecutionConfig | None"):
+def instrumentation(
+    config: "ExecutionConfig | None",
+) -> "_NullInstrumentation | _Installer":
     """The context manager every execution surface wraps its run in."""
     if config is None or not (config.trace or config.metrics):
         return _NULL

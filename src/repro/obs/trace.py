@@ -29,6 +29,7 @@ import time
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
+from types import TracebackType
 from typing import Any, Iterable, TextIO
 
 _TRACER: ContextVar["Tracer | None"] = ContextVar("repro_tracer", default=None)
@@ -117,7 +118,12 @@ class _SpanContext:
     def __enter__(self) -> Span:
         return self._span
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         if exc_type is not None:
             self._span.status = "error"
             self._span.error_type = exc_type.__name__
@@ -250,7 +256,12 @@ class _NullSpanContext:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -274,12 +285,17 @@ class use_tracer:
         self._token = _TRACER.set(self._tracer)
         return self._tracer
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         _TRACER.reset(self._token)
         return False
 
 
-def trace(name: str, **attrs: Any):
+def trace(name: str, **attrs: Any) -> "_SpanContext | _NullSpanContext":
     """Open a span on the ambient tracer, or a shared no-op without one.
 
     The yielded value is the :class:`Span` (mutable: ``set_attr``) when

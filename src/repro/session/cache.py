@@ -37,7 +37,7 @@ generation counter.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.graph import csr
 from repro.graph.digraph import Graph
@@ -53,7 +53,8 @@ from repro.simulation.candidates import (
 from repro.simulation.match import SimulationResult, maximal_simulation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.graph.csr import ComponentPairCSR
+    from repro.graph.csr import CSRSnapshot, ComponentPairCSR
+    from repro.graph.delta import DeltaOp
 
 
 @dataclass
@@ -80,7 +81,7 @@ class SessionCacheStats:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
-def pattern_structure_key(pattern: Pattern):
+def pattern_structure_key(pattern: Pattern) -> tuple[Any, ...]:
     """A structural cache key: labels, edges, predicates, nothing else.
 
     Output-node designations are deliberately excluded — candidates,
@@ -137,7 +138,7 @@ class SessionCache:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def _on_mutation(self, op) -> None:
+    def _on_mutation(self, op: "DeltaOp") -> None:
         self._stale = True
         self.mutation_count += 1
 
@@ -276,7 +277,7 @@ class SessionCache:
         pattern: Pattern,
         use_csr: bool,
         sim_sets: list[set[int]],
-        snapshot,
+        snapshot: "CSRSnapshot | None",
     ) -> tuple[SimBoundIndex, bool]:
         """The :class:`SimBoundIndex` over the narrowed relation."""
         key = ("bounds", pattern_structure_key(pattern), use_csr)
@@ -343,7 +344,7 @@ class SessionCache:
         self._contexts[key] = context
         return context
 
-    def cached_result(self, key: tuple):
+    def cached_result(self, key: tuple) -> Any:
         """A previously stored query result, or ``None``.
 
         Results live and die with the artifact generation (any refresh
@@ -356,7 +357,7 @@ class SessionCache:
             self._observe("result", "hit")
         return cached
 
-    def store_result(self, key: tuple, result) -> None:
+    def store_result(self, key: tuple, result: Any) -> None:
         self.stats.result_builds += 1
         self._observe("result", "build")
         self._results[key] = result

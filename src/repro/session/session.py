@@ -47,6 +47,7 @@ from repro.session.cache import SessionCache, pattern_structure_key
 from repro.session.config import ExecutionConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a topk import cycle)
+    from repro.incremental.view import MatchView
     from repro.topk.result import TopKResult
 
 QUERY_MODES = ("topk", "diversified", "baseline", "multi")
@@ -214,7 +215,7 @@ class MatchSession:
     def __enter__(self) -> "MatchSession":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def _check_fresh(self) -> None:
@@ -295,20 +296,20 @@ class MatchSession:
     # ------------------------------------------------------------------
     # immediate-mode conveniences
     # ------------------------------------------------------------------
-    def top_k(self, pattern: Pattern, k: int = 10, **options) -> TopKResult:
+    def top_k(self, pattern: Pattern, k: int = 10, **options: Any) -> TopKResult:
         """Immediate topKP through the session caches."""
         return self.submit(pattern, k, mode="topk", **options).result()
 
-    def diversified(self, pattern: Pattern, k: int = 10, **options) -> TopKResult:
+    def diversified(self, pattern: Pattern, k: int = 10, **options: Any) -> TopKResult:
         """Immediate topKDP through the session caches."""
         return self.submit(pattern, k, mode="diversified", **options).result()
 
-    def baseline(self, pattern: Pattern, k: int = 10, **options) -> TopKResult:
+    def baseline(self, pattern: Pattern, k: int = 10, **options: Any) -> TopKResult:
         """Immediate find-all ``Match`` baseline through the session caches."""
         return self.submit(pattern, k, mode="baseline", **options).result()
 
     def top_k_multi(
-        self, pattern: Pattern, k: int = 10, **options
+        self, pattern: Pattern, k: int = 10, **options: Any
     ) -> dict[int, TopKResult]:
         """topKP fanned out over every designated output node.
 
@@ -318,7 +319,9 @@ class MatchSession:
         """
         return self.submit(pattern, k, mode="multi", **options).result()
 
-    def register_view(self, pattern: Pattern, k: int = 10, **view_options):
+    def register_view(
+        self, pattern: Pattern, k: int = 10, **view_options: Any
+    ) -> "MatchView":
         """Materialize a :class:`MatchView` wired to this session's cache.
 
         The view's full rebuilds (initial build, threshold fallbacks)
@@ -340,7 +343,9 @@ class MatchSession:
     def _config_for(self, spec: QuerySpec) -> ExecutionConfig:
         return (spec.config if spec.config is not None else self.config).resolved()
 
-    def _result_key(self, spec: QuerySpec, cfg: ExecutionConfig):
+    def _result_key(
+        self, spec: QuerySpec, cfg: ExecutionConfig
+    ) -> tuple[Any, ...] | None:
         """The result-store key of ``spec``, or ``None`` if uncacheable.
 
         Custom relevance functions and objectives are opaque (possibly
@@ -362,7 +367,9 @@ class MatchSession:
         )
 
     @staticmethod
-    def _copy_result(result):
+    def _copy_result(
+        result: "TopKResult | dict[int, TopKResult]",
+    ) -> "TopKResult | dict[int, TopKResult]":
         """An independent copy of a stored answer.
 
         ``TopKResult`` is mutable (``matches`` list, ``scores`` dict,

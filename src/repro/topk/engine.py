@@ -887,20 +887,21 @@ class TopKEngine:
 
             batch = self.batch_size or default_batch_size(len(self._seeds))
             terminated = False
+            tracer = self._tracer
             while self._seed_cursor < len(self._seeds):
                 # One span per Sc propagation round — the span count
                 # reconciles with ``stats.batches`` by construction.
-                with trace("engine.batch", index=self.stats.batches):
-                    upper = min(self._seed_cursor + batch, len(self._seeds))
-                    for i in range(self._seed_cursor, upper):
-                        self._visit(self._seeds[i])
-                    self._seed_cursor = upper
-                    self.stats.batches += 1
-                    self.stats.visited_seeds = self._seed_cursor
-                    self._drain()
-                    if self._check_termination():
-                        terminated = self._seed_cursor < len(self._seeds)
-                        break
+                # Guarded on the init-resolved tracer: with tracing
+                # disabled the loop must not pay a contextvar read and
+                # a kwargs dict per round (R3).
+                if tracer is not None:
+                    with tracer.span("engine.batch", index=self.stats.batches):
+                        stop = self._run_batch(batch)
+                else:
+                    stop = self._run_batch(batch)
+                if stop:
+                    terminated = self._seed_cursor < len(self._seeds)
+                    break
             self.stats.terminated_early = terminated
 
             result = self._build_result()
@@ -912,6 +913,17 @@ class TopKEngine:
                     terminated_early=terminated,
                 )
         return result
+
+    def _run_batch(self, batch: int) -> bool:
+        """Visit one seed batch and drain; True when termination fired."""
+        upper = min(self._seed_cursor + batch, len(self._seeds))
+        for i in range(self._seed_cursor, upper):
+            self._visit(self._seeds[i])
+        self._seed_cursor = upper
+        self.stats.batches += 1
+        self.stats.visited_seeds = self._seed_cursor
+        self._drain()
+        return self._check_termination()
 
     def _build_result(self) -> TopKResult:
         if not self._totality_holds():

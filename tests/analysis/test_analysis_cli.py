@@ -1,0 +1,178 @@
+"""CLI behaviour: exit codes, formats, baselines, explain, meta-check."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from _fixtures import write_file
+from repro.analysis.baseline import PLACEHOLDER_JUSTIFICATION
+from repro.analysis.cli import main
+from repro.analysis.rules import ALL_RULES
+
+MUTABLE_DEFAULT = """
+    def collect(values, seen=[]):
+        return seen
+"""
+
+#: One seeded violation per project rule — each must drive a non-zero
+#: exit when pointed at directly (the ISSUE 7 acceptance check).
+SEEDED = {
+    "R1": (
+        "repro/graph/digraph.py",
+        """
+        class Graph:
+            def add_edge(self, u, v):
+                self._adj[u].append(v)
+                self._emit(DeltaOp(ADD_EDGE, u, v))
+        """,
+    ),
+    "R2": (
+        "repro/topk/wrapper.py",
+        """
+        def top_k(pattern, graph, k, use_csr=None):
+            return run(pattern, graph, k, bool(use_csr))
+        """,
+    ),
+    "R3": (
+        "repro/topk/hot.py",
+        """
+        from repro.obs import trace
+
+        def run(batches):
+            for batch in batches:
+                with trace("engine.batch"):
+                    batch.run()
+        """,
+    ),
+    "R4": (
+        "repro/session/peek.py",
+        """
+        def peek(engine):
+            return engine._pending_bits
+        """,
+    ),
+    "R5": ("repro/util.py", MUTABLE_DEFAULT),
+}
+
+
+class TestSeededViolations:
+    @pytest.mark.parametrize("rule_id", sorted(SEEDED))
+    def test_each_rule_fails_on_its_seeded_violation(
+        self, rule_id, tmp_path, capsys
+    ):
+        rel, source = SEEDED[rule_id]
+        path = write_file(tmp_path, rel, source)
+        assert main([str(path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert f"{rule_id} (" in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write_file(
+            tmp_path, "repro/util.py", "def collect(values):\n    return values\n"
+        )
+        assert main([str(path), "--no-baseline"]) == 0
+
+
+class TestFormats:
+    def test_json_report_is_parseable_and_fingerprinted(self, tmp_path, capsys):
+        path = write_file(tmp_path, "repro/util.py", MUTABLE_DEFAULT)
+        assert main([str(path), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["summary"]["new"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "R5"
+        assert "::" in finding["fingerprint"]
+
+    def test_verbose_text_shows_suppressed(self, tmp_path, capsys):
+        path = write_file(
+            tmp_path,
+            "repro/util.py",
+            "def collect(values, seen=[]):  # repro: noqa[R5]\n    return seen\n",
+        )
+        assert main([str(path), "--no-baseline", "-v"]) == 0
+        assert "suppressed (# repro: noqa):" in capsys.readouterr().out
+
+
+class TestRuleSelection:
+    def test_rules_filter_limits_the_run(self, tmp_path, capsys):
+        path = write_file(tmp_path, "repro/util.py", MUTABLE_DEFAULT)
+        assert main([str(path), "--no-baseline", "--rules", "R6"]) == 0
+
+    def test_unknown_rule_id_is_a_usage_error(self, tmp_path, capsys):
+        path = write_file(tmp_path, "repro/util.py", MUTABLE_DEFAULT)
+        assert main([str(path), "--rules", "R99"]) == 2
+
+    def test_missing_path_is_a_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+
+
+class TestExplainAndList:
+    def test_list_rules_names_all_six(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in out
+
+    @pytest.mark.parametrize("rule", ALL_RULES, ids=lambda r: r.id)
+    def test_explain_prints_rationale_and_provenance(self, rule, capsys):
+        assert main(["--explain", rule.id]) == 0
+        out = capsys.readouterr().out
+        assert rule.title in out
+        assert "Motivated by:" in out
+        assert f"noqa[{rule.id}]" in out
+
+    def test_explain_unknown_rule_is_a_usage_error(self, capsys):
+        assert main(["--explain", "R99"]) == 2
+
+
+class TestBaselineWorkflow:
+    def test_write_then_justify_then_pass_then_go_stale(self, tmp_path, capsys):
+        path = write_file(tmp_path, "repro/util.py", MUTABLE_DEFAULT)
+        baseline = tmp_path / "baseline.json"
+
+        # 1. Grandfather the finding.
+        assert main([str(path), "--baseline", str(baseline), "--write-baseline"]) == 0
+        payload = json.loads(baseline.read_text())
+        (entry,) = payload["findings"]
+        assert entry["justification"] == PLACEHOLDER_JUSTIFICATION
+
+        # 2. The placeholder is rejected until a human justifies it.
+        assert main([str(path), "--baseline", str(baseline)]) == 1
+        assert "without justification" in capsys.readouterr().err
+
+        # 3. Justified: the finding is baselined, the run passes.
+        entry["justification"] = "legacy sentinel, scheduled for PR 8"
+        baseline.write_text(json.dumps(payload))
+        assert main([str(path), "--baseline", str(baseline)]) == 0
+
+        # 4. Fixing the code makes the entry stale — and that fails too,
+        #    so the baseline can only shrink deliberately.
+        path.write_text("def collect(values, seen=None):\n    return seen\n")
+        assert main([str(path), "--baseline", str(baseline)]) == 1
+        assert "stale baseline" in capsys.readouterr().out
+
+        # 5. --write-baseline prunes it back to empty.
+        assert main([str(path), "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert json.loads(baseline.read_text())["findings"] == []
+
+    def test_no_baseline_ignores_the_file(self, tmp_path, capsys):
+        path = write_file(tmp_path, "repro/util.py", MUTABLE_DEFAULT)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(path), "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert main([str(path), "--baseline", str(baseline), "--no-baseline"]) == 1
+
+
+class TestLiveTree:
+    def test_repo_is_clean_modulo_committed_baseline(self, capsys):
+        """The meta-check: `python -m repro.analysis` passes on the tree.
+
+        This is the tier-2 gate ISSUE 7 asks for — any new violation of
+        R1–R6 anywhere under src/repro fails this test until fixed,
+        suppressed with a justified noqa, or deliberately baselined.
+        """
+        code = main([])
+        output = capsys.readouterr().out
+        assert code == 0, f"repro.analysis found new violations:\n{output}"

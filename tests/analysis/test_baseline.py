@@ -1,0 +1,111 @@
+"""Baseline semantics: fingerprints, justifications, round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from _fixtures import build_project
+from repro.analysis.baseline import PLACEHOLDER_JUSTIFICATION, Baseline
+from repro.analysis.core import Finding, run_analysis
+from repro.analysis.rules import get_rule
+
+VIOLATION = {
+    "src/repro/util.py": """
+        def collect(values, seen=[]):
+            return seen
+    """
+}
+
+
+def _finding(tmp_path) -> Finding:
+    report = run_analysis(build_project(tmp_path, VIOLATION), [get_rule("R5")])
+    assert len(report.new) == 1
+    return report.new[0]
+
+
+class TestFingerprints:
+    def test_fingerprint_is_line_number_free(self, tmp_path):
+        finding = _finding(tmp_path)
+        assert finding.fingerprint() == (
+            "R5::src/repro/util.py::collect::mutable-default:collect:seen"
+        )
+
+    def test_fingerprint_survives_line_shifts(self, tmp_path):
+        before = _finding(tmp_path)
+        shifted = {
+            "src/repro/util.py": """
+                \"\"\"A docstring pushing everything down.\"\"\"
+
+                import os
+
+                def collect(values, seen=[]):
+                    return seen
+            """
+        }
+        after = run_analysis(
+            build_project(tmp_path, shifted), [get_rule("R5")]
+        ).new[0]
+        assert after.line != before.line
+        assert after.fingerprint() == before.fingerprint()
+
+
+class TestBaselineMatching:
+    def test_baselined_finding_does_not_fail(self, tmp_path):
+        finding = _finding(tmp_path)
+        baseline = Baseline({finding.fingerprint(): "pre-dates the rule"})
+        report = run_analysis(
+            build_project(tmp_path, VIOLATION), [get_rule("R5")], baseline
+        )
+        assert report.ok
+        assert report.new == []
+        assert len(report.baselined) == 1
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        baseline = Baseline({"R5::gone.py::f::mutable-default:f:x": "was fixed"})
+        report = run_analysis(
+            build_project(tmp_path, VIOLATION), [get_rule("R5")], baseline
+        )
+        assert report.stale_baseline == ["R5::gone.py::f::mutable-default:f:x"]
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline({"fp::a": "why a", "fp::b": "why b"})
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            Baseline.load(path)
+
+    def test_load_or_empty_tolerates_missing_file(self, tmp_path):
+        assert Baseline.load_or_empty(tmp_path / "nope.json").entries == {}
+        assert Baseline.load_or_empty(None).entries == {}
+
+
+class TestJustifications:
+    def test_placeholder_counts_as_unjustified(self):
+        baseline = Baseline(
+            {"fp::a": PLACEHOLDER_JUSTIFICATION, "fp::b": "  ", "fp::c": "real"}
+        )
+        assert baseline.unjustified() == ["fp::a", "fp::b"]
+
+    def test_rebuild_preserves_justifications_and_stamps_new(self, tmp_path):
+        finding = _finding(tmp_path)
+        old = Baseline({finding.fingerprint(): "reviewed 2026-08"})
+        rebuilt = old.rebuilt_from([finding])
+        assert rebuilt.entries[finding.fingerprint()] == "reviewed 2026-08"
+
+        fresh = Baseline().rebuilt_from([finding])
+        assert fresh.entries[finding.fingerprint()] == PLACEHOLDER_JUSTIFICATION
+
+    def test_rebuild_drops_fixed_findings(self, tmp_path):
+        old = Baseline({"fp::fixed": "obsolete"})
+        rebuilt = old.rebuilt_from([])
+        assert rebuilt.entries == {}

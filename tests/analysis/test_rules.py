@@ -1,0 +1,632 @@
+"""Per-rule fixture tests: one violating snippet + its clean twin."""
+
+from __future__ import annotations
+
+from _fixtures import INVALIDATION_FIXTURE, check
+
+# ----------------------------------------------------------------------
+# R1 part A — digraph mutators must invalidate before emitting
+# ----------------------------------------------------------------------
+
+
+class TestR1Mutators:
+    def test_missing_invalidate_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/digraph.py": """
+                    class Graph:
+                        def add_edge(self, u, v):
+                            self._adj[u].append(v)
+                            self._emit(DeltaOp(ADD_EDGE, u, v))
+                """
+            },
+            "R1",
+        )
+        assert len(report.new) == 1
+        assert "mutator-missing-invalidate:add_edge" in report.new[0].detail
+
+    def test_invalidate_after_emit_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/digraph.py": """
+                    class Graph:
+                        def remove_edge(self, u, v):
+                            self._adj[u].remove(v)
+                            self._emit(DeltaOp(REMOVE_EDGE, u, v))
+                            self._invalidate_caches()
+                """
+            },
+            "R1",
+        )
+        assert len(report.new) == 1
+        assert "mutator-late-invalidate:remove_edge" in report.new[0].detail
+
+    def test_invalidate_before_emit_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/digraph.py": """
+                    class Graph:
+                        def add_edge(self, u, v):
+                            self._invalidate_caches()
+                            self._adj[u].append(v)
+                            self._emit(DeltaOp(ADD_EDGE, u, v))
+                """
+            },
+            "R1",
+        )
+        assert report.new == []
+
+    def test_set_attrs_exempt_by_design(self, tmp_path):
+        # SET_ATTRS is not structural: no invalidation required.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/digraph.py": """
+                    class Graph:
+                        def set_attrs(self, v, **attrs):
+                            self._attrs[v].update(attrs)
+                            self._emit(DeltaOp(SET_ATTRS, v, attrs))
+                """
+            },
+            "R1",
+        )
+        assert report.new == []
+
+
+# ----------------------------------------------------------------------
+# R1 part B — graph.derived writers must use registered prefixes
+# ----------------------------------------------------------------------
+
+
+class TestR1DerivedWriters:
+    def test_unregistered_key_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/index/invalidation.py": INVALIDATION_FIXTURE,
+                "src/repro/index/rogue.py": """
+                    def store(graph, value):
+                        graph.derived["rogue-cache:main"] = value
+                """,
+            },
+            "R1",
+        )
+        assert len(report.new) == 1
+        assert "derived-key-unregistered:rogue-cache:main" in report.new[0].detail
+
+    def test_unresolvable_key_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/index/invalidation.py": INVALIDATION_FIXTURE,
+                "src/repro/index/dynamic.py": """
+                    def store(graph, key, value):
+                        graph.derived[key] = value
+                """,
+            },
+            "R1",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "derived-key-unresolvable"
+
+    def test_cross_module_prefix_constant_clean(self, tmp_path):
+        # The key folds through an imported constant to a registered
+        # prefix — exactly how descendants.py / csr.py build theirs.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/index/invalidation.py": INVALIDATION_FIXTURE,
+                "src/repro/index/descendants.py": """
+                    from repro.index.invalidation import DESC_PREFIX
+
+                    KEY = DESC_PREFIX + "main"
+
+                    def store(graph, value):
+                        graph.derived[KEY] = value
+                """,
+            },
+            "R1",
+        )
+        assert report.new == []
+
+    def test_setdefault_writes_are_checked_too(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/index/invalidation.py": INVALIDATION_FIXTURE,
+                "src/repro/index/lazy.py": """
+                    def store(graph):
+                        return graph.derived.setdefault("oops:x", {})
+                """,
+            },
+            "R1",
+        )
+        assert len(report.new) == 1
+        assert "derived-key-unregistered:oops:x" in report.new[0].detail
+
+
+# ----------------------------------------------------------------------
+# R2 — legacy toggle kwargs must funnel through ExecutionConfig.adapt
+# ----------------------------------------------------------------------
+
+
+class TestR2ConfigDiscipline:
+    def test_loose_toggle_kwargs_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/topk/wrapper.py": """
+                    def top_k(pattern, graph, k, use_csr=None, rset_bitset=None):
+                        effective = True if use_csr is None else use_csr
+                        return run(pattern, graph, k, effective)
+                """
+            },
+            "R2",
+        )
+        assert len(report.new) == 1
+        assert "legacy-kwargs:top_k:rset_bitset,use_csr" in report.new[0].detail
+
+    def test_adapt_funnel_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/topk/wrapper.py": """
+                    from repro.session.config import ExecutionConfig
+
+                    def top_k(pattern, graph, k, use_csr=None):
+                        cfg = ExecutionConfig.adapt(use_csr=use_csr)
+                        return run(pattern, graph, k, cfg)
+                """
+            },
+            "R2",
+        )
+        assert report.new == []
+
+    def test_local_funnel_indirection_clean(self, tmp_path):
+        # The api.py facade pattern: one module-local helper owns the
+        # adapt() call; public wrappers route through it.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/facade.py": """
+                    from repro.session.config import ExecutionConfig
+
+                    def _adapt(options):
+                        return ExecutionConfig.adapt(**options)
+
+                    def top_k(pattern, graph, k, use_csr=None, scc_incremental=None):
+                        cfg = _adapt({"use_csr": use_csr,
+                                      "scc_incremental": scc_incremental})
+                        return run(pattern, graph, k, cfg)
+                """
+            },
+            "R2",
+        )
+        assert report.new == []
+
+    def test_bare_optimized_on_leaf_kernel_allowed(self, tmp_path):
+        # ``optimized`` alone is the documented leaf-kernel arm selector.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/simulation/kernel.py": """
+                    def simulate(pattern, graph, optimized=True):
+                        return _csr(pattern, graph) if optimized else _dict(pattern, graph)
+                """
+            },
+            "R2",
+        )
+        assert report.new == []
+
+    def test_optimized_next_to_config_param_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/topk/wrapper.py": """
+                    def top_k(pattern, graph, k, config=None, optimized=None):
+                        arm = config.optimized if config else bool(optimized)
+                        return run(pattern, graph, k, arm)
+                """
+            },
+            "R2",
+        )
+        assert len(report.new) == 1
+        assert "legacy-kwargs:top_k:optimized" in report.new[0].detail
+
+    def test_config_module_itself_exempt(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/config.py": """
+                    class ExecutionConfig:
+                        @classmethod
+                        def adapt(cls, use_csr=None, rset_bitset=None):
+                            return cls()
+                """
+            },
+            "R2",
+        )
+        assert report.new == []
+
+
+# ----------------------------------------------------------------------
+# R3 — disabled observability must stay a strict no-op on hot paths
+# ----------------------------------------------------------------------
+
+
+class TestR3ObsNoOp:
+    def test_chained_ambient_call_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/topk/hot.py": """
+                    from repro.obs import current_tracer
+
+                    def annotate(v):
+                        current_tracer().event("visit", node=v)
+                """
+            },
+            "R3",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "chained-ambient:current_tracer"
+
+    def test_unguarded_collector_flagged_and_guard_accepted(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/metrics_use.py": """
+                    from repro.obs import current_metrics
+
+                    def bad(n):
+                        registry = current_metrics()
+                        registry.counter("repro_queries_total").inc(n)
+
+                    def good(n):
+                        registry = current_metrics()
+                        if registry is not None:
+                            registry.counter("repro_queries_total").inc(n)
+                """
+            },
+            "R3",
+        )
+        assert [f.symbol for f in report.new] == ["bad"]
+        assert report.new[0].detail.startswith("unguarded-collector:registry.")
+
+    def test_unguarded_span_attr_flagged_and_guard_accepted(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/simulation/spanuse.py": """
+                    from repro.obs import trace
+
+                    def bad(rounds):
+                        with trace("simulation.fixpoint") as span:
+                            span.set_attr(rounds=rounds)
+
+                    def good(rounds):
+                        with trace("simulation.fixpoint") as span:
+                            if span is not None:
+                                span.set_attr(rounds=rounds)
+                """
+            },
+            "R3",
+        )
+        assert [f.symbol for f in report.new] == ["bad"]
+        assert report.new[0].detail == "unguarded-span:span.set_attr"
+
+    def test_hook_inside_loop_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/topk/loopy.py": """
+                    from repro.obs import trace
+
+                    def run(batches):
+                        for index, batch in enumerate(batches):
+                            with trace("engine.batch", index=index):
+                                batch.run()
+                """
+            },
+            "R3",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "hook-in-loop:trace"
+
+    def test_preresolved_guarded_tracer_in_loop_clean(self, tmp_path):
+        # The engine.run() shape after the PR-7 fix.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/topk/loopy.py": """
+                    from repro.obs import current_tracer
+
+                    def run(batches):
+                        tracer = current_tracer()
+                        for index, batch in enumerate(batches):
+                            if tracer is not None:
+                                with tracer.span("engine.batch", index=index):
+                                    batch.run()
+                            else:
+                                batch.run()
+                """
+            },
+            "R3",
+        )
+        assert report.new == []
+
+    def test_cold_modules_out_of_scope(self, tmp_path):
+        # Same pattern outside the hot-path packages: not R3's business.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/viz/render.py": """
+                    from repro.obs import trace
+
+                    def render(frames):
+                        for frame in frames:
+                            with trace("viz.frame"):
+                                frame.draw()
+                """
+            },
+            "R3",
+        )
+        assert report.new == []
+
+
+# ----------------------------------------------------------------------
+# R4 — engine-private buffers stay inside repro/topk/
+# ----------------------------------------------------------------------
+
+
+class TestR4Encapsulation:
+    def test_foreign_buffer_access_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/peek.py": """
+                    def relevant_count(engine, pid):
+                        return engine._g_card[engine._g_bits[pid]]
+                """
+            },
+            "R4",
+        )
+        details = sorted(f.detail for f in report.new)
+        assert details == ["private-buffer:_g_bits", "private-buffer:_g_card"]
+
+    def test_own_self_attribute_of_same_name_clean(self, tmp_path):
+        # The session cache legitimately owns its *own* _pair_csr store.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/cachelike.py": """
+                    class PairStore:
+                        def __init__(self):
+                            self._pair_csr = {}
+
+                        def get(self, key):
+                            return self._pair_csr.get(key)
+                """
+            },
+            "R4",
+        )
+        assert report.new == []
+
+    def test_engine_package_itself_exempt(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/topk/selection.py": """
+                    def peek(engine, pid):
+                        return engine._pending_bits[pid]
+                """
+            },
+            "R4",
+        )
+        assert report.new == []
+
+
+# ----------------------------------------------------------------------
+# R5 — mutable defaults and frozen-dataclass mutation
+# ----------------------------------------------------------------------
+
+FROZEN_FIXTURE = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class Spec:
+        k: int = 10
+"""
+
+
+class TestR5FrozenAndDefaults:
+    def test_mutable_default_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/util.py": """
+                    def collect(values, seen=[]):
+                        seen.extend(values)
+                        return seen
+                """
+            },
+            "R5",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "mutable-default:collect:seen"
+
+    def test_none_default_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/util.py": """
+                    def collect(values, seen=None):
+                        seen = [] if seen is None else seen
+                        seen.extend(values)
+                        return seen
+                """
+            },
+            "R5",
+        )
+        assert report.new == []
+
+    def test_frozen_mutation_via_annotation_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/spec.py": FROZEN_FIXTURE,
+                "src/repro/mutator.py": """
+                    def widen(spec: Spec):
+                        spec.k = spec.k * 2
+                        return spec
+                """,
+            },
+            "R5",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "frozen-mutation:Spec.k"
+
+    def test_frozen_mutation_via_constructor_binding_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/spec.py": FROZEN_FIXTURE,
+                "src/repro/builder.py": """
+                    def build():
+                        spec = Spec()
+                        spec.k = 20
+                        return spec
+                """,
+            },
+            "R5",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "frozen-mutation:Spec.k"
+
+    def test_dataclasses_replace_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/spec.py": FROZEN_FIXTURE,
+                "src/repro/builder.py": """
+                    from dataclasses import replace
+
+                    def widen(spec: Spec):
+                        return replace(spec, k=spec.k * 2)
+                """,
+            },
+            "R5",
+        )
+        assert report.new == []
+
+    def test_setattr_escape_outside_owner_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/spec.py": FROZEN_FIXTURE,
+                "src/repro/escape.py": """
+                    def sneak(spec):
+                        object.__setattr__(spec, "k", 99)
+                """,
+            },
+            "R5",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "frozen-setattr-escape"
+
+    def test_setattr_inside_own_frozen_class_clean(self, tmp_path):
+        # __post_init__-style normalisation is the sanctioned use.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/spec.py": """
+                    from dataclasses import dataclass
+
+                    @dataclass(frozen=True)
+                    class Spec:
+                        k: int = 10
+
+                        def __post_init__(self):
+                            object.__setattr__(self, "k", max(1, self.k))
+                """
+            },
+            "R5",
+        )
+        assert report.new == []
+
+
+# ----------------------------------------------------------------------
+# R6 — typed-core annotation coverage
+# ----------------------------------------------------------------------
+
+
+class TestR6TypedCore:
+    def test_unannotated_core_function_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/helper.py": """
+                    def merge(primary, extra=None, **options):
+                        return {**primary, **(extra or {}), **options}
+                """
+            },
+            "R6",
+        )
+        assert len(report.new) == 1
+        assert (
+            report.new[0].detail
+            == "missing-annotations:merge:primary,extra,**options,return"
+        )
+
+    def test_fully_annotated_core_function_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/helper.py": """
+                    from typing import Any
+
+                    def merge(
+                        primary: dict[str, Any],
+                        extra: dict[str, Any] | None = None,
+                        **options: Any,
+                    ) -> dict[str, Any]:
+                        return {**primary, **(extra or {}), **options}
+                """
+            },
+            "R6",
+        )
+        assert report.new == []
+
+    def test_self_and_cls_exempt(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/obs/thing.py": """
+                    class Thing:
+                        def size(self) -> int:
+                            return 0
+
+                        @classmethod
+                        def empty(cls) -> "Thing":
+                            return cls()
+                """
+            },
+            "R6",
+        )
+        assert report.new == []
+
+    def test_modules_outside_typed_core_exempt(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/workloads/gen.py": """
+                    def generate(seed, size):
+                        return [seed] * size
+                """
+            },
+            "R6",
+        )
+        assert report.new == []

@@ -1,0 +1,84 @@
+"""``# repro: noqa`` handling: scoped, bare, multi-rule, wrong-rule."""
+
+from __future__ import annotations
+
+from _fixtures import check
+
+def _source(comment: str = "") -> str:
+    suffix = f"  {comment}" if comment else ""
+    return f"def collect(values, seen=[]):{suffix}\n    return seen\n"
+
+
+class TestSuppressionComments:
+    def test_scoped_noqa_suppresses_the_listed_rule(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"src/repro/util.py": _source("# repro: noqa[R5] -- shared sentinel")},
+            "R5",
+        )
+        assert report.new == []
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "R5"
+
+    def test_bare_noqa_suppresses_every_rule(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"src/repro/util.py": _source("# repro: noqa")},
+            "R5",
+        )
+        assert report.new == []
+        assert len(report.suppressed) == 1
+
+    def test_multi_rule_list_matches_any_listed(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"src/repro/util.py": _source("# repro: noqa[R1, R5]")},
+            "R5",
+        )
+        assert report.new == []
+        assert len(report.suppressed) == 1
+
+    def test_wrong_rule_listed_does_not_suppress(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"src/repro/util.py": _source("# repro: noqa[R1]")},
+            "R5",
+        )
+        assert len(report.new) == 1
+        assert report.suppressed == []
+
+    def test_rule_ids_are_case_insensitive(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"src/repro/util.py": _source("# repro: noqa[r5]")},
+            "R5",
+        )
+        assert report.new == []
+        assert len(report.suppressed) == 1
+
+    def test_noqa_on_a_different_line_does_not_leak(self, tmp_path):
+        source = (
+            "# repro: noqa[R5]\n"
+            "def collect(values, seen=[]):\n"
+            "    return seen\n"
+        )
+        report = check(tmp_path, {"src/repro/util.py": source}, "R5")
+        assert len(report.new) == 1
+
+    def test_plain_flake8_noqa_is_ignored(self, tmp_path):
+        # Only the namespaced form counts; a generic `# noqa` targets
+        # other tools and must not silence project invariants.
+        report = check(
+            tmp_path,
+            {"src/repro/util.py": _source("# noqa")},
+            "R5",
+        )
+        assert len(report.new) == 1
+
+    def test_suppressed_findings_never_fail_the_report(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"src/repro/util.py": _source("# repro: noqa[R5]")},
+            "R5",
+        )
+        assert report.ok

@@ -1,0 +1,53 @@
+"""Regression: the batch loop is trace-free when tracing is disabled.
+
+Before PR 7 the engine called ``trace("engine.batch", ...)`` once per
+propagation round — a contextvar read plus a kwargs dict per batch even
+with tracing off, despite ``self._tracer`` being pre-resolved at init
+for exactly this purpose.  ``run()`` now guards the span on the
+init-resolved tracer, so the number of ``trace()`` calls per run is a
+constant, independent of how many batches the workload takes.
+"""
+
+from __future__ import annotations
+
+import repro.topk.engine as engine_mod
+from repro.obs import Tracer, use_tracer
+from repro.topk.cyclic import top_k
+
+
+def _count_trace_calls(monkeypatch):
+    calls: list[str] = []
+    real_trace = engine_mod.trace
+
+    def counting(name, **attrs):
+        calls.append(name)
+        return real_trace(name, **attrs)
+
+    monkeypatch.setattr(engine_mod, "trace", counting)
+    return calls
+
+
+class TestDisabledTracingCost:
+    def test_trace_calls_do_not_scale_with_batches(self, fig1, monkeypatch):
+        calls = _count_trace_calls(monkeypatch)
+
+        many = top_k(fig1.pattern, fig1.graph, 2, batch_size=1)
+        per_batch_run = list(calls)
+        calls.clear()
+        one = top_k(fig1.pattern, fig1.graph, 2, batch_size=10_000)
+        single_batch_run = list(calls)
+
+        assert many.stats.batches > 1 >= one.stats.batches
+        # Same hooks either way: setup spans only, nothing per batch.
+        assert per_batch_run == single_batch_run
+        assert "engine.batch" not in per_batch_run
+
+    def test_enabled_tracing_still_spans_every_batch(self, fig1):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = top_k(fig1.pattern, fig1.graph, 2, batch_size=1)
+        batch_spans = [s for s in tracer.spans if s.name == "engine.batch"]
+        assert len(batch_spans) == result.stats.batches > 1
+        assert [s.attrs["index"] for s in batch_spans] == list(
+            range(result.stats.batches)
+        )
