@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.bench.harness import exact_objective, run_algorithm
 from repro.bench.reporting import format_table
@@ -93,6 +94,84 @@ def _cache_counter_table(registry: MetricsRegistry) -> None:
          "pair-CSR h/b"],
         rows,
     ))
+
+
+def _batch_serving_table(registry: MetricsRegistry, workers: int) -> None:
+    """Serve one mixed batch serially and pooled; table the merged stats.
+
+    Each row folds every result's :class:`EngineStats` into one
+    accumulator via ``EngineStats.merge`` — for the pooled arm those
+    stats crossed a process boundary and were republished exactly once
+    by the parent, so the merged counters must line up with the serial
+    arm's (the equivalence suite asserts the answers do).
+    """
+    from repro.session import ExecutionConfig, MatchSession, QuerySpec
+    from repro.topk.result import EngineStats
+
+    print(f"\n## Batch serving: serial vs {workers}-worker pool (fig5g workload)\n")
+    try:
+        graph = bench_graph("synthetic-dag", 1.0)
+        patterns = [
+            bench_pattern("synthetic-dag", 4, 6, False, seed, 1.0)
+            for seed in range(3)
+        ]
+    except DatasetError as exc:
+        print(f"(skipped: {exc})")
+        return
+    specs = [
+        QuerySpec(pattern, k=10)
+        for pattern in patterns
+        for _ in range(4)
+    ]
+    rows = []
+    for arm_workers in (0, workers):
+        config = ExecutionConfig(workers=arm_workers, metrics=True)
+        with MatchSession(graph, config=config) as session:
+            started = time.perf_counter()
+            results = session.run_batch(specs)
+            wall = time.perf_counter() - started
+        merged = EngineStats()
+        for result in results:
+            parts = result.values() if isinstance(result, dict) else [result]
+            for res in parts:
+                merged.merge(res.stats)
+        rows.append([
+            arm_workers,
+            len(specs),
+            round(wall, 3),
+            merged.inspected_matches,
+            f"{merged.sim_hits}/{merged.sim_builds}",
+            round(merged.elapsed_seconds, 3),
+        ])
+    print(format_table(
+        ["workers", "queries", "wall (s)", "inspected", "sim h/b",
+         "engine s (merged)"],
+        rows,
+    ))
+
+
+def _worker_series_table(registry: MetricsRegistry) -> None:
+    print("\n## Serving-pool workers (repro_worker_* series)\n")
+    queries = registry.get("repro_worker_queries_total")
+    if queries is None:
+        print("(no pooled batches recorded)")
+        return
+    seconds = registry.get("repro_worker_dispatch_seconds")
+    rows = []
+    for labels, value in queries.samples():
+        worker = labels["worker"]
+        snap = (
+            seconds.snapshot(worker=worker)
+            if seconds is not None
+            else {"count": 0, "sum": 0.0}
+        )
+        rows.append([
+            worker,
+            int(value),
+            int(registry.value("repro_worker_dispatches_total", worker=worker)),
+            round(snap["sum"], 3),
+        ])
+    print(format_table(["worker", "queries", "dispatches", "busy (s)"], rows))
 
 
 def _cell(record, metric):
@@ -235,6 +314,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="how many rows of the cumulative-time table to print (default 25)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --profile: also serve a batch through an N-worker pool "
+             "and table the merged EngineStats + per-worker series",
+    )
     args = parser.parse_args(argv)
 
     if not args.profile:
@@ -248,9 +335,13 @@ def main(argv: list[str] | None = None) -> int:
     profiler.enable()
     with use_metrics(registry):
         status = run_sweeps()
+        if args.workers >= 2:
+            _batch_serving_table(registry, args.workers)
     profiler.disable()
     _delta_counter_table(registry)
     _cache_counter_table(registry)
+    if args.workers >= 2:
+        _worker_series_table(registry)
     print("\n## cProfile: top functions by cumulative time\n")
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.profile_top)
     return status

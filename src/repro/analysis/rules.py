@@ -60,7 +60,12 @@ AMBIENT_ACCESSORS = frozenset({"current_tracer", "current_metrics"})
 #: The convenience hooks that consult the ambient contextvar per call.
 AMBIENT_HOOKS = frozenset({"trace", "span_event"})
 #: Packages whose inner loops are the serving hot path (R3 scope).
-HOT_PATH_PACKAGES = ("repro/topk/", "repro/simulation/", "repro/session/")
+HOT_PATH_PACKAGES = (
+    "repro/topk/",
+    "repro/simulation/",
+    "repro/session/",
+    "repro/parallel/",
+)
 
 #: The gradually-typed core (R6 scope): fully annotated, mypy-strict.
 TYPED_CORE = (
@@ -70,6 +75,7 @@ TYPED_CORE = (
     "repro/graph/delta.py",
     "repro/api.py",
     "repro/analysis/",
+    "repro/parallel/",
 )
 
 

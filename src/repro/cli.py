@@ -215,6 +215,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         use_csr=False if args.no_csr else None,
         rset_bitset=False if args.no_rset_bitset else None,
         slow_query_seconds=args.slow_query,
+        workers=args.workers,
+        sim_shards=args.sim_shards,
     )
     specs = [
         QuerySpec(
@@ -261,7 +263,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         payload_queries.append(entry)
     payload = {
         "queries": payload_queries,
-        "session": {"cache": cache_stats},
+        "session": {"cache": cache_stats, "workers": args.workers},
     }
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -435,6 +437,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "representation)")
     batch.add_argument("--trace", metavar="FILE",
                        help="record the batch's phase spans as JSON lines here")
+    batch.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="serve the batch through N worker processes "
+                            "(0/1: serial in-process; answers identical)")
+    batch.add_argument("--sim-shards", type=int, default=0, metavar="N",
+                       help="run the simulation kernel's counting scans over "
+                            "N node-range shards (0/1: serial kernel)")
     batch.add_argument("--slow-query", type=float, default=None, metavar="SECONDS",
                        help="WARN on the repro.slowquery logger when a query "
                             "exceeds this many seconds")

@@ -88,6 +88,35 @@ class Graph:
         self.extensions: dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
+    # pickling (serving-tier workers receive the graph by value)
+    # ------------------------------------------------------------------
+    #: Slots that are process-local wiring — event subscriptions, the
+    #: derived-structure cache, persistent attachments — and must not
+    #: travel to a worker process (listeners are closures over parent
+    #: state; derived snapshots are rebuilt on demand from the core
+    #: topology, which pickles exactly).
+    _TRANSIENT_SLOTS = (
+        "_listeners",
+        "_invalidators",
+        "derived",
+        "extensions",
+        "__weakref__",
+    )
+
+    def __getstate__(self) -> dict:
+        """Core topology + labels + attrs only; see ``_TRANSIENT_SLOTS``."""
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in self._TRANSIENT_SLOTS
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_node(self, label: str, **attrs: Any) -> int:

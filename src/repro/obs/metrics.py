@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from contextvars import ContextVar
 from types import TracebackType
 from typing import TYPE_CHECKING, Any, Iterator
@@ -61,13 +62,20 @@ def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> st
 
 
 class _Metric:
-    """Base: one named metric owning a series per label set."""
+    """Base: one named metric owning a series per label set.
+
+    Updates are thread-safe: every mutator takes the metric's lock —
+    the serving pool's result-merge path and kernel shard threads may
+    increment one registry concurrently, and the read-modify-write
+    cycles below would otherwise lose updates.
+    """
 
     kind = "untyped"
 
     def __init__(self, name: str, help: str) -> None:
         self.name = name
         self.help = help
+        self._lock = threading.Lock()
 
     def samples(self) -> Iterator[tuple[dict[str, str], Any]]:  # pragma: no cover
         raise NotImplementedError
@@ -89,7 +97,8 @@ class Counter(_Metric):
         if value < 0:
             raise MatchingError(f"counter {self.name} cannot decrease (got {value})")
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + value
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
@@ -125,11 +134,13 @@ class Gauge(_Metric):
         self._values: dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: Any) -> None:
-        self._values[_label_key(labels)] = float(value)
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
 
     def inc(self, value: float = 1.0, **labels: Any) -> None:
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + value
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
@@ -174,14 +185,15 @@ class Histogram(_Metric):
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(labels)
-        series = self._series.get(key)
-        if series is None:
-            series = ([0] * len(self.buckets), 0.0, 0)
-        counts, total, count = series
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[i] += 1
-        self._series[key] = (counts, total + value, count + 1)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = ([0] * len(self.buckets), 0.0, 0)
+            counts, total, count = series
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            self._series[key] = (counts, total + value, count + 1)
 
     def snapshot(self, **labels: Any) -> dict[str, Any]:
         """``{"count", "sum", "buckets": {le: cumulative}}`` for a series."""
@@ -234,23 +246,32 @@ def _format(value: float) -> str:
 
 
 class MetricsRegistry:
-    """Named metrics with get-or-create accessors and two exporters."""
+    """Named metrics with get-or-create accessors and two exporters.
+
+    Creation is serialised under a registry lock (two threads asking
+    for the same name must get the *same* metric object — one of two
+    racing instances would otherwise collect into the void) and every
+    series update locks its metric, so one registry may be shared by
+    the serving pool's merge path, kernel shard threads and the tracer.
+    """
 
     def __init__(self) -> None:
         self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(
         self, cls: type[_Metric], name: str, help: str, **kwargs: Any
     ) -> _Metric:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, help, **kwargs)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise MatchingError(
-                f"metric {name!r} is already registered as a {metric.kind}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise MatchingError(
+                    f"metric {name!r} is already registered as a {metric.kind}"
+                )
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)  # type: ignore[return-value]

@@ -1,0 +1,30 @@
+"""Shard-parallel execution primitives for the CSR kernels.
+
+The CSR arrays are flat buffers, so the heavy counting scans partition
+cleanly by node range (:meth:`repro.graph.csr.CSRSnapshot.shard_bounds`).
+This package owns the pools those shards run on:
+
+* :func:`shard_runner` — a per-snapshot runner fanning counting scans
+  over a ``concurrent.futures`` pool: threads by default (numpy releases
+  the GIL during the gather/cumsum passes), processes as the fallback
+  (each worker receives the pickled snapshot once at initialisation);
+* :func:`available_cpus` — the scheduling-affinity-aware CPU count the
+  serving tier and benchmarks size their pools from.
+
+The multiprocess *serving* pool (whole queries, not kernel shards)
+lives in :mod:`repro.session.parallel`, built on the same idioms.
+"""
+
+from repro.parallel.shards import (
+    SHARD_BACKENDS,
+    ShardRunner,
+    available_cpus,
+    shard_runner,
+)
+
+__all__ = [
+    "SHARD_BACKENDS",
+    "ShardRunner",
+    "available_cpus",
+    "shard_runner",
+]

@@ -1,0 +1,224 @@
+"""Shard runners: counting scans over node-range shards on a pool.
+
+A :class:`ShardRunner` binds one :class:`~repro.graph.csr.CSRSnapshot`
+to a fixed shard layout and executes the per-child counting scans of
+the simulation kernel shard-parallel:
+
+* **thread** backend (default) — a process-shared
+  ``ThreadPoolExecutor``; each shard task writes its disjoint node
+  range of the output array in place.  The scans are numpy fancy-index
+  gathers plus prefix sums, which release the GIL, so threads scale on
+  multi-core hosts with zero serialisation cost.
+* **process** backend (fallback) — a per-snapshot
+  ``ProcessPoolExecutor`` (spawn context) whose workers receive the
+  pickled snapshot **once** at initialisation; each call ships only the
+  membership bytes and returns the shard's counts.  Strictly worse than
+  threads while numpy releases the GIL — it exists for kernels whose
+  passes hold it.
+
+Both backends produce arrays identical to the serial
+:meth:`CSRSnapshot.out_counts` — the kernel's sharded arm is
+equivalence-tested against the serial oracle.
+
+Runners are cached on the snapshot's transient shard cache, so one
+fixpoint after another reuses the same pool; process pools are shut
+down when their snapshot is garbage-collected.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import weakref
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+try:  # pragma: no cover - numpy is part of the supported environment
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None  # type: ignore[assignment]
+
+from repro.errors import MatchingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.csr import CSRSnapshot
+
+#: Supported shard-pool backends (``ExecutionConfig.shard_backend``).
+SHARD_BACKENDS = ("thread", "process")
+
+
+def available_cpus() -> int:
+    """CPUs this process may schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# the process-shared thread pool
+# ----------------------------------------------------------------------
+_THREAD_POOLS: dict[int, ThreadPoolExecutor] = {}
+
+
+def _thread_pool(workers: int) -> ThreadPoolExecutor:
+    pool = _THREAD_POOLS.get(workers)
+    if pool is None:
+        pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+        _THREAD_POOLS[workers] = pool
+    return pool
+
+
+# ----------------------------------------------------------------------
+# process-backend worker globals (spawn-safe: module import + initargs)
+# ----------------------------------------------------------------------
+_WORKER_SNAPSHOT: "CSRSnapshot | None" = None
+
+
+def _shard_worker_init(payload: bytes) -> None:
+    """Process-pool initializer: unpickle the snapshot exactly once."""
+    global _WORKER_SNAPSHOT
+    _WORKER_SNAPSHOT = pickle.loads(payload)
+
+
+def _shard_worker_counts(lo: int, hi: int, membership: bytes) -> "np.ndarray":
+    """One shard's counting scan inside a worker process."""
+    snapshot = _WORKER_SNAPSHOT
+    if snapshot is None:  # pragma: no cover - initializer always ran
+        raise MatchingError("shard worker used before initialisation")
+    view = np.frombuffer(membership, dtype=np.uint8)
+    return snapshot.out_counts_range(view, lo, hi)
+
+
+class ShardRunner:
+    """Counting scans over one snapshot's shards, on a pool.
+
+    Parameters
+    ----------
+    snapshot:
+        The compiled snapshot the scans read.
+    num_shards:
+        Node-range shard count (≥ 2; ``shard_bounds`` caps it at the
+        node count).
+    backend:
+        ``"thread"`` (default) or ``"process"`` — see the module
+        docstring for the trade-off.
+    """
+
+    def __init__(
+        self, snapshot: "CSRSnapshot", num_shards: int, backend: str = "thread"
+    ) -> None:
+        if backend not in SHARD_BACKENDS:
+            raise MatchingError(
+                f"unknown shard backend {backend!r}; "
+                f"expected one of {SHARD_BACKENDS}"
+            )
+        if num_shards < 2:
+            raise MatchingError(
+                f"a shard runner needs at least 2 shards; got {num_shards}"
+            )
+        self.snapshot = snapshot
+        self.backend = backend
+        self.bounds: list[int] = snapshot.shard_bounds(num_shards)
+        self.num_shards = len(self.bounds) - 1
+        workers = min(self.num_shards, max(2, available_cpus()))
+        if backend == "thread":
+            self._executor: Executor = _thread_pool(workers)
+            self._owns_executor = False
+        else:
+            payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+            executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_shard_worker_init,
+                initargs=(payload,),
+            )
+            self._executor = executor
+            self._owns_executor = True
+            # Shut the worker processes down when the snapshot goes away;
+            # the callback must not reference self (or the snapshot) or
+            # the finalizer would keep them alive forever.
+            weakref.finalize(snapshot, _shutdown_executor, executor)
+
+    # ------------------------------------------------------------------
+    def out_counts_multi(
+        self, views: Sequence[tuple[int, "np.ndarray"]]
+    ) -> dict[int, "np.ndarray"]:
+        """Per-child full-length count arrays, all shards in parallel.
+
+        ``views`` pairs each child query node with its length-``n``
+        ``uint8`` membership view; the result maps each child to the
+        array :meth:`CSRSnapshot.out_counts` would return for it.
+        """
+        snapshot = self.snapshot
+        n = snapshot.num_nodes
+        results: dict[int, "np.ndarray"] = {
+            child: np.empty(n, dtype=np.int64) for child, _ in views
+        }
+        bounds = self.bounds
+        ranges = [
+            (bounds[i], bounds[i + 1])
+            for i in range(self.num_shards)
+            if bounds[i] < bounds[i + 1]
+        ]
+        if self.backend == "thread":
+            futures = [
+                self._executor.submit(
+                    snapshot.out_counts_range, view, lo, hi, results[child]
+                )
+                for child, view in views
+                for lo, hi in ranges
+            ]
+            for future in futures:
+                future.result()
+        else:
+            pending: list[tuple[int, int, int, Future["np.ndarray"]]] = []
+            for child, view in views:
+                membership = view.tobytes()
+                for lo, hi in ranges:
+                    pending.append(
+                        (
+                            child,
+                            lo,
+                            hi,
+                            self._executor.submit(
+                                _shard_worker_counts, lo, hi, membership
+                            ),
+                        )
+                    )
+            for child, lo, hi, future in pending:
+                results[child][lo:hi] = future.result()
+        return results
+
+    def close(self) -> None:
+        """Shut down an owned (process) pool; shared thread pools stay."""
+        if self._owns_executor:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _shutdown_executor(executor: Executor) -> None:
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def shard_runner(
+    snapshot: "CSRSnapshot", num_shards: int, backend: str = "thread"
+) -> ShardRunner | None:
+    """The snapshot's cached :class:`ShardRunner`, or ``None`` when off.
+
+    ``num_shards <= 1`` disables sharding (the serial kernel path runs
+    verbatim).  Runners are cached per ``(shards, backend)`` in the
+    snapshot's transient shard cache, so repeated fixpoints over one
+    snapshot share one pool.
+    """
+    if num_shards <= 1:
+        return None
+    cache = snapshot._shard_cache
+    key = ("runner", num_shards, backend)
+    runner = cache.get(key)
+    if runner is None:
+        runner = ShardRunner(snapshot, num_shards, backend)
+        cache[key] = runner
+    return runner

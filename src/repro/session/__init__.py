@@ -9,11 +9,15 @@ Public names:
 * :class:`QuerySpec` / :class:`QueryHandle` — batch query descriptions
   and lazy results;
 * :class:`SessionCache` — the shared artifact store (advanced use:
-  inject into engine wrappers directly via their ``cache=`` parameter).
+  inject into engine wrappers directly via their ``cache=`` parameter);
+* :class:`WorkerPool` / :class:`WorkerBatchStats` — the multiprocess
+  serving tier behind ``ExecutionConfig(workers=N)`` (see
+  :mod:`repro.session.parallel`).
 """
 
 from repro.session.cache import SessionCache, SessionCacheStats, pattern_structure_key
 from repro.session.config import EXECUTION_BOUND_STRATEGIES, ExecutionConfig
+from repro.session.parallel import WorkerBatchStats, WorkerPool, worker_config
 from repro.session.session import (
     DIVERSIFY_METHODS,
     QUERY_MODES,
@@ -34,5 +38,8 @@ __all__ = [
     "SessionCache",
     "SessionCacheStats",
     "SessionStats",
+    "WorkerBatchStats",
+    "WorkerPool",
     "pattern_structure_key",
+    "worker_config",
 ]

@@ -77,6 +77,21 @@ class ExecutionConfig:
         Per-query slow-query log threshold (the ``repro.slowquery``
         logger WARNs when a run exceeds it).  ``None`` falls back to
         the ``REPRO_SLOW_QUERY_SECONDS`` environment default, else off.
+    workers:
+        Worker *processes* for :meth:`MatchSession.run_batch` — the
+        batch's structure groups are partitioned across a spawn-safe
+        :class:`repro.session.parallel.WorkerPool` and answers come
+        back in input order, identical to serial.  ``0`` (default) and
+        ``1`` run serial in-process.
+    sim_shards:
+        Node-range shards for the CSR simulation kernel's counting
+        scans (:mod:`repro.parallel`).  ``0``/``1`` (default) keeps the
+        serial kernel verbatim; ``>= 2`` fans the scans over the shard
+        pool — identical fixpoint either way.
+    shard_backend:
+        Pool backing the kernel shards: ``"thread"`` (default; the
+        scans are numpy passes that release the GIL) or ``"process"``
+        (spawned workers holding a pickled snapshot).
     """
 
     optimized: bool = True
@@ -90,8 +105,13 @@ class ExecutionConfig:
     trace: bool = False
     metrics: bool = False
     slow_query_seconds: float | None = None
+    workers: int = 0
+    sim_shards: int = 0
+    shard_backend: str = "thread"
 
     def __post_init__(self) -> None:
+        from repro.parallel import SHARD_BACKENDS
+
         if self.bound_strategy not in EXECUTION_BOUND_STRATEGIES:
             raise MatchingError(
                 f"unknown bound strategy {self.bound_strategy!r}; "
@@ -104,6 +124,19 @@ class ExecutionConfig:
         if self.slow_query_seconds is not None and self.slow_query_seconds <= 0:
             raise MatchingError(
                 f"slow_query_seconds must be positive; got {self.slow_query_seconds}"
+            )
+        if self.workers < 0:
+            raise MatchingError(
+                f"workers must be non-negative; got {self.workers}"
+            )
+        if self.sim_shards < 0:
+            raise MatchingError(
+                f"sim_shards must be non-negative; got {self.sim_shards}"
+            )
+        if self.shard_backend not in SHARD_BACKENDS:
+            raise MatchingError(
+                f"unknown shard backend {self.shard_backend!r}; "
+                f"expected one of {SHARD_BACKENDS}"
             )
 
     def resolved(self) -> "ExecutionConfig":

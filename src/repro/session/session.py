@@ -48,6 +48,7 @@ from repro.session.config import ExecutionConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a topk import cycle)
     from repro.incremental.view import MatchView
+    from repro.session.parallel import WorkerPool
     from repro.topk.result import TopKResult
 
 QUERY_MODES = ("topk", "diversified", "baseline", "multi")
@@ -180,6 +181,8 @@ class MatchSession:
         self.stats = SessionStats()
         self._acked_mutations = 0
         self._closed = False
+        self._pool: "WorkerPool | None" = None
+        self._pool_key: tuple[int, int] | None = None
 
     # ------------------------------------------------------------------
     # lifecycle / freshness
@@ -207,9 +210,10 @@ class MatchSession:
         self.stats.refreshes += 1
 
     def close(self) -> None:
-        """Release the graph-event subscription and all cached state."""
+        """Release the graph-event subscription, caches and any pool."""
         if not self._closed:
             self._closed = True
+            self._drop_pool()
             self.cache.close()
 
     def __enter__(self) -> "MatchSession":
@@ -272,6 +276,13 @@ class MatchSession:
         computed once and reused by the rest of the group.  Results are
         returned in input order, each identical to the corresponding
         one-shot ``api`` call.
+
+        With ``ExecutionConfig(workers=N)`` (N ≥ 2) the structure
+        groups are partitioned across a spawn-safe
+        :class:`~repro.session.parallel.WorkerPool` of worker
+        processes; answers, order and the per-result stats published to
+        the ambient collectors stay identical to the serial path (see
+        :mod:`repro.session.parallel`).
         """
         self._check_fresh()
         handles: list[QueryHandle] = [
@@ -285,13 +296,144 @@ class MatchSession:
             rank = group_rank.setdefault(signature, len(group_rank))
             ranked.append((rank, index, handle))
         ranked.sort(key=lambda item: (item[0], item[1]))
+        cfg = self.config.resolved()
         with instrumentation(self.config), trace(
-            "session.run_batch", queries=len(handles), groups=len(group_rank)
+            "session.run_batch",
+            queries=len(handles),
+            groups=len(group_rank),
+            workers=cfg.workers,
         ):
+            if cfg.workers >= 2 and len(handles) >= 2:
+                self._run_batch_pooled(ranked, cfg)
             for _, _, handle in ranked:
                 handle.result()
         self.stats.batches_executed += 1
         return [handle.result() for handle in handles]
+
+    # ------------------------------------------------------------------
+    # pooled execution
+    # ------------------------------------------------------------------
+    def _drop_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_key = None
+
+    def _worker_pool(self, cfg: ExecutionConfig) -> "WorkerPool":
+        """The session's pool, (re)built when size or generation moved.
+
+        The pool pins a pickled copy of the graph at its generation; a
+        refresh (the only way a mutated graph reaches ``run_batch``)
+        bumps the generation and forces a rebuild, so workers never
+        serve a stale copy.
+        """
+        from repro.session.parallel import WorkerPool
+
+        key = (cfg.workers, self.cache.generation)
+        if self._pool is None or self._pool_key != key:
+            self._drop_pool()
+            self._pool = WorkerPool(
+                self.graph, cfg, cfg.workers, reuse_results=self.reuse_results
+            )
+            self._pool_key = key
+        return self._pool
+
+    def _run_batch_pooled(
+        self, ranked: list[tuple[int, int, QueryHandle]], cfg: ExecutionConfig
+    ) -> None:
+        """Resolve the batch's poolable handles through the worker pool.
+
+        Fills each shipped handle in place; handles that are already
+        done, reusable from the result store, or not poolable (custom
+        relevance/objective, unpicklable specs) are left pending for
+        the caller's serial loop.  For every pooled result the parent
+        republishes the engine stats / slow-query record its serial
+        execution would have produced (workers run stripped — see
+        :func:`repro.session.parallel.worker_config`), then folds the
+        per-worker serving deltas into :class:`SessionStats` and the
+        ``repro_worker_*`` series.
+        """
+        from repro.obs import (
+            current_metrics,
+            maybe_log_slow_query,
+            publish_engine_stats,
+        )
+        from repro.session.parallel import spec_is_poolable
+
+        tasks: list[tuple[int, QuerySpec]] = []
+        for _, index, handle in ranked:
+            if handle.done:
+                continue
+            spec = handle.spec
+            key = self._result_key(spec, self._config_for(spec))
+            if key is not None:
+                cached = self.cache.cached_result(key)
+                if cached is not None:
+                    handle._result = self._copy_result(cached)
+                    handle._done = True
+                    self.stats.results_reused += 1
+                    continue
+            if spec_is_poolable(spec):
+                tasks.append((index, spec))
+        if not tasks:
+            return
+
+        pool = self._worker_pool(cfg)
+        with trace("session.pool_dispatch", queries=len(tasks)):
+            results, worker_stats = pool.run(tasks)
+
+        handle_of = {index: handle for _, index, handle in ranked}
+        for index, result in results:
+            handle = handle_of[index]
+            handle._result = result
+            handle._done = True
+            spec = handle.spec
+            cfg_q = self._config_for(spec)
+            key = self._result_key(spec, cfg_q)
+            if key is not None:
+                self.cache.store_result(key, self._copy_result(result))
+            # Mirror the serial epilogue (record_run) exactly once per
+            # result: workers executed with collectors stripped.
+            with instrumentation(cfg_q):
+                registry = current_metrics()
+                parts = (
+                    tuple(result.values())
+                    if isinstance(result, dict)
+                    else (result,)
+                )
+                for res in parts:
+                    if registry is not None:
+                        publish_engine_stats(registry, res.stats, res.algorithm)
+                    maybe_log_slow_query(
+                        res.algorithm,
+                        spec.pattern,
+                        spec.k,
+                        res.stats.elapsed_seconds,
+                        cfg_q,
+                    )
+
+        for ws in worker_stats:
+            self.stats.queries_executed += ws.queries_executed
+            self.stats.results_reused += ws.results_reused
+        registry = current_metrics()
+        if registry is not None:
+            queries = registry.counter(
+                "repro_worker_queries_total",
+                "Batch queries served by serving-pool workers.",
+            )
+            dispatches = registry.counter(
+                "repro_worker_dispatches_total",
+                "Serving-pool dispatches per worker.",
+            )
+            seconds = registry.histogram(
+                "repro_worker_dispatch_seconds",
+                "Wall-clock seconds of one worker dispatch.",
+            )
+            for ws in worker_stats:
+                label = str(ws.worker)
+                queries.inc(ws.queries, worker=label)
+                dispatches.inc(1, worker=label)
+                seconds.observe(ws.elapsed_seconds, worker=label)
 
     # ------------------------------------------------------------------
     # immediate-mode conveniences

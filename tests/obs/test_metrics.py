@@ -180,3 +180,70 @@ class TestPublishEngineStats:
         assert "repro_engine_batches_total" not in registry.names()
         assert "repro_engine_terminated_early_total" not in registry.names()
         assert registry.value("repro_engine_runs_total", algorithm="Match") == 1.0
+
+
+class TestThreadSafety:
+    """Regression coverage for the serving-pool merge path.
+
+    The parent folds worker results back into ambient metrics from the
+    batch epilogue while other sessions may be publishing concurrently;
+    every read-modify-write on a series and every get-or-create in the
+    registry must be atomic or increments are silently lost.
+    """
+
+    THREADS = 8
+    ITERATIONS = 400
+
+    def _hammer(self, fn):
+        import threading
+
+        start = threading.Barrier(self.THREADS)
+
+        def worker():
+            start.wait()
+            for _ in range(self.ITERATIONS):
+                fn()
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_concurrent_counter_increments_are_not_lost(self):
+        counter = Counter("repro_worker_queries_total", "")
+        self._hammer(lambda: counter.inc(1, worker="0"))
+        assert counter.value(worker="0") == self.THREADS * self.ITERATIONS
+
+    def test_concurrent_gauge_increments_are_not_lost(self):
+        from repro.obs import Gauge
+
+        gauge = Gauge("repro_pool_inflight", "")
+        self._hammer(lambda: gauge.inc(1))
+        assert gauge.value() == self.THREADS * self.ITERATIONS
+
+    def test_concurrent_histogram_observations_are_not_lost(self):
+        histogram = Histogram("repro_worker_dispatch_seconds", "")
+        self._hammer(lambda: histogram.observe(0.25))
+        snap = histogram.snapshot()
+        assert snap["count"] == self.THREADS * self.ITERATIONS
+        assert snap["sum"] == pytest.approx(
+            0.25 * self.THREADS * self.ITERATIONS
+        )
+
+    def test_concurrent_get_or_create_yields_one_metric(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def create_and_bump():
+            counter = registry.counter("repro_races_total", "")
+            seen.append(counter)
+            counter.inc(1)
+
+        self._hammer(create_and_bump)
+        assert len(set(map(id, seen))) == 1
+        assert registry.value("repro_races_total") == (
+            self.THREADS * self.ITERATIONS
+        )

@@ -1,0 +1,96 @@
+"""Pickle round-trips for everything the serving pool ships.
+
+Workers receive ``(Graph, ExecutionConfig)`` once at initialisation and
+``QuerySpec`` lists per dispatch; the kernel's process backend ships
+``CSRSnapshot``.  Each must survive a round-trip with its semantic
+payload intact while process-local wiring (listeners, derived caches,
+scalar-mirror/shard caches) is deliberately dropped and rebuilt lazily.
+"""
+
+import pickle
+
+import pytest
+
+from repro.graph import csr
+from repro.session import ExecutionConfig, QuerySpec
+from repro.session.parallel import spec_is_poolable
+
+from tests.conftest import make_random_graph, make_random_pattern
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def test_graph_roundtrip_preserves_topology_and_drops_wiring():
+    graph = make_random_graph(3, num_nodes=12, num_edges=22)
+    graph.set_attrs(0, weight=7)
+    graph.remove_node(5)
+    graph.snapshot() if csr.available() else None  # populate derived
+    graph.add_listener(lambda op: None)
+    copy = roundtrip(graph)
+    assert copy.num_nodes == graph.num_nodes
+    assert copy.num_edges == graph.num_edges
+    assert sorted(copy.edges()) == sorted(graph.edges())
+    assert [copy.label(v) for v in copy.nodes()] == [
+        graph.label(v) for v in graph.nodes()
+    ]
+    assert copy.attr(0, "weight") == 7
+    assert copy._listeners == [] and copy._invalidators == []
+    assert copy.derived == {} and copy.extensions == {}
+
+
+@pytest.mark.skipif(not csr.available(), reason="requires numpy")
+def test_csr_snapshot_roundtrip_preserves_arrays_and_drops_caches():
+    import numpy as np
+
+    graph = make_random_graph(7, num_nodes=15, num_edges=30)
+    snap = graph.snapshot()
+    snap.out_csr_lists()  # populate a scalar-mirror cache
+    snap.shard_bounds(3)  # populate the shard cache
+    copy = roundtrip(snap)
+    for name in (
+        "out_offsets", "out_targets", "in_offsets", "in_sources",
+        "label_ids", "live_mask", "label_offsets", "label_nodes",
+    ):
+        np.testing.assert_array_equal(getattr(copy, name), getattr(snap, name))
+    assert copy.num_nodes == snap.num_nodes
+    assert copy.num_edges == snap.num_edges
+    assert copy._shard_cache == {} and copy._out_lists is None
+    # And the copy computes identical counting scans.
+    membership = np.zeros(snap.num_nodes, dtype=np.uint8)
+    membership[:: 2] = 1
+    np.testing.assert_array_equal(
+        copy.out_counts(membership), snap.out_counts(membership)
+    )
+
+
+def test_execution_config_roundtrip():
+    cfg = ExecutionConfig(
+        use_csr=True, scc_incremental=False, bound_strategy="hop",
+        batch_size=4, seed=9, workers=3, sim_shards=2,
+        shard_backend="process", metrics=True,
+    )
+    assert roundtrip(cfg) == cfg
+    assert roundtrip(cfg.resolved()) == cfg.resolved()
+
+
+def test_query_spec_roundtrip():
+    pattern = make_random_pattern(4, num_nodes=3, extra_edges=1, cyclic=False)
+    spec = QuerySpec(
+        pattern, k=4, mode="diversified", lam=0.25, method="approx",
+        config=ExecutionConfig(workers=2),
+    )
+    assert spec_is_poolable(QuerySpec(pattern, k=4))
+    copy = roundtrip(spec)
+    assert copy.k == spec.k and copy.mode == spec.mode
+    assert copy.lam == spec.lam and copy.method == spec.method
+    assert copy.config == spec.config
+    assert copy.pattern.shape == spec.pattern.shape
+    assert list(copy.pattern.edges()) == list(spec.pattern.edges())
+
+
+def test_unpicklable_spec_is_not_poolable():
+    pattern = make_random_pattern(8, num_nodes=3, extra_edges=1, cyclic=True)
+    spec = QuerySpec(pattern, k=2, relevance_fn=lambda ctx, v: 1.0)
+    assert not spec_is_poolable(spec)
