@@ -150,6 +150,66 @@ def _batch_serving_table(registry: MetricsRegistry, workers: int) -> None:
     ))
 
 
+def _write_stream_table(registry: MetricsRegistry) -> None:
+    """Serve a short write stream with snapshot patching on; table the
+    refresh modes, patch outcomes and artifact survival.
+
+    The sweeps above never mutate, so the ``repro_session_refresh_total``
+    and ``repro_snapshot_patch_total`` series a serving deployment
+    watches would read zero without this exercise: a few
+    mutate → refresh → query cycles under
+    ``ExecutionConfig(snapshot_patching=True)``.
+    """
+    import random
+
+    from repro.session import ExecutionConfig, MatchSession, QuerySpec
+
+    print("\n## Write-stream refresh: selective invalidation + snapshot patching\n")
+    try:
+        graph = bench_graph("synthetic-dag", 1.0).thaw()
+        patterns = [
+            bench_pattern("synthetic-dag", 4, 6, False, seed, 1.0)
+            for seed in range(3)
+        ]
+    except DatasetError as exc:
+        print(f"(skipped: {exc})")
+        return
+    specs = [QuerySpec(pattern, k=10) for pattern in patterns]
+    rng = random.Random(7)
+    config = ExecutionConfig(snapshot_patching=True)
+    with MatchSession(graph, config=config, on_mutation="refresh") as session:
+        session.run_batch(specs)
+        for _ in range(3):
+            edges = list(graph.edges())
+            for _ in range(4):
+                src, dst = rng.choice(edges)
+                if graph.has_edge(src, dst):
+                    graph.remove_edge(src, dst)
+                    graph.add_edge(src, dst)
+            session.refresh()
+            session.run_batch(specs)
+        stats = session.cache_stats()
+
+    def _series(name: str, label: str) -> dict[str, int]:
+        metric = registry.get(name)
+        if metric is None:
+            return {}
+        return {labels[label]: int(value) for labels, value in metric.samples()}
+
+    refreshes = _series("repro_session_refresh_total", "mode")
+    patches = _series("repro_snapshot_patch_total", "outcome")
+    rows = [
+        ["refreshes (selective/wholesale)",
+         f"{refreshes.get('selective', 0)}/{refreshes.get('wholesale', 0)}"],
+        ["snapshot patch outcomes (patched/compacted/rebuilt)",
+         f"{patches.get('patched', 0)}/{patches.get('compacted', 0)}"
+         f"/{patches.get('rebuilt', 0)}"],
+        ["artifacts survived/dropped",
+         f"{stats['artifacts_survived']}/{stats['artifacts_dropped']}"],
+    ]
+    print(format_table(["counter", "value"], rows))
+
+
 def _worker_series_table(registry: MetricsRegistry) -> None:
     print("\n## Serving-pool workers (repro_worker_* series)\n")
     queries = registry.get("repro_worker_queries_total")
@@ -335,6 +395,7 @@ def main(argv: list[str] | None = None) -> int:
     profiler.enable()
     with use_metrics(registry):
         status = run_sweeps()
+        _write_stream_table(registry)
         if args.workers >= 2:
             _batch_serving_table(registry, args.workers)
     profiler.disable()

@@ -30,8 +30,12 @@ fall back to the dict-of-sets reference path (see ``available()``).
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Set as _AbstractSet
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.graph.delta import ADD_NODE, REMOVE_EDGE, REMOVE_NODE, SET_ATTRS, DeltaOp
+from repro.obs import current_metrics
 
 try:  # pragma: no cover - numpy is part of the supported environment
     import numpy as np
@@ -47,6 +51,23 @@ CSR_KEY_PREFIX = "csr-snapshot:"
 
 #: The cache key of the graph's primary snapshot.
 CSR_SNAPSHOT_KEY = CSR_KEY_PREFIX + "graph"
+
+#: ``graph.derived`` key prefix owned by *patched* (overlay-form)
+#: snapshots.  Registered with the same invalidation hook as
+#: :data:`CSR_KEY_PREFIX` so a structural mutation drops a patched
+#: snapshot exactly like a flat one.
+CSR_OVERLAY_KEY_PREFIX = "csr-overlay:"
+
+#: The cache key of the graph's patched snapshot, when one is current.
+CSR_OVERLAY_SNAPSHOT_KEY = CSR_OVERLAY_KEY_PREFIX + "graph"
+
+#: ``graph.extensions`` key of an attached :class:`SnapshotPatcher`.
+PATCHER_EXTENSION_KEY = "csr:snapshot-patcher"
+
+#: Process-unique identity tokens for snapshot (and bucket) sharing —
+#: see :meth:`CSRSnapshot.bucket_token`.  Assigned in ``__init__`` so
+#: unpickled snapshots never collide with locally built ones.
+_token_counter = itertools.count(1)
 
 
 def available() -> bool:
@@ -77,6 +98,7 @@ class CSRSnapshot:
         "compact_of",
         "label_offsets",
         "label_nodes",
+        "token",
         "_out_lists",
         "_in_lists",
         "_out_adjacency",
@@ -91,8 +113,10 @@ class CSRSnapshot:
     #: shipped to a worker process carries only the core arrays.
     #: (``__weakref__`` rides along: shard runners register a finalizer
     #: on their snapshot, and the weakref machinery itself must never
-    #: be pickled.)
+    #: be pickled.  ``token`` is an identity, not state: an unpickled
+    #: snapshot gets a fresh one from the receiving process's counter.)
     _TRANSIENT_SLOTS = (
+        "token",
         "_out_lists",
         "_in_lists",
         "_out_adjacency",
@@ -104,6 +128,7 @@ class CSRSnapshot:
 
     def __init__(self) -> None:
         # Populated by build(); kept assignable for __slots__.
+        self.token: int = next(_token_counter)
         self._out_lists: tuple[list[int], list[int]] | None = None
         self._in_lists: tuple[list[int], list[int]] | None = None
         self._out_adjacency: list[list[int]] | None = None
@@ -114,13 +139,23 @@ class CSRSnapshot:
     # ------------------------------------------------------------------
     # pickling (worker processes receive snapshots by value)
     # ------------------------------------------------------------------
+    def _pickled_slots(self) -> list[str]:
+        """All non-transient slots across the MRO (subclasses included).
+
+        ``self.__slots__`` alone would miss inherited slots on a
+        subclass such as :class:`PatchedCSRSnapshot`.
+        """
+        transient = self._TRANSIENT_SLOTS
+        names: list[str] = []
+        for klass in type(self).__mro__:
+            for name in getattr(klass, "__slots__", ()):
+                if name not in transient and name not in names:
+                    names.append(name)
+        return names
+
     def __getstate__(self) -> dict:
         """Core arrays only — scalar-mirror and shard caches are local."""
-        return {
-            name: getattr(self, name)
-            for name in self.__slots__
-            if name not in self._TRANSIENT_SLOTS
-        }
+        return {name: getattr(self, name) for name in self._pickled_slots()}
 
     def __setstate__(self, state: dict) -> None:
         self.__init__()
@@ -214,6 +249,25 @@ class CSRSnapshot:
         return self.live_nodes.tolist()
 
     # ------------------------------------------------------------------
+    # identity tokens (bucket-level cache keys)
+    # ------------------------------------------------------------------
+    def bucket_token(self, label_id: int) -> int:
+        """Identity of the ``label_id`` bucket's backing data.
+
+        Two snapshots that share a bucket — a patched snapshot whose
+        delta left the label untouched inherits its base's buckets —
+        report the *same* token, so bucket-keyed caches survive the
+        patch; any change to the bucket's membership changes the token.
+        A flat snapshot owns all its buckets, so its own token stands
+        for every label.
+        """
+        return self.token
+
+    def live_token(self) -> int:
+        """Identity of the live-node set (changes on any node op)."""
+        return self.token
+
+    # ------------------------------------------------------------------
     # bulk kernels
     # ------------------------------------------------------------------
     def out_counts(self, membership) -> "np.ndarray":
@@ -293,6 +347,23 @@ class CSRSnapshot:
         # segments contribute no elements between consecutive starts).
         result[nonempty] = np.maximum.reduceat(gathered, starts[nonempty])
         return result
+
+    def restricted_out_csr(self, allowed) -> tuple:
+        """Out-adjacency restricted to targets with a nonzero ``allowed`` flag.
+
+        Returns ``(offsets, targets)``: ``offsets`` is ``int64`` of
+        length ``num_nodes + 1`` and ``targets`` keeps adjacency order.
+        Restriction-based consumers (the bound index's match-restricted
+        reachability) must build through here rather than slicing
+        ``out_targets`` directly: the overlay form overrides this so the
+        result excludes tombstoned base slots and includes appended
+        segments.
+        """
+        r_targets = self.out_targets[allowed[self.out_targets].astype(bool)]
+        kept = self.out_counts(allowed)
+        r_offsets = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(kept, out=r_offsets[1:])
+        return r_offsets, r_targets
 
     # ------------------------------------------------------------------
     # node-range sharding
@@ -437,6 +508,488 @@ class CSRSnapshot:
         return (
             f"CSRSnapshot(|V|={self.num_nodes}, |E|={self.num_edges}, "
             f"live={self.num_live}, labels={self.num_labels})"
+        )
+
+
+class PatchedCSRSnapshot(CSRSnapshot):
+    """An overlay-form snapshot: a flat base plus a small delta.
+
+    Instead of recompiling every array, :meth:`patch` overlays a replayed
+    op log on an existing flat :class:`CSRSnapshot`:
+
+    * **edge tombstones** — ``uint8`` masks over the base edge slots
+      (``_out_dead`` / ``_in_dead``) mark in-delta removals of base
+      edges;
+    * **append-only segments** — per-node arrays of in-delta edge
+      additions (``_seg_out`` / ``_seg_in``), appended after the node's
+      surviving base run.  Appending (never re-animating a dead base
+      slot) reproduces the mutable graph's ``list.remove`` +
+      ``list.append`` ordering, so per-node adjacency equals a fresh
+      rebuild's element for element;
+    * **node extensions** — ``label_ids`` / offsets / ``live_mask``
+      extended (or copy-edited) only when the delta contains node ops;
+      edge-only deltas share the base node arrays outright;
+    * **label buckets** — the global ``label_offsets`` / ``label_nodes``
+      CSR is re-spliced with only the *touched* labels' buckets
+      recomputed; untouched buckets are views into the base bucket
+      array, and :meth:`bucket_token` reports the base's token for them
+      so bucket-keyed caches survive the patch.
+
+    Every public accessor and bulk kernel reads through the overlay, so
+    downstream consumers (CSR-kernel scans, shard bounds, pair-CSR
+    compilation, the bound index's restricted CSR) are unchanged.
+    """
+
+    __slots__ = (
+        "_base",
+        "_base_m",
+        "_out_dead",
+        "_in_dead",
+        "_dead_src",
+        "_dead_dst",
+        "_seg_out",
+        "_seg_in",
+        "_out_touched",
+        "_in_touched",
+        "_node_ops",
+        "_bucket_tokens",
+        "num_ops",
+    )
+
+    _TRANSIENT_SLOTS = CSRSnapshot._TRANSIENT_SLOTS
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def patch(
+        cls, base: CSRSnapshot, ops: Sequence[DeltaOp], graph: "Graph"
+    ) -> "PatchedCSRSnapshot":
+        """Overlay ``ops`` (replayed in order) on the flat ``base``.
+
+        ``base`` must be the snapshot of the graph state immediately
+        before the first op, and ``ops`` the complete structural op log
+        from there to ``graph``'s current state (``set_attrs`` ops are
+        ignored: snapshots carry no attribute state).  Work is
+        proportional to the delta plus one ``O(n)`` splice when node or
+        label state changed — never ``O(m)``.
+        """
+        if np is None:  # pragma: no cover - guarded by available()
+            raise RuntimeError("CSR snapshots require numpy")
+        if isinstance(base, PatchedCSRSnapshot):
+            raise ValueError(
+                "patch() requires a flat base snapshot; overlays do not stack "
+                "(the patcher replays the full accumulated log on the flat "
+                "base instead)"
+            )
+        snap = cls()
+        base_n = base.num_nodes
+        base_m = int(base.out_targets.size)
+
+        out_dead = np.zeros(base_m, dtype=np.uint8)
+        in_dead = np.zeros(base_m, dtype=np.uint8)
+        seg_out: dict[int, list[int]] = {}
+        seg_in: dict[int, list[int]] = {}
+        new_label_ids: list[int] = []
+        removed: list[int] = []
+        touched_labels: set[int] = set()
+        node_ops = False
+
+        def label_of(node: int) -> int:
+            if node < base_n:
+                return int(base.label_ids[node])
+            return new_label_ids[node - base_n]
+
+        for op in ops:
+            kind = op.kind
+            if kind == SET_ATTRS:
+                continue
+            if kind == ADD_NODE:
+                assert op.node == base_n + len(new_label_ids), (
+                    "op log is inconsistent with the base snapshot"
+                )
+                label_id = graph.labels.get(op.label or "")
+                assert label_id is not None
+                new_label_ids.append(label_id)
+                touched_labels.add(label_id)
+                node_ops = True
+            elif kind == REMOVE_NODE:
+                assert op.node is not None
+                touched_labels.add(label_of(op.node))
+                removed.append(op.node)
+                node_ops = True
+            elif kind == REMOVE_EDGE:
+                assert op.src is not None and op.dst is not None
+                src, dst = op.src, op.dst
+                seg = seg_out.get(src)
+                if seg is not None and dst in seg:
+                    seg.remove(dst)
+                    seg_in[dst].remove(src)
+                else:
+                    o0, o1 = int(base.out_offsets[src]), int(base.out_offsets[src + 1])
+                    run = base.out_targets[o0:o1]
+                    hits = np.nonzero((run == dst) & (out_dead[o0:o1] == 0))[0]
+                    out_dead[o0 + int(hits[0])] = 1
+                    i0, i1 = int(base.in_offsets[dst]), int(base.in_offsets[dst + 1])
+                    run = base.in_sources[i0:i1]
+                    hits = np.nonzero((run == src) & (in_dead[i0:i1] == 0))[0]
+                    in_dead[i0 + int(hits[0])] = 1
+            else:  # ADD_EDGE — always an append, matching list.append order
+                assert op.src is not None and op.dst is not None
+                seg_out.setdefault(op.src, []).append(op.dst)
+                seg_in.setdefault(op.dst, []).append(op.src)
+
+        n = base_n + len(new_label_ids)
+        snap._base = base
+        snap._base_m = base_m
+        snap._out_dead = out_dead
+        snap._in_dead = in_dead
+        snap._node_ops = node_ops
+        snap.num_ops = len(ops)
+        snap.num_nodes = n
+
+        dead_slots = np.nonzero(out_dead)[0]
+        if dead_slots.size:
+            snap._dead_src = (
+                np.searchsorted(base.out_offsets, dead_slots, side="right") - 1
+            ).astype(np.int64)
+            snap._dead_dst = base.out_targets[dead_slots].astype(np.int64)
+        else:
+            snap._dead_src = np.empty(0, dtype=np.int64)
+            snap._dead_dst = np.empty(0, dtype=np.int64)
+        snap._seg_out = {
+            v: np.asarray(lst, dtype=np.int32) for v, lst in seg_out.items() if lst
+        }
+        snap._seg_in = {
+            v: np.asarray(lst, dtype=np.int32) for v, lst in seg_in.items() if lst
+        }
+
+        out_touched = np.zeros(n, dtype=bool)
+        in_touched = np.zeros(n, dtype=bool)
+        if dead_slots.size:
+            out_touched[snap._dead_src] = True
+            in_touched[snap._dead_dst] = True
+        for v in snap._seg_out:
+            out_touched[v] = True
+        for v in snap._seg_in:
+            in_touched[v] = True
+        snap._out_touched = out_touched
+        snap._in_touched = in_touched
+
+        # Node arrays: shared outright for edge-only deltas, extended /
+        # copy-edited otherwise (O(n) vectorised, no Python loops).
+        if node_ops:
+            if new_label_ids:
+                snap.label_ids = np.concatenate(
+                    [base.label_ids, np.asarray(new_label_ids, dtype=np.int32)]
+                )
+                pad = len(new_label_ids)
+                snap.out_offsets = np.concatenate(
+                    [base.out_offsets,
+                     np.full(pad, base.out_offsets[-1], dtype=np.int64)]
+                )
+                snap.in_offsets = np.concatenate(
+                    [base.in_offsets,
+                     np.full(pad, base.in_offsets[-1], dtype=np.int64)]
+                )
+                live_mask = np.concatenate(
+                    [base.live_mask, np.ones(pad, dtype=np.uint8)]
+                )
+            else:
+                snap.label_ids = base.label_ids
+                snap.out_offsets = base.out_offsets
+                snap.in_offsets = base.in_offsets
+                live_mask = base.live_mask.copy()
+            if removed:
+                live_mask[removed] = 0
+            snap.live_mask = live_mask
+            live_nodes = np.nonzero(live_mask)[0].astype(np.int32)
+            snap.live_nodes = live_nodes
+            snap.num_live = int(live_nodes.size)
+            compact_of = np.full(n, -1, dtype=np.int32)
+            compact_of[live_nodes] = np.arange(live_nodes.size, dtype=np.int32)
+            snap.compact_of = compact_of
+        else:
+            snap.label_ids = base.label_ids
+            snap.out_offsets = base.out_offsets
+            snap.in_offsets = base.in_offsets
+            snap.live_mask = base.live_mask
+            snap.live_nodes = base.live_nodes
+            snap.num_live = base.num_live
+            snap.compact_of = base.compact_of
+
+        # Edge views: the base flat arrays, read through the overlay.
+        snap.out_targets = base.out_targets
+        snap.in_sources = base.in_sources
+        snap.num_edges = (
+            base.num_edges
+            - int(dead_slots.size)
+            + sum(seg.size for seg in snap._seg_out.values())
+        )
+
+        # Label buckets: splice only the touched labels' buckets; the
+        # rest are views into the base bucket array, keeping the global
+        # (label_offsets, label_nodes) CSR every inherited bucket method
+        # reads.  A label table that grew past the base (labels interned
+        # since the base build) extends the offsets with empty buckets.
+        num_labels = max(len(graph.labels), base.num_labels)
+        snap.num_labels = num_labels
+        if touched_labels or num_labels != base.num_labels:
+            buckets = []
+            label_ids_arr = snap.label_ids
+            live = snap.live_mask
+            for label_id in range(num_labels):
+                if label_id in touched_labels or label_id >= base.num_labels:
+                    bucket = np.nonzero(
+                        (label_ids_arr == label_id) & (live != 0)
+                    )[0].astype(np.int32)
+                else:
+                    bucket = base.nodes_with_label_id(label_id)
+                buckets.append(bucket)
+            label_offsets = np.zeros(num_labels + 1, dtype=np.int64)
+            if buckets:
+                sizes = np.fromiter(
+                    (b.size for b in buckets), dtype=np.int64, count=num_labels
+                )
+                np.cumsum(sizes, out=label_offsets[1:])
+                snap.label_nodes = np.concatenate(buckets)
+            else:
+                snap.label_nodes = np.empty(0, dtype=np.int32)
+            snap.label_offsets = label_offsets
+        else:
+            snap.label_offsets = base.label_offsets
+            snap.label_nodes = base.label_nodes
+
+        bucket_tokens = {label_id: snap.token for label_id in touched_labels}
+        for label_id in range(base.num_labels, num_labels):
+            bucket_tokens[label_id] = snap.token
+        snap._bucket_tokens = bucket_tokens
+        return snap
+
+    # ------------------------------------------------------------------
+    # identity tokens
+    # ------------------------------------------------------------------
+    def bucket_token(self, label_id: int) -> int:
+        token = self._bucket_tokens.get(label_id)
+        return token if token is not None else self._base.token
+
+    def live_token(self) -> int:
+        return self.token if self._node_ops else self._base.token
+
+    # ------------------------------------------------------------------
+    # overlay-aware accessors
+    # ------------------------------------------------------------------
+    def successors(self, node: int):
+        base = self._base
+        if node < base.num_nodes:
+            if not self._out_touched[node]:
+                return base.successors(node)
+            o0, o1 = int(base.out_offsets[node]), int(base.out_offsets[node + 1])
+            run = base.out_targets[o0:o1]
+            dead = self._out_dead[o0:o1]
+            if dead.any():
+                run = run[dead == 0]
+        else:
+            run = base.out_targets[0:0]
+        seg = self._seg_out.get(node)
+        if seg is None:
+            return run
+        if not run.size:
+            return seg
+        return np.concatenate([run, seg])
+
+    def predecessors(self, node: int):
+        base = self._base
+        if node < base.num_nodes:
+            if not self._in_touched[node]:
+                return base.predecessors(node)
+            i0, i1 = int(base.in_offsets[node]), int(base.in_offsets[node + 1])
+            run = base.in_sources[i0:i1]
+            dead = self._in_dead[i0:i1]
+            if dead.any():
+                run = run[dead == 0]
+        else:
+            run = base.in_sources[0:0]
+        seg = self._seg_in.get(node)
+        if seg is None:
+            return run
+        if not run.size:
+            return seg
+        return np.concatenate([run, seg])
+
+    # ------------------------------------------------------------------
+    # overlay-aware bulk kernels
+    # ------------------------------------------------------------------
+    def _cumsum_scratch(self) -> "np.ndarray":
+        # The base *array* length, not the live edge count: the overlay
+        # scans run over the full base edge arrays, dead slots included.
+        if self._cum_scratch is None:
+            self._cum_scratch = np.empty(self._base_m + 1, dtype=np.int64)
+            self._cum_scratch[0] = 0
+        return self._cum_scratch
+
+    def out_counts(self, membership) -> "np.ndarray":
+        base = self._base
+        result = np.zeros(self.num_nodes, dtype=np.int64)
+        if self._base_m:
+            cum = self._cumsum_scratch()
+            np.cumsum(membership[base.out_targets], dtype=np.int64, out=cum[1:])
+            result[: base.num_nodes] = (
+                cum[base.out_offsets[1:]] - cum[base.out_offsets[:-1]]
+            )
+        if self._dead_src.size:
+            np.subtract.at(
+                result, self._dead_src, membership[self._dead_dst].astype(np.int64)
+            )
+        for v, seg in self._seg_out.items():
+            result[v] += int(membership[seg].sum(dtype=np.int64))
+        return result
+
+    def in_counts(self, membership) -> "np.ndarray":
+        base = self._base
+        result = np.zeros(self.num_nodes, dtype=np.int64)
+        if self._base_m:
+            cum = self._cumsum_scratch()
+            np.cumsum(membership[base.in_sources], dtype=np.int64, out=cum[1:])
+            result[: base.num_nodes] = (
+                cum[base.in_offsets[1:]] - cum[base.in_offsets[:-1]]
+            )
+        if self._dead_src.size:
+            np.subtract.at(
+                result, self._dead_dst, membership[self._dead_src].astype(np.int64)
+            )
+        for v, seg in self._seg_in.items():
+            result[v] += int(membership[seg].sum(dtype=np.int64))
+        return result
+
+    def out_counts_range(self, membership, lo: int, hi: int, out=None):
+        base = self._base
+        base_n = base.num_nodes
+        blo, bhi = min(lo, base_n), min(hi, base_n)
+        counts = np.zeros(hi - lo, dtype=np.int64)
+        if bhi > blo:
+            e0 = int(base.out_offsets[blo])
+            e1 = int(base.out_offsets[bhi])
+            if e1 > e0:
+                cum = np.empty(e1 - e0 + 1, dtype=np.int64)
+                cum[0] = 0
+                np.cumsum(
+                    membership[base.out_targets[e0:e1]], dtype=np.int64, out=cum[1:]
+                )
+                offsets = base.out_offsets[blo : bhi + 1] - e0
+                counts[: bhi - blo] = cum[offsets[1:]] - cum[offsets[:-1]]
+        if self._dead_src.size:
+            in_range = (self._dead_src >= lo) & (self._dead_src < hi)
+            if in_range.any():
+                np.subtract.at(
+                    counts,
+                    self._dead_src[in_range] - lo,
+                    membership[self._dead_dst[in_range]].astype(np.int64),
+                )
+        for v, seg in self._seg_out.items():
+            if lo <= v < hi:
+                counts[v - lo] += int(membership[seg].sum(dtype=np.int64))
+        if out is None:
+            return counts
+        out[lo:hi] = counts
+        return out
+
+    def gather_in_slices(self, nodes) -> "np.ndarray":
+        nodes = np.asarray(nodes, dtype=np.int64)
+        base = self._base
+        if not nodes.size:
+            return base.in_sources[0:0]
+        if int(nodes.max()) < base.num_nodes and not self._in_touched[nodes].any():
+            return base.gather_in_slices(nodes)
+        parts = [self.predecessors(int(v)) for v in nodes]
+        parts = [p for p in parts if p.size]
+        if not parts:
+            return base.in_sources[0:0]
+        return np.concatenate(parts)
+
+    def in_max(self, values) -> "np.ndarray":
+        base = self._base
+        result = np.zeros(self.num_nodes, dtype=np.float64)
+        result[: base.num_nodes] = base.in_max(values)
+        for v in np.nonzero(self._in_touched)[0].tolist():
+            preds = self.predecessors(v)
+            result[v] = float(values[preds].max()) if preds.size else 0.0
+        return result
+
+    def restricted_out_csr(self, allowed) -> tuple:
+        base = self._base
+        base_n = base.num_nodes
+        kept = self.out_counts(allowed)
+        r_offsets = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(kept, out=r_offsets[1:])
+
+        keep = allowed[base.out_targets].astype(bool)
+        if self._dead_src.size:
+            keep &= self._out_dead == 0
+        base_kept = base.out_targets[keep]
+        cum = np.zeros(self._base_m + 1, dtype=np.int64)
+        np.cumsum(keep, out=cum[1:])
+        bk_off = cum[base.out_offsets]
+
+        if not self._seg_out:
+            r_targets = base_kept
+        else:
+            parts = []
+            prev = 0
+            for v in sorted(self._seg_out):
+                end = int(bk_off[v + 1]) if v < base_n else int(bk_off[base_n])
+                parts.append(base_kept[prev:end])
+                prev = end
+                seg = self._seg_out[v]
+                parts.append(seg[allowed[seg] != 0])
+            parts.append(base_kept[prev:])
+            r_targets = np.concatenate(parts)
+        return r_offsets, r_targets
+
+    # ------------------------------------------------------------------
+    # overlay-aware scalar mirrors
+    # ------------------------------------------------------------------
+    def out_adjacency_lists(self) -> list[list[int]]:
+        if self._out_adjacency is None:
+            adj = list(self._base.out_adjacency_lists())
+            adj.extend([] for _ in range(self.num_nodes - self._base.num_nodes))
+            for v in np.nonzero(self._out_touched)[0].tolist():
+                adj[v] = self.successors(v).tolist()
+            self._out_adjacency = adj
+        return self._out_adjacency
+
+    def in_adjacency_lists(self) -> list[list[int]]:
+        if self._in_adjacency is None:
+            adj = list(self._base.in_adjacency_lists())
+            adj.extend([] for _ in range(self.num_nodes - self._base.num_nodes))
+            for v in np.nonzero(self._in_touched)[0].tolist():
+                adj[v] = self.predecessors(v).tolist()
+            self._in_adjacency = adj
+        return self._in_adjacency
+
+    def out_csr_lists(self) -> tuple[list[int], list[int]]:
+        if self._out_lists is None:
+            adj = self.out_adjacency_lists()
+            offsets = [0] * (self.num_nodes + 1)
+            for v, run in enumerate(adj):
+                offsets[v + 1] = offsets[v] + len(run)
+            self._out_lists = (offsets, [t for run in adj for t in run])
+        return self._out_lists
+
+    def in_csr_lists(self) -> tuple[list[int], list[int]]:
+        if self._in_lists is None:
+            adj = self.in_adjacency_lists()
+            offsets = [0] * (self.num_nodes + 1)
+            for v, run in enumerate(adj):
+                offsets[v + 1] = offsets[v] + len(run)
+            self._in_lists = (offsets, [s for run in adj for s in run])
+        return self._in_lists
+
+    def __repr__(self) -> str:
+        return (
+            f"PatchedCSRSnapshot(|V|={self.num_nodes}, |E|={self.num_edges}, "
+            f"live={self.num_live}, labels={self.num_labels}, "
+            f"ops={self.num_ops})"
         )
 
 
@@ -698,16 +1251,140 @@ class FrozenBitset(_AbstractSet):
         return f"FrozenBitset({{{', '.join(map(str, sorted(self)))}}})"
 
 
+class SnapshotPatcher:
+    """Accumulates structural deltas and patches the graph's snapshot.
+
+    Attached to ``graph.extensions`` (persistent, never cleared) by
+    :func:`attach_snapshot_patching`.  While attached it records every
+    structural :class:`DeltaOp`; when :func:`snapshot_of` needs a
+    snapshot and the cache is cold, the patcher overlays the accumulated
+    log on the last flat base (:meth:`PatchedCSRSnapshot.patch`) when
+    the delta is small, and compacts back to a flat
+    :meth:`CSRSnapshot.build` once the overlay grows past
+    ``compact_ratio`` of the base size.  The flat rebuild stays the
+    oracle: with the patcher detached (or the ratio at zero) behaviour
+    is byte-identical to the unpatched path.
+    """
+
+    __slots__ = ("graph", "compact_ratio", "_base", "_pending", "_unsubscribe")
+
+    def __init__(self, graph: "Graph", compact_ratio: float = 0.25) -> None:
+        self.graph = graph
+        self.compact_ratio = float(compact_ratio)
+        #: The flat snapshot the pending log is relative to.  Held here
+        #: (not only in ``graph.derived``) so invalidation dropping the
+        #: cache entry does not lose the patch base.
+        self._base: CSRSnapshot | None = graph.derived.get(CSR_SNAPSHOT_KEY)
+        self._pending: list[DeltaOp] = []
+        self._unsubscribe = graph.add_listener(self._on_op)
+
+    def _on_op(self, op: DeltaOp) -> None:
+        if op.kind != SET_ATTRS:
+            self._pending.append(op)
+
+    @property
+    def pending_ops(self) -> int:
+        """Structural ops accumulated since the current flat base."""
+        return len(self._pending)
+
+    def detach(self) -> None:
+        """Stop listening and drop the patch state."""
+        self._unsubscribe()
+        self._base = None
+        self._pending.clear()
+        self.graph.extensions.pop(PATCHER_EXTENSION_KEY, None)
+
+    def build(self) -> CSRSnapshot:
+        """The graph's current snapshot: cached, patched, or rebuilt."""
+        graph = self.graph
+        cached = graph.derived.get(CSR_SNAPSHOT_KEY)
+        if cached is None:
+            cached = graph.derived.get(CSR_OVERLAY_SNAPSHOT_KEY)
+        if cached is not None:
+            return cached
+        base = self._base
+        if base is not None and not self._pending:
+            # The cache entry was dropped without a recorded structural
+            # op (e.g. an external derived.clear()); the base still
+            # matches the graph state, so restore it.
+            graph.derived[CSR_SNAPSHOT_KEY] = base
+            return base
+        snap: CSRSnapshot | None = None
+        outcome = "rebuilt"
+        if base is not None:
+            budget = self.compact_ratio * (
+                base.num_nodes + int(base.out_targets.size)
+            )
+            if len(self._pending) <= budget:
+                snap = PatchedCSRSnapshot.patch(base, self._pending, graph)
+                graph.derived[CSR_OVERLAY_SNAPSHOT_KEY] = snap
+                outcome = "patched"
+            else:
+                outcome = "compacted"
+        if snap is None:
+            snap = CSRSnapshot.build(graph)
+            graph.derived[CSR_SNAPSHOT_KEY] = snap
+            self._base = snap
+            self._pending.clear()
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter(
+                "repro_snapshot_patch_total",
+                "Snapshot builds by outcome (patched/compacted/rebuilt).",
+            ).inc(1, outcome=outcome)
+        return snap
+
+
+def attach_snapshot_patching(
+    graph: "Graph", compact_ratio: float = 0.25
+) -> SnapshotPatcher:
+    """Attach (or retune) delta-aware snapshot patching on ``graph``.
+
+    Idempotent: a second call updates ``compact_ratio`` on the existing
+    patcher.  Once attached, :func:`snapshot_of` (and therefore
+    :meth:`Graph.snapshot`) routes through the patcher.
+    """
+    patcher = graph.extensions.get(PATCHER_EXTENSION_KEY)
+    if patcher is None:
+        patcher = SnapshotPatcher(graph, compact_ratio)
+        graph.extensions[PATCHER_EXTENSION_KEY] = patcher
+    else:
+        patcher.compact_ratio = float(compact_ratio)
+    return patcher
+
+
+def patcher_of(graph: "Graph") -> SnapshotPatcher | None:
+    """The graph's attached :class:`SnapshotPatcher`, if any."""
+    return graph.extensions.get(PATCHER_EXTENSION_KEY)
+
+
+def has_cached_snapshot(graph: "Graph") -> bool:
+    """True when a current snapshot (flat or patched) is cached."""
+    return (
+        CSR_SNAPSHOT_KEY in graph.derived
+        or CSR_OVERLAY_SNAPSHOT_KEY in graph.derived
+    )
+
+
 def snapshot_of(graph: "Graph") -> CSRSnapshot:
     """The cached snapshot of ``graph``, building it on first use.
 
-    The cache lives in ``graph.derived`` under :data:`CSR_SNAPSHOT_KEY`,
-    so the graph's structural-mutation invalidation (blanket clear, or
-    the targeted invalidators of :mod:`repro.index.invalidation`) drops
-    it exactly when it goes stale.
+    The cache lives in ``graph.derived`` under :data:`CSR_SNAPSHOT_KEY`
+    (flat) or :data:`CSR_OVERLAY_SNAPSHOT_KEY` (patched), so the graph's
+    structural-mutation invalidation (blanket clear, or the targeted
+    invalidators of :mod:`repro.index.invalidation`) drops it exactly
+    when it goes stale.  With a :class:`SnapshotPatcher` attached, a
+    cold cache patches the previous flat base instead of recompiling
+    when the accumulated delta is small.
     """
     snap = graph.derived.get(CSR_SNAPSHOT_KEY)
     if snap is None:
-        snap = CSRSnapshot.build(graph)
-        graph.derived[CSR_SNAPSHOT_KEY] = snap
+        snap = graph.derived.get(CSR_OVERLAY_SNAPSHOT_KEY)
+    if snap is not None:
+        return snap
+    patcher = graph.extensions.get(PATCHER_EXTENSION_KEY)
+    if patcher is not None:
+        return patcher.build()
+    snap = CSRSnapshot.build(graph)
+    graph.derived[CSR_SNAPSHOT_KEY] = snap
     return snap

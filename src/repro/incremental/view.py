@@ -30,6 +30,7 @@ from repro.graph.delta import (
 )
 from repro.graph.digraph import Graph
 from repro.incremental import delta_sim
+from repro.incremental.affected import PatternLabelSignature
 from repro.obs import current_metrics, trace
 from repro.patterns.pattern import Pattern
 from repro.ranking.context import RankingContext
@@ -39,11 +40,7 @@ from repro.ranking.relevance import (
     RelevanceFunction,
     top_k_by_relevance,
 )
-from repro.simulation.candidates import (
-    WILDCARD_LABEL,
-    CandidateSets,
-    compute_candidates,
-)
+from repro.simulation.candidates import CandidateSets, compute_candidates
 from repro.simulation.match import SimulationResult, maximal_simulation
 from repro.topk.result import EngineStats, TopKResult
 
@@ -146,22 +143,11 @@ class MatchView:
         )
         self.stats = ViewStats()
         self._threshold = recompute_threshold
-        # Label-based affectedness: the ordered label pairs of pattern
-        # edges (for edge ops) and the node labels (for node ops).  A
-        # wildcard query node matches every label, so node-op tests
-        # collapse to "always affected" and edge-pair tests treat the
-        # wildcard as matching either endpoint.
-        self._node_labels = frozenset(pattern.label(u) for u in pattern.nodes())
-        self._has_wildcard = WILDCARD_LABEL in self._node_labels
-        self._edge_label_pairs = frozenset(
-            (pattern.label(u), pattern.label(u_child)) for u, u_child in pattern.edges()
-        )
-        self._predicated_labels = frozenset(
-            pattern.label(u)
-            for u in pattern.nodes()
-            if pattern.predicate(u) is not None
-        )
-        self._predicated_wildcard = WILDCARD_LABEL in self._predicated_labels
+        # Label-based affectedness: the pattern's label signature (node
+        # labels, ordered edge label pairs, predicated labels).  Shared
+        # with the session cache's selective invalidation — see
+        # :mod:`repro.incremental.affected` for the wildcard semantics.
+        self.signature = PatternLabelSignature.from_pattern(pattern)
         self._can_lists: list[list[int]] = []
         self._can_sets: list[set[int]] = []
         self._sim: list[set[int]] = []
@@ -279,28 +265,12 @@ class MatchView:
         match-all, and edge-pair tests accept a pattern edge whose
         endpoint is the wildcard (a plain ``label in pattern_labels``
         membership test would never match ``"*"`` and would starve
-        wildcard views of their update stream).
+        wildcard views of their update stream).  Delegates to the
+        shared :class:`~repro.incremental.affected.PatternLabelSignature`
+        — the same test the session cache's selective invalidation
+        applies to cached artifacts.
         """
-        if op.kind in (ADD_EDGE, REMOVE_EDGE):
-            assert op.src is not None and op.dst is not None
-            src_label = self.graph.label(op.src)
-            dst_label = self.graph.label(op.dst)
-            pairs = self._edge_label_pairs
-            return (
-                (src_label, dst_label) in pairs
-                or (WILDCARD_LABEL, dst_label) in pairs
-                or (src_label, WILDCARD_LABEL) in pairs
-                or (WILDCARD_LABEL, WILDCARD_LABEL) in pairs
-            )
-        if op.kind == ADD_NODE:
-            return self._has_wildcard or op.label in self._node_labels
-        assert op.node is not None
-        if op.kind == SET_ATTRS:
-            return (
-                self._predicated_wildcard
-                or self.graph.label(op.node) in self._predicated_labels
-            )
-        return self._has_wildcard or self.graph.label(op.node) in self._node_labels
+        return self.signature.affects_op(op, self.graph)
 
     def apply(self, op: DeltaOp) -> delta_sim.DeltaOutcome:
         """Repair the view after ``op`` was applied to the graph.

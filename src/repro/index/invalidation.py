@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.graph.csr import CSR_KEY_PREFIX
+from repro.graph.csr import CSR_KEY_PREFIX, CSR_OVERLAY_KEY_PREFIX
 from repro.graph.digraph import Graph
 
 #: ``graph.derived`` key prefix owned by the descendant-count indexes.
@@ -41,7 +41,13 @@ DESCENDANT_KEY_PREFIX = "descendant-index:"
 #: Every ``graph.derived`` key prefix that a structural mutation must
 #: drop.  CSR snapshots (:mod:`repro.graph.csr`) join the descendant
 #: indexes here: both compile the current structure into arrays.
-STRUCTURAL_KEY_PREFIXES = (DESCENDANT_KEY_PREFIX, CSR_KEY_PREFIX)
+#: Patched (overlay-form) snapshots live under their own prefix but are
+#: exactly as mutation-sensitive as flat ones.
+STRUCTURAL_KEY_PREFIXES = (
+    DESCENDANT_KEY_PREFIX,
+    CSR_KEY_PREFIX,
+    CSR_OVERLAY_KEY_PREFIX,
+)
 
 
 def _prefixed_keys(graph: Graph, prefix: str) -> list[str]:
@@ -58,12 +64,18 @@ def descendant_cache_keys(graph: Graph) -> list[str]:
 
 
 def csr_cache_keys(graph: Graph) -> list[str]:
-    """The ``graph.derived`` keys currently held by CSR snapshots."""
-    return _prefixed_keys(graph, CSR_KEY_PREFIX)
+    """The ``graph.derived`` keys currently held by CSR snapshots.
+
+    Covers both forms: flat (:data:`~repro.graph.csr.CSR_KEY_PREFIX`)
+    and patched overlays (:data:`~repro.graph.csr.CSR_OVERLAY_KEY_PREFIX`).
+    """
+    return _prefixed_keys(graph, CSR_KEY_PREFIX) + _prefixed_keys(
+        graph, CSR_OVERLAY_KEY_PREFIX
+    )
 
 
 def invalidate_csr_snapshots(graph: Graph) -> int:
-    """Drop every CSR snapshot from ``graph.derived``; returns the count."""
+    """Drop every CSR snapshot (flat or patched) from ``graph.derived``."""
     keys = csr_cache_keys(graph)
     for key in keys:
         del graph.derived[key]

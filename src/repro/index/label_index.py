@@ -294,11 +294,10 @@ class SimBoundIndex:
             for matched in self.sim:
                 if matched:
                     allowed[list(matched)] = 1
-            r_targets = snap.out_targets[allowed[snap.out_targets].astype(bool)]
-            kept = snap.out_counts(allowed)
-            r_offsets = np.zeros(n + 1, dtype=np.int64)
-            np.cumsum(kept, out=r_offsets[1:])
-            self._restricted = (r_offsets, r_targets)
+            # Delegate to the snapshot: the overlay (patched) form must
+            # filter tombstoned slots and append segments, which a raw
+            # ``out_targets`` slice here would silently miss.
+            self._restricted = snap.restricted_out_csr(allowed)
         return self._restricted
 
     def _restricted_adjacency(self) -> list[tuple[int, ...]]:

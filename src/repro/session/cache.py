@@ -30,8 +30,14 @@ test suite pins).
 The cache subscribes to its graph's change events: any structural
 mutation marks it *stale*, after which the owning
 :class:`~repro.session.session.MatchSession` refuses or refreshes per
-its policy.  :meth:`refresh` drops every artifact and bumps the
-generation counter.
+its policy.  :meth:`refresh` starts a fresh generation; by default it
+drops every artifact (*wholesale*), but a cache switched to
+:attr:`selective` mode (the session does this under
+``ExecutionConfig(snapshot_patching=True)``) accumulates the mutation
+ops and drops only the artifacts whose label signature intersects the
+delta — a pattern over labels the write stream never touched keeps its
+candidates, simulation, bounds, pair-CSRs and stored results across
+the generation bump (*label-selective invalidation*).
 """
 
 from __future__ import annotations
@@ -41,6 +47,10 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.graph import csr
 from repro.graph.digraph import Graph
+from repro.incremental.affected import (
+    PatternLabelSignature,
+    summarize_delta,
+)
 from repro.index.label_index import SimBoundIndex
 from repro.obs import current_metrics, trace
 from repro.patterns.pattern import Pattern
@@ -55,6 +65,12 @@ from repro.simulation.match import SimulationResult, maximal_simulation
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.csr import CSRSnapshot, ComponentPairCSR
     from repro.graph.delta import DeltaOp
+
+#: Pending-op accumulation cap for selective mode.  A delta longer than
+#: this has almost certainly touched every label anyway; the next
+#: refresh falls back to the wholesale drop instead of paying a
+#: per-artifact intersection test over an unbounded log.
+PENDING_OPS_CAP = 4096
 
 
 @dataclass
@@ -76,6 +92,14 @@ class SessionCacheStats:
     result_hits: int = 0
     result_builds: int = 0
     refreshes: int = 0
+    #: Refresh-mode split: every refresh is exactly one of these.
+    selective_refreshes: int = 0
+    wholesale_refreshes: int = 0
+    #: Artifact-survival totals across selective refreshes: entries kept
+    #: because their label signature missed the delta vs entries dropped
+    #: (wholesale refreshes count everything as dropped).
+    artifacts_survived: int = 0
+    artifacts_dropped: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -124,6 +148,12 @@ class SessionCache:
         #: (e.g. the implicit one a view rebuild performs).
         self.mutation_count = 0
         self._closed = False
+        #: Label-selective invalidation switch.  Off (the default) every
+        #: refresh is the historical wholesale drop; the owning session
+        #: turns it on under ``ExecutionConfig(snapshot_patching=True)``.
+        self.selective = False
+        self._pending_ops: list["DeltaOp"] = []
+        self._pending_overflow = False
         self._buckets: dict[tuple, list[int]] = {}
         self._candidates: dict[tuple, CandidateSets] = {}
         # Full-fixpoint simulation + (for total relations) the narrowed
@@ -141,6 +171,18 @@ class SessionCache:
     def _on_mutation(self, op: "DeltaOp") -> None:
         self._stale = True
         self.mutation_count += 1
+        if self.selective and not self._pending_overflow:
+            if len(self._pending_ops) >= PENDING_OPS_CAP:
+                self._pending_overflow = True
+                self._pending_ops.clear()
+            else:
+                self._pending_ops.append(op)
+
+    @property
+    def pending_ops(self) -> list["DeltaOp"]:
+        """The mutation ops observed since the last refresh (selective
+        mode only; empty after an overflow to wholesale)."""
+        return list(self._pending_ops)
 
     @property
     def stale(self) -> bool:
@@ -153,18 +195,148 @@ class SessionCache:
         """
         return self._stale
 
-    def refresh(self) -> None:
-        """Drop every artifact and start a fresh generation."""
-        self._buckets.clear()
-        self._candidates.clear()
-        self._sim.clear()
-        self._bounds.clear()
-        self._pair_csr.clear()
-        self._contexts.clear()
-        self._results.clear()
+    def refresh(self) -> str:
+        """Start a fresh generation; returns the mode taken.
+
+        ``"wholesale"`` (the default and the fallback): every artifact
+        is dropped.  ``"selective"`` (cache in :attr:`selective` mode
+        with a bounded pending-op log): only the artifacts whose label
+        signature intersects the accumulated delta are dropped — the
+        rest survive the generation bump.  Either way :attr:`generation`
+        advances, so generation-keyed consumers (result stores, worker
+        pools) observe every refresh identically.
+        """
+        if (
+            self.selective
+            and not self._pending_overflow
+            and self._pending_ops
+        ):
+            mode = "selective"
+            self._refresh_selective()
+        else:
+            mode = "wholesale"
+            self._refresh_wholesale()
+        self._pending_ops.clear()
+        self._pending_overflow = False
         self._stale = False
         self.generation += 1
         self.stats.refreshes += 1
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter(
+                "repro_session_refresh_total",
+                "SessionCache refreshes by invalidation mode.",
+            ).inc(1, mode=mode)
+        return mode
+
+    def _refresh_wholesale(self) -> None:
+        self.stats.wholesale_refreshes += 1
+        self.stats.artifacts_dropped += sum(
+            len(store) for store in self._stores()
+        )
+        for store in self._stores():
+            store.clear()
+
+    def _stores(self) -> tuple[dict[tuple, Any], ...]:
+        return (
+            self._buckets,
+            self._candidates,
+            self._sim,
+            self._bounds,
+            self._pair_csr,
+            self._contexts,
+            self._results,
+        )
+
+    def _refresh_selective(self) -> None:
+        """Drop only the artifacts the accumulated delta can affect.
+
+        Per artifact class the sound test differs:
+
+        * **buckets** are pre-predicate label membership lists — only
+          node ops move them (edge and attrs ops cannot), and the
+          wildcard bucket is the live set, so it reacts to node ops of
+          any label;
+        * **candidates** are buckets narrowed by predicates — node and
+          attrs ops count, edge ops still cannot
+          (:meth:`PatternLabelSignature.affects_candidates`);
+        * **simulation / bounds / pair-CSRs / contexts / results** are
+          functions of the match relation and the match-restricted
+          structure, both constrained to the pattern's label signature
+          (:meth:`PatternLabelSignature.affects_relation` — the same
+          per-op test :class:`~repro.incremental.view.MatchView`
+          dispatches on, folded over the log).
+
+        Identity-keyed artifacts (unhashable predicates) have no
+        recoverable signature and are dropped conservatively.
+        """
+        delta = summarize_delta(self._pending_ops, self.graph)
+        self.stats.selective_refreshes += 1
+        memo: dict[Any, PatternLabelSignature | None] = {}
+
+        def sig_of(psk: Any) -> PatternLabelSignature | None:
+            if psk in memo:
+                return memo[psk]
+            sig: PatternLabelSignature | None = None
+            if (
+                isinstance(psk, tuple)
+                and len(psk) == 3
+                and psk[0] != "@id"
+            ):
+                labels, edges, predicates = psk
+                sig = PatternLabelSignature.from_structure(
+                    labels, edges, predicates
+                )
+            memo[psk] = sig
+            return sig
+
+        node_hit = delta.node_labels
+
+        def bucket_doomed(key: tuple) -> bool:
+            label = key[0]
+            if label == WILDCARD_LABEL:
+                return bool(node_hit)
+            return label in node_hit
+
+        def candidates_doomed(key: tuple) -> bool:
+            sig = sig_of(key[1])
+            return sig is None or sig.affects_candidates(delta)
+
+        def relation_doomed(key: tuple) -> bool:
+            sig = sig_of(key[1])
+            return sig is None or sig.affects_relation(delta)
+
+        def result_doomed(key: tuple) -> bool:
+            if not key:
+                return True
+            sig = sig_of(key[0])
+            return sig is None or sig.affects_relation(delta)
+
+        self._drop_where(self._buckets, bucket_doomed)
+        self._drop_where(self._candidates, candidates_doomed)
+        self._drop_where(self._sim, relation_doomed)
+        self._drop_where(self._bounds, relation_doomed)
+        self._drop_where(self._pair_csr, relation_doomed)
+        self._drop_where(self._contexts, relation_doomed)
+        self._drop_where(self._results, result_doomed)
+        # Safety valve: surviving snapshot-path buckets are token-keyed,
+        # so a compaction (every token moves) can strand entries that no
+        # current snapshot will ever address again.  Bound the store
+        # instead of chasing tokens.
+        if len(self._buckets) > 4 * max(1, len(self.graph.labels)) + 16:
+            self.stats.artifacts_dropped += len(self._buckets)
+            self._buckets.clear()
+
+    def _drop_where(
+        self,
+        store: dict[tuple, Any],
+        doomed: Callable[[tuple], bool],
+    ) -> None:
+        stale_keys = [key for key in store if doomed(key)]
+        for key in stale_keys:
+            del store[key]
+        self.stats.artifacts_dropped += len(stale_keys)
+        self.stats.artifacts_survived += len(store)
 
     def close(self) -> None:
         """Detach from the graph's change events and drop all state."""
@@ -172,6 +344,10 @@ class SessionCache:
             return
         self._closed = True
         self._unsubscribe()
+        # Unconditionally wholesale: a selective refresh would retain
+        # artifacts on a cache that is going away.
+        self._pending_ops.clear()
+        self._pending_overflow = False
         self.refresh()
 
     # ------------------------------------------------------------------
@@ -188,12 +364,34 @@ class SessionCache:
             ).inc(1, artifact=artifact, outcome=outcome)
 
     def _base_source(self, use_csr: bool) -> Callable[[str], list[int]]:
-        """A label → pre-predicate base list lookup over the bucket cache."""
+        """A label → pre-predicate base list lookup over the bucket cache.
+
+        Snapshot-path buckets are keyed by the snapshot's *bucket
+        token* for that label, not by the snapshot's mere presence: a
+        patched snapshot inherits the base's token for every label its
+        delta did not touch (so those buckets keep hitting across a
+        patch) and mints a fresh token for the touched ones (so a
+        patched snapshot can never serve a stale pre-patch bucket).
+        The wildcard bucket is the live set and keys on the live-set
+        token; an absent label keys on ``0`` (no token is ever 0) and
+        re-keys itself the moment the label is interned.  The dict path
+        keys on ``None``, disjoint from every token.
+        """
         graph = self.graph
         snapshot = graph.snapshot() if use_csr and csr.available() else None
 
         def base(label: str) -> list[int]:
-            key = (label, snapshot is not None)
+            if snapshot is None:
+                key = (label, None)
+            elif label == WILDCARD_LABEL:
+                key = (label, snapshot.live_token())
+            else:
+                label_id = graph.labels.get(label)
+                key = (
+                    (label, 0)
+                    if label_id is None
+                    else (label, snapshot.bucket_token(label_id))
+                )
             cached = self._buckets.get(key)
             if cached is not None:
                 self.stats.bucket_hits += 1

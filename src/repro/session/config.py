@@ -92,6 +92,21 @@ class ExecutionConfig:
         Pool backing the kernel shards: ``"thread"`` (default; the
         scans are numpy passes that release the GIL) or ``"process"``
         (spawned workers holding a pickled snapshot).
+    snapshot_patching:
+        Delta-aware serving under write streams.  When on, the session
+        attaches a :class:`repro.graph.csr.SnapshotPatcher` to its
+        graph — small deltas *patch* the cached CSR snapshot (overlay
+        segments + tombstones) instead of recompiling it — and
+        :meth:`SessionCache.refresh` after a mutation drops only the
+        artifacts whose label signature intersects the accumulated
+        delta (label-selective invalidation) instead of everything.
+        Default off: the wholesale drop + full rebuild stays the
+        oracle, answers are identical either way.
+    compact_ratio:
+        Overlay-size budget for snapshot patching, as a fraction of the
+        flat base's size (``|V| + |E|``).  Once the accumulated op log
+        exceeds it, the next snapshot request compacts back to a flat
+        rebuild.  Only meaningful with ``snapshot_patching``.
     """
 
     optimized: bool = True
@@ -108,6 +123,8 @@ class ExecutionConfig:
     workers: int = 0
     sim_shards: int = 0
     shard_backend: str = "thread"
+    snapshot_patching: bool = False
+    compact_ratio: float = 0.25
 
     def __post_init__(self) -> None:
         from repro.parallel import SHARD_BACKENDS
@@ -137,6 +154,10 @@ class ExecutionConfig:
             raise MatchingError(
                 f"unknown shard backend {self.shard_backend!r}; "
                 f"expected one of {SHARD_BACKENDS}"
+            )
+        if not (0.0 <= self.compact_ratio <= 1.0):
+            raise MatchingError(
+                f"compact_ratio must be within [0, 1]; got {self.compact_ratio}"
             )
 
     def resolved(self) -> "ExecutionConfig":

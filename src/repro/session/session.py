@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.errors import MatchingError, StaleSessionError
+from repro.graph import csr
 from repro.graph.digraph import Graph
 from repro.obs import instrumentation, trace
 from repro.patterns.pattern import Pattern
@@ -47,6 +48,7 @@ from repro.session.cache import SessionCache, pattern_structure_key
 from repro.session.config import ExecutionConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a topk import cycle)
+    from repro.graph.delta import DeltaOp
     from repro.incremental.view import MatchView
     from repro.session.parallel import WorkerPool
     from repro.topk.result import TopKResult
@@ -183,6 +185,21 @@ class MatchSession:
         self._closed = False
         self._pool: "WorkerPool | None" = None
         self._pool_key: tuple[int, int] | None = None
+        #: Pool-lifetime delta log: the ops every selective refresh
+        #: observed since the current pool pickled its graph copy.
+        self._pool_ops: "list[DeltaOp]" = []
+        resolved = self.config.resolved()
+        if resolved.snapshot_patching:
+            # Delta-aware serving: small deltas patch the cached CSR
+            # snapshot instead of recompiling it, and the cache drops
+            # only delta-affected artifacts on refresh.  Label-selective
+            # invalidation is representation-independent, so it stays on
+            # even when the array backend (and thus patching) is absent.
+            if csr.available():
+                csr.attach_snapshot_patching(
+                    graph, compact_ratio=resolved.compact_ratio
+                )
+            self.cache.selective = True
 
     # ------------------------------------------------------------------
     # lifecycle / freshness
@@ -202,12 +219,65 @@ class MatchSession:
 
         Cached artifacts are dropped only if they actually predate the
         last mutation — a view rebuild may have refreshed them already,
-        and re-dropping would waste its work.
+        and re-dropping would waste its work.  Under
+        ``ExecutionConfig(snapshot_patching=True)`` the cache routes
+        the drop selectively, and a live worker pool survives the
+        refresh when the delta can be shipped to it (see
+        :meth:`_note_refresh`).
         """
         if self.cache.stale:
-            self.cache.refresh()
+            pending = self.cache.pending_ops
+            generation_before = self.cache.generation
+            mode = self.cache.refresh()
+            self._note_refresh(mode, pending, generation_before)
         self._acked_mutations = self.cache.mutation_count
         self.stats.refreshes += 1
+
+    def _note_refresh(
+        self,
+        mode: str,
+        pending: "list[DeltaOp]",
+        generation_before: int,
+    ) -> None:
+        """Decide whether the worker pool survives this refresh.
+
+        The pool is keyed ``(workers, generation)``; left alone, the
+        generation bump forces a full rebuild (fresh graph pickle) at
+        the next pooled batch.  After a *selective* refresh the pool
+        can instead be kept: the observed ops extend the pool-lifetime
+        delta log (shipped with every dispatch; workers replay the
+        unseen suffix) and the key is re-pinned to the new generation.
+        Survival requires the pool to have been current up to this very
+        refresh — if an implicit cache refresh (a view rebuild) already
+        moved the generation past the pool's key, the ops it consumed
+        were never captured here, so the pool must rebuild.  Wholesale
+        refreshes, unpicklable ops and a log past
+        :data:`~repro.session.parallel.POOL_OPS_CAP` also fall back to
+        the rebuild path.
+        """
+        if self._pool is None or self._pool_key is None:
+            return
+        from repro.session.parallel import POOL_OPS_CAP
+
+        workers, pool_generation = self._pool_key
+        if (
+            mode == "selective"
+            and pool_generation == generation_before
+            and len(self._pool_ops) + len(pending) <= POOL_OPS_CAP
+            and self._ops_shippable(pending)
+        ):
+            self._pool_ops.extend(pending)
+            self._pool_key = (workers, self.cache.generation)
+
+    @staticmethod
+    def _ops_shippable(pending: "list[DeltaOp]") -> bool:
+        import pickle
+
+        try:
+            pickle.dumps(tuple(pending), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        return True
 
     def close(self) -> None:
         """Release the graph-event subscription, caches and any pool."""
@@ -325,7 +395,10 @@ class MatchSession:
         The pool pins a pickled copy of the graph at its generation; a
         refresh (the only way a mutated graph reaches ``run_batch``)
         bumps the generation and forces a rebuild, so workers never
-        serve a stale copy.
+        serve a stale copy.  The one exception is a *selective* refresh
+        whose delta was captured into the pool's log —
+        :meth:`_note_refresh` re-pins the key, and the workers catch up
+        by replaying the shipped ops instead of re-pickling the graph.
         """
         from repro.session.parallel import WorkerPool
 
@@ -336,6 +409,9 @@ class MatchSession:
                 self.graph, cfg, cfg.workers, reuse_results=self.reuse_results
             )
             self._pool_key = key
+            # A fresh pool pickled the current graph: its delta log
+            # restarts empty.
+            self._pool_ops = []
         return self._pool
 
     def _run_batch_pooled(
@@ -380,7 +456,7 @@ class MatchSession:
 
         pool = self._worker_pool(cfg)
         with trace("session.pool_dispatch", queries=len(tasks)):
-            results, worker_stats = pool.run(tasks)
+            results, worker_stats = pool.run(tasks, self._pool_ops)
 
         handle_of = {index: handle for _, index, handle in ranked}
         for index, result in results:

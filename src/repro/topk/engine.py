@@ -172,7 +172,9 @@ class TopKEngine:
         # snapshot; ``use_csr=False`` (or resolved off) forces the dict
         # reference path.
         if cfg.use_csr:
-            if csr.CSR_SNAPSHOT_KEY in graph.derived:
+            # Either form counts as a hit: a patched overlay serves the
+            # same arrays a flat snapshot would.
+            if csr.has_cached_snapshot(graph):
                 self.stats.snapshot_hits += 1
             else:
                 self.stats.snapshot_builds += 1

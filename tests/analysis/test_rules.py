@@ -147,6 +147,61 @@ class TestR1DerivedWriters:
         assert len(report.new) == 1
         assert "derived-key-unregistered:oops:x" in report.new[0].detail
 
+    def test_overlay_key_without_registered_prefix_flagged(self, tmp_path):
+        # A snapshot-patcher caching an overlay under an unregistered
+        # prefix would be invisible to wholesale invalidation sweeps.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/index/invalidation.py": INVALIDATION_FIXTURE,
+                "src/repro/graph/patcher.py": """
+                    def cache_overlay(graph, snap):
+                        graph.derived["csr-overlay:graph"] = snap
+                """,
+            },
+            "R1",
+        )
+        assert len(report.new) == 1
+        assert (
+            "derived-key-unregistered:csr-overlay:graph"
+            in report.new[0].detail
+        )
+
+    def test_overlay_key_clean_once_prefix_registered(self, tmp_path):
+        # Clean twin: the registry carries the overlay prefix and the
+        # writer folds it through an imported constant, like csr.py.
+        registry = """
+            DESC_PREFIX = "descendant-index:"
+            CSR_PREFIX = "csr-snapshot:"
+            OVERLAY_PREFIX = "csr-overlay:"
+
+            STRUCTURAL_KEY_PREFIXES = (DESC_PREFIX, CSR_PREFIX, OVERLAY_PREFIX)
+        """
+        report = check(
+            tmp_path,
+            {
+                "src/repro/index/invalidation.py": registry,
+                "src/repro/graph/patcher.py": """
+                    from repro.index.invalidation import OVERLAY_PREFIX
+
+                    OVERLAY_KEY = OVERLAY_PREFIX + "graph"
+
+                    def cache_overlay(graph, snap):
+                        graph.derived[OVERLAY_KEY] = snap
+                """,
+            },
+            "R1",
+        )
+        assert report.new == []
+
+    def test_real_registry_covers_overlay_prefix(self):
+        # The shipped registry must keep the overlay prefix registered —
+        # dropping it would orphan every cached patched snapshot.
+        from repro.graph.csr import CSR_OVERLAY_KEY_PREFIX
+        from repro.index.invalidation import STRUCTURAL_KEY_PREFIXES
+
+        assert CSR_OVERLAY_KEY_PREFIX in STRUCTURAL_KEY_PREFIXES
+
 
 # ----------------------------------------------------------------------
 # R2 — legacy toggle kwargs must funnel through ExecutionConfig.adapt

@@ -65,6 +65,57 @@ def test_csr_snapshot_roundtrip_preserves_arrays_and_drops_caches():
     )
 
 
+@pytest.mark.skipif(not csr.available(), reason="requires numpy")
+def test_patched_snapshot_roundtrip_preserves_overlay_reads():
+    """An overlay-form snapshot pickles like a flat one: every read the
+    copy serves matches the patched original, and process-local caches
+    (shard cache, list mirrors, token) are rebuilt fresh."""
+    import numpy as np
+
+    graph = make_random_graph(11, num_nodes=15, num_edges=30)
+    base = csr.CSRSnapshot.build(graph)
+    ops = []
+    unsubscribe = graph.add_listener(ops.append)
+    edges = list(graph.edges())
+    graph.remove_edge(*edges[0])
+    graph.add_edge(*edges[0])  # re-add: segment ordering must survive
+    graph.add_node("A")
+    graph.remove_node(edges[1][0])
+    unsubscribe()
+    patched = csr.PatchedCSRSnapshot.patch(base, ops, graph)
+    patched.out_csr_lists()
+    patched.shard_bounds(3)
+    copy = roundtrip(patched)
+    assert isinstance(copy, csr.PatchedCSRSnapshot)
+    assert copy.num_nodes == patched.num_nodes
+    assert copy.num_edges == patched.num_edges
+    assert copy.num_live == patched.num_live
+    np.testing.assert_array_equal(copy.live_mask, patched.live_mask)
+    assert copy._shard_cache == {} and copy._out_lists is None
+    for node in range(patched.num_nodes):
+        np.testing.assert_array_equal(
+            copy.successors(node), patched.successors(node)
+        )
+        np.testing.assert_array_equal(
+            copy.predecessors(node), patched.predecessors(node)
+        )
+    for label_id in range(patched.num_labels):
+        np.testing.assert_array_equal(
+            copy.nodes_with_label_id(label_id),
+            patched.nodes_with_label_id(label_id),
+        )
+    membership = np.zeros(patched.num_nodes, dtype=np.uint8)
+    membership[::2] = 1
+    np.testing.assert_array_equal(
+        copy.out_counts(membership), patched.out_counts(membership)
+    )
+    np.testing.assert_array_equal(
+        copy.in_counts(membership), patched.in_counts(membership)
+    )
+    # Tokens are transient per-process wiring: minted fresh on load.
+    assert copy.token != patched.token
+
+
 def test_execution_config_roundtrip():
     cfg = ExecutionConfig(
         use_csr=True, scc_incremental=False, bound_strategy="hop",
