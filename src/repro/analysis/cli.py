@@ -3,21 +3,32 @@
 Exit codes: 0 clean (modulo baseline and suppressions), 1 when any new
 finding (or an unjustified/stale baseline entry) exists, 2 on usage
 errors.
+
+Incremental use: findings are cached per file under
+``.repro-analysis-cache/`` (disable with ``--no-cache``), ``--changed``
+restricts checking to git-modified files, and ``--jobs N`` fans the
+uncached files out over worker processes.  ``--format sarif`` with
+``--output`` emits a SARIF 2.1.0 log for code-scanning upload.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.core import load_project, run_analysis
+from repro.analysis.core import Project, load_project, run_analysis
+from repro.analysis.incremental import CACHE_DIR_NAME, open_cache
 from repro.analysis.report import (
     render_explain,
     render_json,
     render_rule_list,
+    render_sarif,
     render_text,
 )
 from repro.analysis.rules import ALL_RULES
@@ -41,9 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout",
     )
     parser.add_argument(
         "--baseline",
@@ -69,6 +86,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="only check files git reports as modified or untracked "
+        "(pre-commit mode; stale-baseline detection is skipped)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="check files over N worker processes (0 = cpu count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the per-file findings cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=f"findings-cache directory (default: <root>/{CACHE_DIR_NAME})",
+    )
+    parser.add_argument(
         "--explain",
         metavar="RULE",
         default=None,
@@ -84,6 +125,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="also show baselined and suppressed findings in text output",
     )
     return parser
+
+
+def _analysis_root(paths: list[Path]) -> Path:
+    """The root repo-relative paths are anchored at.
+
+    The real repo root when every target lives under it (the normal
+    case).  A single directory target elsewhere — a throwaway tree in
+    tests — anchors at itself, so path-suffix rule scoping, the cache
+    and ``--changed`` all work against it.  Stray file targets keep the
+    repo root (their rel paths fall back to absolute, which still
+    suffix-matches the rules' scoping patterns).
+    """
+    if len(paths) == 1 and paths[0].is_dir() and not paths[0].is_relative_to(REPO_ROOT):
+        return paths[0]
+    return REPO_ROOT
+
+
+def _changed_scope(root: Path, project: Project) -> set[str] | None:
+    """Repo-relative paths of git-modified/untracked project files.
+
+    Returns ``None`` when ``root`` is not inside a git work tree (the
+    caller turns that into a usage error).
+    """
+    try:
+        toplevel_proc = subprocess.run(
+            ["git", "-C", str(root), "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError:
+        return None
+    if toplevel_proc.returncode != 0:
+        return None
+    toplevel = Path(toplevel_proc.stdout.strip())
+    status_proc = subprocess.run(
+        ["git", "-C", str(root), "status", "--porcelain"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if status_proc.returncode != 0:
+        return None
+    scope: set[str] = set()
+    known = {module.rel_path for module in project.modules}
+    for line in status_proc.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        entry = line[3:]
+        # Renames report ``old -> new``; the new path is the live one.
+        if " -> " in entry:
+            entry = entry.split(" -> ", 1)[1]
+        entry = entry.strip().strip('"')
+        if not entry.endswith(".py"):
+            continue
+        try:
+            rel = (toplevel / entry).resolve().relative_to(root).as_posix()
+        except ValueError:
+            continue
+        if rel in known:
+            scope.add(rel)
+    return scope
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -124,8 +227,37 @@ def main(argv: Sequence[str] | None = None) -> int:
         Baseline() if args.no_baseline else Baseline.load_or_empty(baseline_path)
     )
 
-    project = load_project(paths, root=REPO_ROOT)
-    report = run_analysis(project, rules, baseline)
+    started = time.perf_counter()
+    root = _analysis_root(paths)
+    project = load_project(paths, root=root, tests_root=root / "tests")
+
+    scope: set[str] | None = None
+    if args.changed:
+        scope = _changed_scope(root, project)
+        if scope is None:
+            print(
+                f"--changed requires a git work tree at {root}",
+                file=sys.stderr,
+            )
+            return 2
+
+    cache = None
+    # The cache defaults on only when every target anchors under the
+    # analysis root — stray-file runs (fixtures, ad-hoc checks) must
+    # not clobber the root's cache with their own environment.
+    anchored = all(path.is_relative_to(root) for path in paths)
+    if not args.no_cache and (anchored or args.cache_dir is not None):
+        cache_dir = args.cache_dir or root / CACHE_DIR_NAME
+        cache = open_cache(project, rules, cache_dir)
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    report = run_analysis(
+        project, rules, baseline, jobs=jobs, cache=cache, scope=scope
+    )
+    if cache is not None:
+        cache.prune(keep={module.rel_path for module in project.modules})
+        cache.save()
+    elapsed = time.perf_counter() - started
 
     if args.write_baseline:
         target = baseline_path if baseline_path is not None else DEFAULT_BASELINE
@@ -139,9 +271,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.format == "json":
-        print(render_json(report))
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report)
     else:
-        print(render_text(report, verbose=args.verbose))
+        rendered = render_text(report, verbose=args.verbose)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(rendered + "\n", encoding="utf-8")
+    else:
+        print(rendered)
+    print(
+        f"checked {report.files_checked} file(s) "
+        f"({report.cache_hits} from cache) in {elapsed:.2f}s"
+        + (" [changed-only]" if report.scoped else ""),
+        file=sys.stderr,
+    )
 
     unjustified = baseline.unjustified()
     if unjustified:

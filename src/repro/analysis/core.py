@@ -20,13 +20,17 @@ request) but never fail a run.
 from __future__ import annotations
 
 import ast
+import hashlib
+import multiprocessing
 import re
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.baseline import Baseline
+    from repro.analysis.incremental import FindingsCache
 
 #: Trailing-comment suppression syntax.  ``# repro: noqa`` (all rules)
 #: or ``# repro: noqa[R1,R3]`` (listed rules only).
@@ -79,15 +83,36 @@ class SourceModule:
         self.rel_path = rel_path
         self.text = text
         self.lines = text.splitlines()
+        #: Content hash the findings cache keys on (see
+        #: :mod:`repro.analysis.incremental`).
+        self.content_hash = hashlib.sha256(text.encode("utf-8")).hexdigest()
         self.tree = ast.parse(text, filename=str(path))
-        self.parents: dict[ast.AST, ast.AST] = {}
-        for parent in ast.walk(self.tree):
-            for child in ast.iter_child_nodes(parent):
-                self.parents[child] = parent
-        self.noqa = self._parse_noqa()
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self._noqa: dict[int, frozenset[str] | None] | None = None
         self.constants = _fold_module_constants(self.tree)
         self.constant_exprs = _module_assignments(self.tree)
         self.imports = _collect_imports(self.tree)
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent links, built lazily.
+
+        Only modules that actually run rules pay for the full-tree
+        walk — a file served from the findings cache never builds it.
+        """
+        if self._parents is None:
+            table: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    table[child] = parent
+            self._parents = table
+        return self._parents
+
+    @property
+    def noqa(self) -> dict[int, frozenset[str] | None]:
+        if self._noqa is None:
+            self._noqa = self._parse_noqa()
+        return self._noqa
 
     def _parse_noqa(self) -> dict[int, frozenset[str] | None]:
         """Line number -> suppressed rule ids (``None`` = all rules)."""
@@ -263,10 +288,20 @@ def dotted_name(node: ast.expr) -> str | None:
 
 
 class Project:
-    """Every module under analysis plus shared cross-module facts."""
+    """Every module under analysis plus shared cross-module facts.
 
-    def __init__(self, modules: list[SourceModule]) -> None:
+    ``test_corpus`` maps repo-relative test-file paths to their raw
+    text; rules that cross-check source against the test tree (R10
+    toggle-oracle parity) search it without parsing.
+    """
+
+    def __init__(
+        self,
+        modules: list[SourceModule],
+        test_corpus: dict[str, str] | None = None,
+    ) -> None:
         self.modules = modules
+        self.test_corpus: dict[str, str] = dict(test_corpus or {})
         self.by_rel_path = {module.rel_path: module for module in modules}
         self._module_constants: dict[str, dict[str, str]] = {}
         for module in modules:
@@ -384,6 +419,11 @@ class AnalysisReport:
     files_checked: int = 0
     rules_run: tuple[str, ...] = ()
     stale_baseline: list[str] = field(default_factory=list)
+    #: Files served from the per-file findings cache this run.
+    cache_hits: int = 0
+    #: True when the run was scoped (``--changed``) — stale-baseline
+    #: detection is skipped because unscoped findings were not seen.
+    scoped: bool = False
 
     @property
     def ok(self) -> bool:
@@ -401,12 +441,18 @@ def iter_source_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield path
 
 
-def load_project(paths: Iterable[Path], root: Path | None = None) -> Project:
+def load_project(
+    paths: Iterable[Path],
+    root: Path | None = None,
+    tests_root: Path | None = None,
+) -> Project:
     """Parse every ``.py`` under ``paths`` into a :class:`Project`.
 
     ``root`` anchors the repo-relative paths findings and baselines
     use; it defaults to the common parent so fingerprints are stable
-    regardless of the invocation directory.
+    regardless of the invocation directory.  ``tests_root`` (when it
+    exists) is read — not parsed — into the project's test corpus for
+    the source-vs-tests cross-checks.
     """
     resolved = [Path(p).resolve() for p in paths]
     if root is None:
@@ -419,7 +465,15 @@ def load_project(paths: Iterable[Path], root: Path | None = None) -> Project:
             rel = file_path.as_posix()
         text = file_path.read_text(encoding="utf-8")
         modules.append(SourceModule(file_path, rel, text))
-    return Project(modules)
+    test_corpus: dict[str, str] = {}
+    if tests_root is not None and tests_root.is_dir():
+        for file_path in sorted(tests_root.rglob("*.py")):
+            try:
+                rel = file_path.relative_to(root).as_posix()
+            except ValueError:
+                rel = file_path.as_posix()
+            test_corpus[rel] = file_path.read_text(encoding="utf-8")
+    return Project(modules, test_corpus)
 
 
 def _common_root(paths: list[Path]) -> Path:
@@ -433,29 +487,125 @@ def _common_root(paths: list[Path]) -> Path:
     return root
 
 
+def check_module(
+    module: SourceModule, rules: Iterable[Rule], project: Project
+) -> list[Finding]:
+    """Every finding ``rules`` produce for one module, sorted stably."""
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(module, project))
+    findings.sort(key=lambda f: (f.line, f.rule, f.detail))
+    return findings
+
+
+#: Fork-inherited worker state for ``--jobs``: set in the parent
+#: immediately before the pool forks, so child processes see the fully
+#: built project without pickling it.
+_FORK_STATE: tuple[Project, list[Rule]] | None = None
+
+
+def _forked_check(rel_path: str) -> tuple[str, list[Finding]]:
+    state = _FORK_STATE
+    if state is None:  # pragma: no cover - only on a misconfigured pool
+        raise RuntimeError("analysis worker forked without project state")
+    project, rules = state
+    module = project.by_rel_path[rel_path]
+    return rel_path, check_module(module, rules, project)
+
+
+def _check_modules(
+    pending: list[SourceModule],
+    rules: list[Rule],
+    project: Project,
+    jobs: int,
+) -> dict[str, list[Finding]]:
+    """Check ``pending`` serially, or over a forked process pool.
+
+    The fork start method is required (the project holds ASTs nobody
+    wants to pickle); where it is unavailable the run quietly degrades
+    to serial, which is always correct.
+    """
+    if jobs > 1 and len(pending) > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = None
+        if context is not None:
+            global _FORK_STATE
+            _FORK_STATE = (project, rules)
+            try:
+                workers = min(jobs, len(pending))
+                chunk = max(1, len(pending) // (workers * 4))
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context
+                ) as pool:
+                    return dict(
+                        pool.map(
+                            _forked_check,
+                            [module.rel_path for module in pending],
+                            chunksize=chunk,
+                        )
+                    )
+            finally:
+                _FORK_STATE = None
+    return {
+        module.rel_path: check_module(module, rules, project)
+        for module in pending
+    }
+
+
 def run_analysis(
     project: Project,
     rules: Iterable[Rule],
     baseline: "Baseline | None" = None,
+    *,
+    jobs: int = 1,
+    cache: "FindingsCache | None" = None,
+    scope: set[str] | None = None,
 ) -> AnalysisReport:
-    """Run ``rules`` over ``project`` and partition the findings."""
+    """Run ``rules`` over ``project`` and partition the findings.
+
+    ``cache`` serves findings for files whose content (and the shared
+    environment fingerprint) is unchanged; ``scope`` restricts checking
+    to the named repo-relative paths (``--changed``) — stale-baseline
+    detection is skipped for scoped runs, which by design do not see
+    every finding.  ``jobs > 1`` fans uncached files out over forked
+    worker processes.
+    """
     rules = list(rules)
+    modules = project.modules
+    if scope is not None:
+        modules = [m for m in modules if m.rel_path in scope]
     report = AnalysisReport(
-        files_checked=len(project.modules),
+        files_checked=len(modules),
         rules_run=tuple(rule.id for rule in rules),
+        scoped=scope is not None,
     )
+    per_module: dict[str, list[Finding]] = {}
+    pending: list[SourceModule] = []
+    for module in modules:
+        hit = cache.lookup(module) if cache is not None else None
+        if hit is not None:
+            per_module[module.rel_path] = hit
+            report.cache_hits += 1
+        else:
+            pending.append(module)
+    if pending:
+        per_module.update(_check_modules(pending, rules, project, jobs))
+        if cache is not None:
+            for module in pending:
+                cache.store(module, per_module[module.rel_path])
     seen_fingerprints: set[str] = set()
-    for module in project.modules:
-        for rule in rules:
-            for finding in rule.check(module, project):
-                seen_fingerprints.add(finding.fingerprint())
-                if finding.suppressed:
-                    report.suppressed.append(finding)
-                elif baseline is not None and baseline.contains(finding):
-                    report.baselined.append(finding)
-                else:
-                    report.new.append(finding)
-    if baseline is not None:
+    for module in modules:
+        for finding in per_module.get(module.rel_path, []):
+            seen_fingerprints.add(finding.fingerprint())
+            if finding.suppressed:
+                report.suppressed.append(finding)
+            elif baseline is not None and baseline.contains(finding):
+                report.baselined.append(finding)
+            else:
+                report.new.append(finding)
+    if baseline is not None and scope is None:
         report.stale_baseline = sorted(
             fp for fp in baseline.fingerprints if fp not in seen_fingerprints
         )

@@ -68,6 +68,97 @@ def render_json(report: AnalysisReport) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+#: SARIF 2.1.0 pinned constants (the format GitHub code scanning
+#: ingests via ``codeql-action/upload-sarif``).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _sarif_result(finding: Finding, suppressed: bool) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {"startLine": max(1, finding.line)},
+                },
+                "logicalLocations": [
+                    {"fullyQualifiedName": finding.symbol}
+                ],
+            }
+        ],
+        # Line-number-free fingerprint so code scanning tracks the
+        # finding across unrelated edits, same as the baseline does.
+        "partialFingerprints": {
+            "reproAnalysis/v1": finding.fingerprint(),
+        },
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def render_sarif(report: AnalysisReport) -> str:
+    """The run as a SARIF 2.1.0 log (one run, one result per finding).
+
+    New findings are plain error-level results; baselined and
+    noqa-suppressed findings are emitted with ``suppressions`` entries
+    (``external`` and ``inSource`` respectively) so dashboards show
+    them as acknowledged rather than actionable.
+    """
+    rules_meta = []
+    for rule in ALL_RULES:
+        if rule.id not in report.rules_run:
+            continue
+        rules_meta.append(
+            {
+                "id": rule.id,
+                "name": rule.title.title().replace(" ", "").replace("-", ""),
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+                "helpUri": "https://github.com/",
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results = [_sarif_result(finding, suppressed=False) for finding in report.new]
+    for finding in report.baselined:
+        result = _sarif_result(finding, suppressed=False)
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "grandfathered in analysis-baseline.json",
+            }
+        ]
+        results.append(result)
+    results.extend(
+        _sarif_result(finding, suppressed=True) for finding in report.suppressed
+    )
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "https://github.com/",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
 def render_explain(rule_id: str) -> str | None:
     """The ``--explain RULE`` text: invariant, rationale, provenance."""
     rule = get_rule(rule_id)

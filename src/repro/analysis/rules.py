@@ -1,4 +1,4 @@
-"""The project-invariant rules (R1–R6).
+"""The project-invariant rules (R1–R10).
 
 Each rule encodes one architectural invariant of the optimized/oracle
 design.  They are deliberately *project-specific*: generic linters
@@ -12,6 +12,7 @@ incident or roadmap item that motivated it.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterable, Iterator
 
 from repro.analysis.core import Finding, Project, Rule, SourceModule, dotted_name
@@ -76,7 +77,49 @@ TYPED_CORE = (
     "repro/api.py",
     "repro/analysis/",
     "repro/parallel/",
+    "repro/incremental/affected.py",
 )
+
+#: Packages whose registries/pools are mutated from threaded paths
+#: (R8 scope): the metrics registry, the shard-runner cache and the
+#: session's worker-pool lifecycle all run under concurrent callers.
+CONCURRENCY_PACKAGES = (
+    "repro/obs/",
+    "repro/parallel/",
+    "repro/session/",
+)
+
+#: Container methods that mutate their receiver in place (R8).
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "clear",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+    }
+)
+
+#: Modules whose cache keys must fold in snapshot tokens (R9 scope).
+TOKEN_KEY_MODULES = ("session/cache.py", "graph/csr.py")
+#: Registered token sources: a key tuple that incorporates a snapshot
+#: must also call one of these on it (or read a token/generation).
+TOKEN_SOURCE_CALLS = frozenset({"bucket_token", "live_token"})
+TOKEN_SOURCE_ATTRS = frozenset({"token", "generation"})
+
+#: Non-bool ExecutionConfig fields that still select an optimized arm
+#: (R10): fan-out counts where 0/1 means "serial path".
+TOGGLE_ARM_EXTRAS = ("sim_shards", "workers")
+#: Config fields that are *observability* switches rather than
+#: optimized-arm selectors never need an equivalence oracle — but the
+#: live ones all have one anyway, so nothing is exempt today.
+TOGGLE_EXEMPT: frozenset[str] = frozenset()
 
 
 def _in_packages(module: SourceModule, packages: Iterable[str]) -> bool:
@@ -705,6 +748,11 @@ def _annotation_class(node: ast.expr) -> str | None:
 
 
 def _frozen_dataclasses(project: Project) -> set[str]:
+    # Memoized on the project: this is a full-tree walk over every
+    # module, and R5 consults it once per module checked.
+    cached = getattr(project, "_r5_frozen_classes", None)
+    if cached is not None:
+        return cached  # type: ignore[no-any-return]
     found: set[str] = set()
     for module in project.modules:
         for node in ast.walk(module.tree):
@@ -723,6 +771,7 @@ def _frozen_dataclasses(project: Project) -> set[str]:
                         and keyword.value.value is True
                     ):
                         found.add(node.name)
+    project._r5_frozen_classes = found  # type: ignore[attr-defined]
     return found
 
 
@@ -771,6 +820,819 @@ class TypedCore(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# R7 — pickle/spawn safety
+# ----------------------------------------------------------------------
+
+#: Attribute/slot names that must never cross a process boundary: they
+#: hold process-local machinery (locks, weakrefs, listener lists,
+#: derived caches, executors) that either fails to pickle or silently
+#: detaches from its process of origin.
+PICKLE_RISKY_EXACT = frozenset({"__weakref__", "derived", "extensions"})
+PICKLE_RISKY_SUFFIXES = (
+    "_cache",
+    "_listeners",
+    "_invalidators",
+    "_finalizers",
+    "_executor",
+    "_pool",
+    "_pools",
+)
+#: ``threading`` constructors whose instances are unpicklable.
+UNPICKLABLE_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore"}
+)
+
+
+def _pickle_risky(name: str) -> bool:
+    lowered = name.lower()
+    return (
+        name in PICKLE_RISKY_EXACT
+        or "lock" in lowered
+        or lowered.endswith(PICKLE_RISKY_SUFFIXES)
+    )
+
+
+class _ClassInfo:
+    """One class's pickle-relevant shape (R7's cross-module unit)."""
+
+    def __init__(self, module: SourceModule, node: ast.ClassDef) -> None:
+        self.module = module
+        self.node = node
+        self.base_names = [
+            name
+            for name in (dotted_name(base) for base in node.bases)
+            if name is not None
+        ]
+        self.slots: tuple[str, ...] | None = None
+        self.transient_expr: ast.expr | None = None
+        self.has_own_getstate = False
+        self.getstate_def: ast.FunctionDef | ast.AsyncFunctionDef | None = None
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "__slots__":
+                    self.slots = _str_tuple_literal(stmt.value)
+                elif target.id == "_TRANSIENT_SLOTS":
+                    self.transient_expr = stmt.value
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name == "__getstate__":
+                    self.has_own_getstate = True
+                    self.getstate_def = stmt
+
+
+def _str_tuple_literal(node: ast.expr) -> tuple[str, ...] | None:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    names: list[str] = []
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            names.append(element.value)
+        else:
+            return None
+    return tuple(names)
+
+
+class PickleSpawnSafety(Rule):
+    """R7 — state shipped across the process boundary pickles cleanly."""
+
+    id = "R7"
+    title = "pickle/spawn safety"
+    rationale = (
+        "The spawn-based serving tier ships graphs and CSR snapshots to "
+        "worker processes by value (WorkerPool init payloads, the shard "
+        "runner's process backend).  A __getstate__-bearing class must "
+        "list every process-local slot — locks, weakrefs, listener/"
+        "invalidator lists, derived caches, executors — in its "
+        "_TRANSIENT_SLOTS (or pop the attribute in __getstate__): a "
+        "pickled lock raises at dispatch time, and a pickled cache or "
+        "listener list silently detaches from its process of origin.  "
+        "Pool submit sites must pass module-level callables: a lambda "
+        "or nested function fails to pickle under spawn, and so does a "
+        "non-module ProcessPoolExecutor initializer."
+    )
+    reference = (
+        "CHANGES.md PR 8: the spawn-safe worker tier (module-level "
+        "initializers, _TRANSIENT_SLOTS on CSRSnapshot/Graph); PR 9 "
+        "ships PatchedCSRSnapshot through the same boundary and "
+        "inherits the transient list."
+    )
+
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        table = _project_class_table(project)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                info = table.get(node.name)
+                if info is not None and info.node is node:
+                    yield from self._check_class(module, info, table)
+        yield from self._check_pool_payloads(module)
+
+    # -- transient-slot coverage --------------------------------------
+    def _check_class(
+        self,
+        module: SourceModule,
+        info: _ClassInfo,
+        table: dict[str, _ClassInfo],
+    ) -> Iterator[Finding]:
+        if not _has_getstate(info, table):
+            return
+        transient = _resolve_transient(info, table)
+        if info.slots is not None:
+            for slot in info.slots:
+                if _pickle_risky(slot) and (
+                    transient is None or slot not in transient
+                ):
+                    yield self.finding(
+                        module,
+                        info.node,
+                        f"slot `{slot}` of pickled class {info.node.name} "
+                        "holds process-local state but is not listed in "
+                        "_TRANSIENT_SLOTS — it would be shipped across "
+                        "the process boundary",
+                        f"pickled-risky-slot:{info.node.name}.{slot}",
+                    )
+        elif info.has_own_getstate:
+            # Dict-based classes: unpicklable attributes assigned in
+            # __init__ must be dropped by __getstate__ (via the
+            # transient list or an explicit pop/del of the name).
+            for attr, assign in self._unpicklable_attrs(info.node):
+                handled = (
+                    transient is not None and attr in transient
+                ) or self._getstate_mentions(info, attr)
+                if not handled:
+                    yield self.finding(
+                        module,
+                        assign,
+                        f"attribute `{attr}` of pickled class "
+                        f"{info.node.name} holds process-local state but "
+                        "__getstate__ never drops it",
+                        f"pickled-risky-attr:{info.node.name}.{attr}",
+                    )
+
+    def _unpicklable_attrs(
+        self, node: ast.ClassDef
+    ) -> Iterator[tuple[str, ast.AST]]:
+        for stmt in node.body:
+            if not (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__init__"
+            ):
+                continue
+            for sub in ast.walk(stmt):
+                if not (isinstance(sub, ast.Assign) and len(sub.targets) == 1):
+                    continue
+                target = sub.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if _pickle_risky(target.attr):
+                    yield target.attr, sub
+                elif isinstance(sub.value, ast.Call):
+                    callee = dotted_name(sub.value.func)
+                    if (
+                        callee is not None
+                        and callee.rpartition(".")[2] in UNPICKLABLE_FACTORIES
+                    ):
+                        yield target.attr, sub
+
+    def _getstate_mentions(self, info: _ClassInfo, attr: str) -> bool:
+        getstate = info.getstate_def
+        if getstate is None:
+            return False
+        for sub in ast.walk(getstate):
+            if isinstance(sub, ast.Constant) and sub.value == attr:
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr == attr:
+                return True
+        return False
+
+    # -- lambda/local payloads at pool submit sites -------------------
+    def _check_pool_payloads(self, module: SourceModule) -> Iterator[Finding]:
+        for func in _function_defs(module):
+            local_defs = {
+                stmt.name
+                for stmt in ast.walk(func)
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt is not func
+            }
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self._check_submit(module, node, local_defs)
+                yield from self._check_initializer(module, node, local_defs)
+
+    def _check_submit(
+        self, module: SourceModule, node: ast.Call, local_defs: set[str]
+    ) -> Iterator[Finding]:
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"submit", "map"}
+        ):
+            return
+        base = dotted_name(node.func.value) or ""
+        tail = base.rpartition(".")[2].lower()
+        if "pool" not in tail and "executor" not in tail:
+            return
+        payload = node.args[0] if node.args else None
+        if isinstance(payload, ast.Lambda):
+            yield self.finding(
+                module,
+                payload,
+                f"lambda payload at pool {node.func.attr}() site — "
+                "unpicklable under the spawn start method; use a "
+                "module-level function",
+                f"lambda-to-pool:{node.func.attr}",
+            )
+        elif isinstance(payload, ast.Name) and payload.id in local_defs:
+            yield self.finding(
+                module,
+                payload,
+                f"locally defined function `{payload.id}` submitted to a "
+                "pool — unpicklable under the spawn start method; hoist "
+                "it to module level",
+                f"local-def-to-pool:{payload.id}",
+            )
+
+    def _check_initializer(
+        self, module: SourceModule, node: ast.Call, local_defs: set[str]
+    ) -> Iterator[Finding]:
+        callee = dotted_name(node.func)
+        if callee is None or not callee.endswith("ProcessPoolExecutor"):
+            return
+        for keyword in node.keywords:
+            if keyword.arg != "initializer":
+                continue
+            value = keyword.value
+            if isinstance(value, ast.Lambda) or (
+                isinstance(value, ast.Name) and value.id in local_defs
+            ):
+                yield self.finding(
+                    module,
+                    value,
+                    "ProcessPoolExecutor initializer must be a module-"
+                    "level function — spawn workers import it by "
+                    "qualified name",
+                    "nonmodule-initializer",
+                )
+
+
+def _project_class_table(project: Project) -> dict[str, _ClassInfo]:
+    table = getattr(project, "_r7_class_table", None)
+    if table is None:
+        table = {}
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    table[node.name] = _ClassInfo(module, node)
+        project._r7_class_table = table  # type: ignore[attr-defined]
+    return table  # type: ignore[no-any-return]
+
+
+def _has_getstate(
+    info: _ClassInfo,
+    table: dict[str, _ClassInfo],
+    _seen: frozenset[str] = frozenset(),
+) -> bool:
+    if info.has_own_getstate:
+        return True
+    for base in info.base_names:
+        name = base.rpartition(".")[2]
+        parent = table.get(name)
+        if parent is not None and name not in _seen:
+            if _has_getstate(parent, table, _seen | {name}):
+                return True
+    return False
+
+
+def _resolve_transient(
+    info: _ClassInfo,
+    table: dict[str, _ClassInfo],
+    _seen: frozenset[str] = frozenset(),
+) -> frozenset[str] | None:
+    """The class's effective ``_TRANSIENT_SLOTS``, chased through bases.
+
+    Handles literal tuples, ``Base._TRANSIENT_SLOTS`` references and
+    ``Base._TRANSIENT_SLOTS + (...)`` concatenations; returns ``None``
+    when the expression is beyond the analyzer (the class is then given
+    the benefit of the doubt).
+    """
+    if info.transient_expr is not None:
+        return _fold_transient_expr(info.transient_expr, table, _seen)
+    for base in info.base_names:
+        name = base.rpartition(".")[2]
+        parent = table.get(name)
+        if parent is not None and name not in _seen:
+            resolved = _resolve_transient(parent, table, _seen | {name})
+            if resolved is not None:
+                return resolved
+    return frozenset()
+
+
+def _fold_transient_expr(
+    expr: ast.expr,
+    table: dict[str, _ClassInfo],
+    _seen: frozenset[str],
+) -> frozenset[str] | None:
+    literal = _str_tuple_literal(expr)
+    if literal is not None:
+        return frozenset(literal)
+    if isinstance(expr, ast.Attribute) and expr.attr == "_TRANSIENT_SLOTS":
+        base = dotted_name(expr.value)
+        if base is not None:
+            name = base.rpartition(".")[2]
+            parent = table.get(name)
+            if parent is not None and name not in _seen:
+                return _resolve_transient(parent, table, _seen | {name})
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+        left = _fold_transient_expr(expr.left, table, _seen)
+        right = _fold_transient_expr(expr.right, table, _seen)
+        if left is not None and right is not None:
+            return left | right
+    return None
+
+
+# ----------------------------------------------------------------------
+# R8 — lock discipline
+# ----------------------------------------------------------------------
+
+
+class LockDiscipline(Rule):
+    """R8 — shared attributes guarded somewhere are guarded everywhere."""
+
+    id = "R8"
+    title = "lock discipline"
+    rationale = (
+        "Registries and pools in the concurrency packages (repro/obs/, "
+        "repro/parallel/, repro/session/) are mutated from threaded "
+        "paths: metric series under scrapes, the shard-runner cache "
+        "under concurrent fixpoints, the session's worker-pool triple "
+        "under refresh-vs-dispatch.  The discipline is lockset-lite: if "
+        "any mutation of an attribute (or module-level registry) in a "
+        "module holds the lock, *every* mutation outside __init__ must "
+        "— an unguarded check-then-set next to a guarded one is exactly "
+        "the shape of the PR 8 registry races.  Methods named *_locked "
+        "are callee-guarded by convention (the caller holds the lock)."
+    )
+    reference = (
+        "CHANGES.md PR 8: 'MetricsRegistry mutators became thread-safe "
+        "for the merge path' — the shard-runner cache and worker-pool "
+        "lookup shipped with the same unlocked get-or-create shape and "
+        "were fixed under this rule."
+    )
+
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        if not _in_packages(module, CONCURRENCY_PACKAGES):
+            return
+        registries = self._module_registries(module)
+        sites: dict[str, list[tuple[ast.AST, bool, str]]] = {}
+        for func in _function_defs(module):
+            self._collect_sites(module, func, registries, sites)
+        for name, entries in sorted(sites.items()):
+            if not any(guarded for _, guarded, _ in entries):
+                continue
+            for node, guarded, kind in entries:
+                if guarded:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"unguarded mutation of `{name}`: other sites in "
+                    "this module mutate it under a lock — hold the same "
+                    "lock here (or move the mutation into a *_locked "
+                    "helper called under it)",
+                    f"unguarded-mutation:{kind}:{name}",
+                )
+
+    # ------------------------------------------------------------------
+    def _module_registries(self, module: SourceModule) -> set[str]:
+        """Module-level names bound to mutable containers."""
+        registries: set[str] = set()
+        for node in module.tree.body:
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            if not (isinstance(target, ast.Name) and value is not None):
+                continue
+            if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+                registries.add(target.id)
+            elif isinstance(value, ast.Call):
+                callee = dotted_name(value.func)
+                if callee is not None and callee.rpartition(".")[2] in {
+                    "dict",
+                    "list",
+                    "set",
+                    "OrderedDict",
+                    "defaultdict",
+                    "Counter",
+                    "WeakValueDictionary",
+                    "WeakKeyDictionary",
+                }:
+                    registries.add(target.id)
+        return registries
+
+    def _collect_sites(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        registries: set[str],
+        sites: dict[str, list[tuple[ast.AST, bool, str]]],
+    ) -> None:
+        in_init = func.name == "__init__"
+        callee_guarded = func.name.endswith("_locked")
+        aliases: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    key = self._base_key(node.value, registries, aliases)
+                    if key is not None:
+                        aliases[target.id] = key
+        for node in ast.walk(func):
+            for key, site in self._mutations(node, registries, aliases):
+                kind, name = key
+                if in_init and kind == "attr":
+                    continue
+                guarded = callee_guarded or self._under_lock(module, site, func)
+                sites.setdefault(name, []).append((site, guarded, kind))
+
+    def _base_key(
+        self,
+        node: ast.expr,
+        registries: set[str],
+        aliases: dict[str, tuple[str, str]],
+    ) -> tuple[str, str] | None:
+        if isinstance(node, ast.Attribute):
+            return ("attr", node.attr)
+        if isinstance(node, ast.Name):
+            if node.id in aliases:
+                return aliases[node.id]
+            if node.id in registries:
+                return ("global", node.id)
+        return None
+
+    def _mutations(
+        self,
+        node: ast.AST,
+        registries: set[str],
+        aliases: dict[str, tuple[str, str]],
+    ) -> Iterator[tuple[tuple[str, str], ast.AST]]:
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    key = self._base_key(target.value, registries, aliases)
+                    if key is not None:
+                        yield key, node
+                elif isinstance(target, ast.Attribute):
+                    yield ("attr", target.attr), node
+                elif (
+                    isinstance(target, ast.Name)
+                    and isinstance(node, ast.AugAssign)
+                    and target.id in registries
+                ):
+                    yield ("global", target.id), node
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    key = self._base_key(target.value, registries, aliases)
+                    if key is not None:
+                        yield key, node
+                elif isinstance(target, ast.Attribute):
+                    yield ("attr", target.attr), node
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATING_METHODS:
+                key = self._base_key(node.func.value, registries, aliases)
+                if key is not None:
+                    yield key, node
+
+    def _under_lock(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> bool:
+        current = module.parents.get(node)
+        while current is not None and current is not func:
+            if isinstance(current, ast.With):
+                for item in current.items:
+                    name = dotted_name(item.context_expr)
+                    if name is None and isinstance(item.context_expr, ast.Call):
+                        name = dotted_name(item.context_expr.func)
+                    if name is not None and "lock" in name.rpartition(".")[2].lower():
+                        return True
+            current = module.parents.get(current)
+        return False
+
+
+# ----------------------------------------------------------------------
+# R9 — token-key soundness
+# ----------------------------------------------------------------------
+
+
+class TokenKeySoundness(Rule):
+    """R9 — snapshot-bearing cache keys fold in a registered token."""
+
+    id = "R9"
+    title = "token-key soundness"
+    rationale = (
+        "Bucket and artifact caches outlive any single CSR snapshot: "
+        "a patched snapshot replaces the object while inheriting most "
+        "of its buckets.  A cache key that incorporates the snapshot "
+        "itself — its identity, truthiness or a raw reference — is "
+        "therefore unsound in both directions: identity changes on "
+        "every patch (false misses) and never distinguishes inherited-"
+        "but-retouched buckets (false hits, the PR 9 stale-bucket bug). "
+        "Key builders in session/cache.py and graph/csr.py that "
+        "mention a snapshot must fold in a registered token source "
+        "instead: snapshot.bucket_token(label), snapshot.live_token(), "
+        "or a token/generation counter."
+    )
+    reference = (
+        "CHANGES.md PR 9: 'per-label bucket tokens so inherited buckets "
+        "survive a patched snapshot' — the stale-bucket bug was exactly "
+        "a bucket key missing its token component."
+    )
+
+    #: Builtins whose application to a snapshot still keys on identity/
+    #: truthiness rather than a token.
+    IDENTITYISH = frozenset({"bool", "id", "hash", "str", "repr"})
+
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        if not any(module.rel_path.endswith(m) for m in TOKEN_KEY_MODULES):
+            return
+        for func in _function_defs(module):
+            snaps = self._snapshot_bindings(module, func)
+            if not snaps:
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Tuple):
+                    continue
+                if not self._in_key_context(module, func, node):
+                    continue
+                raw = self._raw_snapshot_elements(node, snaps)
+                if raw and not self._has_token_source(node):
+                    names = ", ".join(sorted(raw))
+                    yield self.finding(
+                        module,
+                        node,
+                        f"cache key incorporates snapshot `{names}` "
+                        "without a token source — key on "
+                        "snapshot.bucket_token(label)/live_token() (or a "
+                        "generation counter) so patched snapshots "
+                        "invalidate correctly",
+                        f"tokenless-snapshot-key:{names}",
+                    )
+
+    # ------------------------------------------------------------------
+    def _snapshot_bindings(
+        self, module: SourceModule, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        snaps: set[str] = set()
+        owner = module.parents.get(func)
+        if isinstance(owner, ast.ClassDef) and "Snapshot" in owner.name:
+            snaps.add("self")
+        for arg in _all_params(func):
+            name = arg.arg
+            if name in {"snapshot", "snap"} or name.endswith("_snapshot"):
+                snaps.add(name)
+                continue
+            annotation = arg.annotation
+            if annotation is not None:
+                rendered = ast.dump(annotation)
+                if "Snapshot" in rendered:
+                    snaps.add(name)
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "snapshot"
+            ):
+                snaps.add(target.id)
+        return snaps
+
+    def _in_key_context(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.Tuple,
+    ) -> bool:
+        parent = module.parents.get(node)
+        if isinstance(parent, ast.Subscript) and parent.slice is node:
+            return True
+        if (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Attribute)
+            and parent.func.attr in {"get", "setdefault", "pop"}
+            and parent.args
+            and parent.args[0] is node
+        ):
+            return True
+        if isinstance(parent, ast.Compare):
+            return True
+        if isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                name = dotted_name(target)
+                if name is not None and "key" in name.rpartition(".")[2].lower():
+                    return True
+        if isinstance(parent, ast.Return):
+            lowered = func.name.lower()
+            return "key" in lowered or "source" in lowered
+        return False
+
+    def _raw_snapshot_elements(
+        self, node: ast.Tuple, snaps: set[str]
+    ) -> set[str]:
+        raw: set[str] = set()
+        for element in node.elts:
+            if isinstance(element, ast.Name) and element.id in snaps:
+                raw.add(element.id)
+            elif (
+                isinstance(element, ast.Call)
+                and isinstance(element.func, ast.Name)
+                and element.func.id in self.IDENTITYISH
+                and len(element.args) == 1
+                and isinstance(element.args[0], ast.Name)
+                and element.args[0].id in snaps
+            ):
+                raw.add(element.args[0].id)
+        return raw
+
+    def _has_token_source(self, node: ast.Tuple) -> bool:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in TOKEN_SOURCE_CALLS
+            ):
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr in TOKEN_SOURCE_ATTRS:
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# R10 — toggle-oracle parity
+# ----------------------------------------------------------------------
+
+
+class ToggleOracleParity(Rule):
+    """R10 — every optimized-arm toggle has a serial arm and a test."""
+
+    id = "R10"
+    title = "toggle-oracle parity"
+    rationale = (
+        "The architecture keeps every serial/reference path alive as "
+        "the oracle its optimized arm is equivalence-tested against "
+        "(CSR vs dict, incremental SCC vs rescan, pooled vs serial "
+        "batches, patched vs rebuilt snapshots).  An ExecutionConfig "
+        "field that selects an optimized arm must therefore (a) be "
+        "branched on somewhere in src — the off position must reach a "
+        "reference path — and (b) appear by name in at least one test "
+        "file, where its hypothesis twin suite lives.  A new toggle "
+        "missing either is an optimized arm without an oracle: exactly "
+        "the regression the roadmap's next toggles (anytime deadlines, "
+        "durable temporal top-k) would otherwise ship."
+    )
+    reference = (
+        "ROADMAP 'hypothesis equivalence suites pinning every "
+        "optimized arm against its reference oracle'; CHANGES.md PR 8/"
+        "PR 9 each added a toggle (sim_shards/workers, "
+        "snapshot_patching) together with its equivalence suite."
+    )
+
+    def check(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        if not module.rel_path.endswith("session/config.py"):
+            return
+        fields = self._toggle_fields(module)
+        if not fields:
+            return
+        guard_ids, aliases = self._guard_facts(project, module, fields)
+        for name, node in fields:
+            if not self._branched_on(name, guard_ids, aliases):
+                yield self.finding(
+                    module,
+                    node,
+                    f"ExecutionConfig.{name} selects an optimized arm "
+                    "but nothing in src branches on it — the off "
+                    "position must reach a serial/reference path",
+                    f"toggle-without-branch:{name}",
+                )
+            if not self._named_in_tests(name, project):
+                yield self.finding(
+                    module,
+                    node,
+                    f"ExecutionConfig.{name} has no test referencing it "
+                    "by name — every optimized arm needs an equivalence "
+                    "suite against its reference oracle",
+                    f"toggle-without-test:{name}",
+                )
+
+    # ------------------------------------------------------------------
+    def _toggle_fields(
+        self, module: SourceModule
+    ) -> list[tuple[str, ast.AnnAssign]]:
+        fields: list[tuple[str, ast.AnnAssign]] = []
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.ClassDef) and node.name == "ExecutionConfig"
+            ):
+                continue
+            for stmt in node.body:
+                if not (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                ):
+                    continue
+                name = stmt.target.id
+                if name in TOGGLE_EXEMPT:
+                    continue
+                if name in TOGGLE_ARM_EXTRAS or self._is_bool_annotation(
+                    stmt.annotation
+                ):
+                    fields.append((name, stmt))
+        return fields
+
+    @staticmethod
+    def _is_bool_annotation(annotation: ast.expr) -> bool:
+        for sub in ast.walk(annotation):
+            if isinstance(sub, ast.Name) and sub.id == "bool":
+                return True
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                if "bool" in sub.value:
+                    return True
+        return False
+
+    def _guard_facts(
+        self,
+        project: Project,
+        config_module: SourceModule,
+        fields: list[tuple[str, ast.AnnAssign]],
+    ) -> tuple[set[str], dict[str, set[str]]]:
+        """Identifiers branched on in src (outside config.py), plus the
+        one-hop renames of each toggle (``shards=cfg.sim_shards`` makes
+        ``shards`` an alias of ``sim_shards``)."""
+        from repro.analysis.incremental import (
+            _boolean_context_exprs,
+            _identifiers_in,
+        )
+
+        toggle_names = {name for name, _ in fields}
+        guard_ids: set[str] = set()
+        aliases: dict[str, set[str]] = {name: set() for name in toggle_names}
+        for module in project.modules:
+            if module is config_module:
+                continue
+            for expr in _boolean_context_exprs(module.tree):
+                guard_ids.update(_identifiers_in(expr))
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    for keyword in node.keywords:
+                        if keyword.arg is None:
+                            continue
+                        for ident in _identifiers_in(keyword.value):
+                            if ident in toggle_names:
+                                aliases[ident].add(keyword.arg)
+                elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        for ident in _identifiers_in(node.value):
+                            if ident in toggle_names:
+                                aliases[ident].add(target.id)
+        return guard_ids, aliases
+
+    @staticmethod
+    def _branched_on(
+        name: str, guard_ids: set[str], aliases: dict[str, set[str]]
+    ) -> bool:
+        if name in guard_ids:
+            return True
+        return any(alias in guard_ids for alias in aliases.get(name, ()))
+
+    @staticmethod
+    def _named_in_tests(name: str, project: Project) -> bool:
+        pattern = re.compile(rf"\b{re.escape(name)}\b")
+        return any(
+            pattern.search(text) for text in project.test_corpus.values()
+        )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     InvalidationSoundness(),
     ConfigDiscipline(),
@@ -778,6 +1640,10 @@ ALL_RULES: tuple[Rule, ...] = (
     EngineEncapsulation(),
     FrozenAndDefaults(),
     TypedCore(),
+    PickleSpawnSafety(),
+    LockDiscipline(),
+    TokenKeySoundness(),
+    ToggleOracleParity(),
 )
 
 

@@ -31,6 +31,7 @@ fall back to the dict-of-sets reference path (see ``available()``).
 from __future__ import annotations
 
 import itertools
+import threading
 from collections.abc import Set as _AbstractSet
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
@@ -105,6 +106,7 @@ class CSRSnapshot:
         "_in_adjacency",
         "_cum_scratch",
         "_shard_cache",
+        "_shard_lock",
         "__weakref__",
     )
 
@@ -114,7 +116,9 @@ class CSRSnapshot:
     #: (``__weakref__`` rides along: shard runners register a finalizer
     #: on their snapshot, and the weakref machinery itself must never
     #: be pickled.  ``token`` is an identity, not state: an unpickled
-    #: snapshot gets a fresh one from the receiving process's counter.)
+    #: snapshot gets a fresh one from the receiving process's counter,
+    #: and ``_shard_lock`` — which guards the shard-cache get-or-create
+    #: — is unpicklable by construction and rebuilt per process.)
     _TRANSIENT_SLOTS = (
         "token",
         "_out_lists",
@@ -123,6 +127,7 @@ class CSRSnapshot:
         "_in_adjacency",
         "_cum_scratch",
         "_shard_cache",
+        "_shard_lock",
         "__weakref__",
     )
 
@@ -135,6 +140,7 @@ class CSRSnapshot:
         self._in_adjacency: list[list[int]] | None = None
         self._cum_scratch = None
         self._shard_cache: dict = {}
+        self._shard_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # pickling (worker processes receive snapshots by value)

@@ -30,6 +30,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import threading
 import weakref
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Sequence
@@ -60,16 +61,21 @@ def available_cpus() -> int:
 # the process-shared thread pool
 # ----------------------------------------------------------------------
 _THREAD_POOLS: dict[int, ThreadPoolExecutor] = {}
+#: Guards the pool table: concurrent sessions (or a session and a view
+#: rebuild on another thread) may request a runner simultaneously, and
+#: an unguarded check-then-set would leak a second executor.
+_POOLS_LOCK = threading.Lock()
 
 
 def _thread_pool(workers: int) -> ThreadPoolExecutor:
-    pool = _THREAD_POOLS.get(workers)
-    if pool is None:
-        pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-shard"
-        )
-        _THREAD_POOLS[workers] = pool
-    return pool
+    with _POOLS_LOCK:
+        pool = _THREAD_POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+            _THREAD_POOLS[workers] = pool
+        return pool
 
 
 # ----------------------------------------------------------------------
@@ -215,10 +221,14 @@ def shard_runner(
     """
     if num_shards <= 1:
         return None
-    cache = snapshot._shard_cache
-    key = ("runner", num_shards, backend)
-    runner = cache.get(key)
-    if runner is None:
-        runner = ShardRunner(snapshot, num_shards, backend)
-        cache[key] = runner
-    return runner
+    # The get-or-create must hold the snapshot's shard lock: two
+    # threads racing here would otherwise both build a ShardRunner (a
+    # leaked process pool for the "process" backend).
+    with snapshot._shard_lock:
+        cache = snapshot._shard_cache
+        key = ("runner", num_shards, backend)
+        runner = cache.get(key)
+        if runner is None:
+            runner = ShardRunner(snapshot, num_shards, backend)
+            cache[key] = runner
+        return runner

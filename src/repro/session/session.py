@@ -34,6 +34,7 @@ is computed — so batch answers are identical to looped one-shot calls.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
@@ -188,6 +189,10 @@ class MatchSession:
         #: Pool-lifetime delta log: the ops every selective refresh
         #: observed since the current pool pickled its graph copy.
         self._pool_ops: "list[DeltaOp]" = []
+        #: Guards the pool lifecycle triple above: a refresh on one
+        #: thread racing a pooled batch on another must never observe a
+        #: half-swapped (pool, key, ops) state or build two pools.
+        self._pool_lock = threading.Lock()
         resolved = self.config.resolved()
         if resolved.snapshot_patching:
             # Delta-aware serving: small deltas patch the cached CSR
@@ -255,19 +260,20 @@ class MatchSession:
         :data:`~repro.session.parallel.POOL_OPS_CAP` also fall back to
         the rebuild path.
         """
-        if self._pool is None or self._pool_key is None:
-            return
         from repro.session.parallel import POOL_OPS_CAP
 
-        workers, pool_generation = self._pool_key
-        if (
-            mode == "selective"
-            and pool_generation == generation_before
-            and len(self._pool_ops) + len(pending) <= POOL_OPS_CAP
-            and self._ops_shippable(pending)
-        ):
-            self._pool_ops.extend(pending)
-            self._pool_key = (workers, self.cache.generation)
+        with self._pool_lock:
+            if self._pool is None or self._pool_key is None:
+                return
+            workers, pool_generation = self._pool_key
+            if (
+                mode == "selective"
+                and pool_generation == generation_before
+                and len(self._pool_ops) + len(pending) <= POOL_OPS_CAP
+                and self._ops_shippable(pending)
+            ):
+                self._pool_ops.extend(pending)
+                self._pool_key = (workers, self.cache.generation)
 
     @staticmethod
     def _ops_shippable(pending: "list[DeltaOp]") -> bool:
@@ -384,6 +390,11 @@ class MatchSession:
     # pooled execution
     # ------------------------------------------------------------------
     def _drop_pool(self) -> None:
+        with self._pool_lock:
+            self._drop_pool_locked()
+
+    def _drop_pool_locked(self) -> None:
+        # Caller holds self._pool_lock.
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -403,16 +414,17 @@ class MatchSession:
         from repro.session.parallel import WorkerPool
 
         key = (cfg.workers, self.cache.generation)
-        if self._pool is None or self._pool_key != key:
-            self._drop_pool()
-            self._pool = WorkerPool(
-                self.graph, cfg, cfg.workers, reuse_results=self.reuse_results
-            )
-            self._pool_key = key
-            # A fresh pool pickled the current graph: its delta log
-            # restarts empty.
-            self._pool_ops = []
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None or self._pool_key != key:
+                self._drop_pool_locked()
+                self._pool = WorkerPool(
+                    self.graph, cfg, cfg.workers, reuse_results=self.reuse_results
+                )
+                self._pool_key = key
+                # A fresh pool pickled the current graph: its delta log
+                # restarts empty.
+                self._pool_ops = []
+            return self._pool
 
     def _run_batch_pooled(
         self, ranked: list[tuple[int, int, QueryHandle]], cfg: ExecutionConfig

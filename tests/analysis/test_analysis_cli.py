@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import subprocess
 
 import pytest
 
@@ -54,6 +55,51 @@ SEEDED = {
         """,
     ),
     "R5": ("repro/util.py", MUTABLE_DEFAULT),
+    "R7": (
+        "repro/graph/csr.py",
+        """
+        class CSRSnapshot:
+            __slots__ = ("indptr", "_shard_lock")
+            _TRANSIENT_SLOTS = ()
+
+            def __getstate__(self):
+                return {}
+        """,
+    ),
+    "R8": (
+        "repro/parallel/pools.py",
+        """
+        import threading
+
+        _POOLS = {}
+        _POOLS_LOCK = threading.Lock()
+
+        def get_pool(workers):
+            with _POOLS_LOCK:
+                _POOLS[workers] = object()
+
+        def drop_pool(workers):
+            _POOLS.pop(workers, None)
+        """,
+    ),
+    "R9": (
+        "repro/session/cache.py",
+        """
+        class SessionCache:
+            def bucket(self, snapshot, label):
+                key = ("bucket", snapshot, label)
+                return self._store.get(key)
+        """,
+    ),
+    # The field name must not occur in the real test tree: single-file
+    # targets anchor at the repo root, so R10's corpus is tests/.
+    "R10": (
+        "repro/session/config.py",
+        """
+        class ExecutionConfig:
+            frobnicate_mode: bool = False
+        """,
+    ),
 }
 
 
@@ -163,6 +209,178 @@ class TestBaselineWorkflow:
         baseline = tmp_path / "baseline.json"
         assert main([str(path), "--baseline", str(baseline), "--write-baseline"]) == 0
         assert main([str(path), "--baseline", str(baseline), "--no-baseline"]) == 1
+
+
+def _clean_tree(tmp_path):
+    """Two clean source files under one throwaway analysis root."""
+    root = tmp_path / "proj"
+    write_file(root, "repro/util.py", "def collect(values):\n    return values\n")
+    write_file(root, "repro/extra.py", "def double(value):\n    return value * 2\n")
+    return root
+
+
+class TestFindingsCache:
+    def test_second_run_is_served_from_cache(self, tmp_path, capsys):
+        root = _clean_tree(tmp_path)
+        assert main([str(root)]) == 0
+        assert "(0 from cache)" in capsys.readouterr().err
+        assert (root / ".repro-analysis-cache" / "findings.json").exists()
+
+        assert main([str(root)]) == 0
+        assert "(2 from cache)" in capsys.readouterr().err
+
+    def test_comment_edit_elsewhere_keeps_other_entries_warm(
+        self, tmp_path, capsys
+    ):
+        root = _clean_tree(tmp_path)
+        assert main([str(root)]) == 0
+        capsys.readouterr()
+        # A comment changes the file's content hash but none of the
+        # cross-module facts: only the edited file re-checks.
+        target = root / "repro" / "util.py"
+        target.write_text(target.read_text() + "# trailing note\n")
+        assert main([str(root)]) == 0
+        assert "(1 from cache)" in capsys.readouterr().err
+
+    def test_no_cache_flag_skips_cache_entirely(self, tmp_path, capsys):
+        root = _clean_tree(tmp_path)
+        assert main([str(root), "--no-cache"]) == 0
+        assert not (root / ".repro-analysis-cache").exists()
+
+    def test_cached_findings_still_fail_the_run(self, tmp_path, capsys):
+        root = tmp_path / "proj"
+        write_file(root, "repro/util.py", MUTABLE_DEFAULT)
+        assert main([str(root), "--no-baseline"]) == 1
+        capsys.readouterr()
+        assert main([str(root), "--no-baseline"]) == 1
+        captured = capsys.readouterr()
+        assert "(1 from cache)" in captured.err
+        assert "R5 (" in captured.out
+
+
+class TestChangedScope:
+    def _git(self, root, *argv):
+        subprocess.run(
+            ["git", "-C", str(root), *argv],
+            check=True,
+            capture_output=True,
+        )
+
+    def _committed_tree(self, tmp_path):
+        root = _clean_tree(tmp_path)
+        self._git(root, "init", "-q")
+        self._git(root, "add", ".")
+        self._git(
+            root,
+            "-c",
+            "user.email=ci@example.invalid",
+            "-c",
+            "user.name=ci",
+            "commit",
+            "-qm",
+            "seed",
+        )
+        return root
+
+    def test_changed_scopes_to_modified_files(self, tmp_path, capsys):
+        root = self._committed_tree(tmp_path)
+        (root / "repro" / "util.py").write_text(
+            "def collect(values):\n    return list(values)\n"
+        )
+        assert main([str(root), "--changed", "--no-cache"]) == 0
+        err = capsys.readouterr().err
+        assert "checked 1 file(s)" in err
+        assert "[changed-only]" in err
+
+    def test_changed_with_clean_tree_checks_nothing(self, tmp_path, capsys):
+        root = self._committed_tree(tmp_path)
+        assert main([str(root), "--changed", "--no-cache"]) == 0
+        assert "checked 0 file(s)" in capsys.readouterr().err
+
+    def test_changed_finds_violations_in_touched_files(self, tmp_path, capsys):
+        root = self._committed_tree(tmp_path)
+        (root / "repro" / "util.py").write_text(
+            "def collect(values, seen=[]):\n    return seen\n"
+        )
+        assert main([str(root), "--changed", "--no-baseline", "--no-cache"]) == 1
+        assert "R5 (" in capsys.readouterr().out
+
+    def test_changed_outside_a_work_tree_is_a_usage_error(
+        self, tmp_path, capsys
+    ):
+        root = _clean_tree(tmp_path)
+        assert main([str(root), "--changed", "--no-cache"]) == 2
+        assert "git work tree" in capsys.readouterr().err
+
+
+class TestJobs:
+    def test_parallel_run_matches_serial(self, tmp_path, capsys):
+        root = tmp_path / "proj"
+        write_file(root, "repro/util.py", MUTABLE_DEFAULT)
+        write_file(root, "repro/extra.py", "def double(value):\n    return value * 2\n")
+        serial = main([str(root), "--no-baseline", "--no-cache", "--format", "json"])
+        serial_payload = json.loads(capsys.readouterr().out)
+        parallel = main(
+            [str(root), "--no-baseline", "--no-cache", "--jobs", "2", "--format", "json"]
+        )
+        parallel_payload = json.loads(capsys.readouterr().out)
+        assert serial == parallel == 1
+        assert serial_payload["findings"] == parallel_payload["findings"]
+
+
+class TestSarif:
+    def test_sarif_log_structure_and_exit_code(self, tmp_path, capsys):
+        root = tmp_path / "proj"
+        write_file(root, "repro/util.py", MUTABLE_DEFAULT)
+        out = tmp_path / "out" / "analysis.sarif"
+        assert (
+            main(
+                [
+                    str(root),
+                    "--no-baseline",
+                    "--no-cache",
+                    "--format",
+                    "sarif",
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 1
+        )
+        log = json.loads(out.read_text())
+        # The SARIF 2.1.0 envelope code scanning requires.
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro.analysis"
+        assert {rule["id"] for rule in driver["rules"]} == {
+            rule.id for rule in ALL_RULES
+        }
+        (result,) = run["results"]
+        assert result["ruleId"] == "R5"
+        assert result["level"] == "error"
+        assert "partialFingerprints" in result
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "repro/util.py"
+        assert location["region"]["startLine"] >= 1
+
+    def test_suppressed_findings_marked_in_sarif(self, tmp_path, capsys):
+        root = tmp_path / "proj"
+        write_file(
+            root,
+            "repro/util.py",
+            "def collect(values, seen=[]):  # repro: noqa[R5]\n    return seen\n",
+        )
+        assert (
+            main(
+                [str(root), "--no-baseline", "--no-cache", "--format", "sarif"]
+            )
+            == 0
+        )
+        log = json.loads(capsys.readouterr().out)
+        (result,) = log["runs"][0]["results"]
+        assert result["suppressions"] == [{"kind": "inSource"}]
 
 
 class TestLiveTree:

@@ -685,3 +685,666 @@ class TestR6TypedCore:
             "R6",
         )
         assert report.new == []
+
+# ----------------------------------------------------------------------
+# R7 — pickle/spawn safety
+# ----------------------------------------------------------------------
+
+
+class TestR7TransientSlots:
+    def test_risky_slot_missing_from_transient_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/csr.py": """
+                    class CSRSnapshot:
+                        __slots__ = ("indptr", "_neigh_cache", "_shard_lock")
+                        _TRANSIENT_SLOTS = ("_neigh_cache",)
+
+                        def __getstate__(self):
+                            return {
+                                slot: getattr(self, slot)
+                                for slot in self.__slots__
+                                if slot not in self._TRANSIENT_SLOTS
+                            }
+                """
+            },
+            "R7",
+        )
+        assert len(report.new) == 1
+        assert (
+            report.new[0].detail
+            == "pickled-risky-slot:CSRSnapshot._shard_lock"
+        )
+
+    def test_complete_transient_list_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/csr.py": """
+                    class CSRSnapshot:
+                        __slots__ = ("indptr", "_neigh_cache", "_shard_lock")
+                        _TRANSIENT_SLOTS = ("_neigh_cache", "_shard_lock")
+
+                        def __getstate__(self):
+                            return {
+                                slot: getattr(self, slot)
+                                for slot in self.__slots__
+                                if slot not in self._TRANSIENT_SLOTS
+                            }
+                """
+            },
+            "R7",
+        )
+        assert report.new == []
+
+    def test_transient_resolved_through_base_concatenation(self, tmp_path):
+        # PatchedCSRSnapshot inherits the transient list and extends it:
+        # the analyzer must fold Base._TRANSIENT_SLOTS + (...) instead of
+        # flagging the subclass's own risky slot.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/csr.py": """
+                    class CSRSnapshot:
+                        __slots__ = ("indptr", "_shard_lock")
+                        _TRANSIENT_SLOTS = ("_shard_lock",)
+
+                        def __getstate__(self):
+                            return {}
+
+
+                    class PatchedCSRSnapshot(CSRSnapshot):
+                        __slots__ = ("_base", "_overlay_cache")
+                        _TRANSIENT_SLOTS = CSRSnapshot._TRANSIENT_SLOTS + (
+                            "_overlay_cache",
+                        )
+                """
+            },
+            "R7",
+        )
+        assert report.new == []
+
+    def test_inherited_getstate_still_checks_subclass_slots(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/csr.py": """
+                    class CSRSnapshot:
+                        __slots__ = ("indptr",)
+                        _TRANSIENT_SLOTS = ()
+
+                        def __getstate__(self):
+                            return {}
+
+
+                    class PatchedCSRSnapshot(CSRSnapshot):
+                        __slots__ = ("_overlay_cache",)
+                """
+            },
+            "R7",
+        )
+        assert len(report.new) == 1
+        assert "_overlay_cache" in report.new[0].detail
+
+
+class TestR7DictState:
+    def test_undropped_lock_attr_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/digraph.py": """
+                    import threading
+
+                    class Graph:
+                        def __init__(self):
+                            self._adj = {}
+                            self._mutex = threading.Lock()
+
+                        def __getstate__(self):
+                            return dict(self.__dict__)
+                """
+            },
+            "R7",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "pickled-risky-attr:Graph._mutex"
+
+    def test_getstate_popping_the_attr_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/digraph.py": """
+                    import threading
+
+                    class Graph:
+                        def __init__(self):
+                            self._adj = {}
+                            self._mutex = threading.Lock()
+
+                        def __getstate__(self):
+                            state = dict(self.__dict__)
+                            state.pop("_mutex")
+                            return state
+                """
+            },
+            "R7",
+        )
+        assert report.new == []
+
+    def test_class_without_getstate_exempt(self, tmp_path):
+        # Never shipped by value: holding a lock is fine.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/digraph.py": """
+                    import threading
+
+                    class Graph:
+                        def __init__(self):
+                            self._mutex = threading.Lock()
+                """
+            },
+            "R7",
+        )
+        assert report.new == []
+
+
+class TestR7PoolPayloads:
+    def test_lambda_submitted_to_pool_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/parallel/tasks.py": """
+                    def dispatch(pool, items):
+                        return pool.submit(lambda: len(items))
+                """
+            },
+            "R7",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "lambda-to-pool:submit"
+
+    def test_local_function_mapped_over_pool_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/parallel/tasks.py": """
+                    def dispatch(executor, items):
+                        def work(item):
+                            return item * 2
+
+                        return list(executor.map(work, items))
+                """
+            },
+            "R7",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "local-def-to-pool:work"
+
+    def test_module_level_payload_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/parallel/tasks.py": """
+                    def work(item):
+                        return item * 2
+
+
+                    def dispatch(pool, items):
+                        return list(pool.map(work, items))
+                """
+            },
+            "R7",
+        )
+        assert report.new == []
+
+    def test_nonmodule_initializer_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/parallel/tasks.py": """
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    def start(payload):
+                        def seed():
+                            return payload
+
+                        return ProcessPoolExecutor(max_workers=2, initializer=seed)
+                """
+            },
+            "R7",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "nonmodule-initializer"
+
+
+# ----------------------------------------------------------------------
+# R8 — lock discipline
+# ----------------------------------------------------------------------
+
+
+class TestR8LockDiscipline:
+    def test_unguarded_registry_mutation_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/parallel/pools.py": """
+                    import threading
+
+                    _POOLS = {}
+                    _POOLS_LOCK = threading.Lock()
+
+                    def get_pool(workers):
+                        with _POOLS_LOCK:
+                            pool = _POOLS.get(workers)
+                            if pool is None:
+                                pool = object()
+                                _POOLS[workers] = pool
+                        return pool
+
+                    def drop_pool(workers):
+                        _POOLS.pop(workers, None)
+                """
+            },
+            "R8",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "unguarded-mutation:global:_POOLS"
+
+    def test_consistently_guarded_registry_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/parallel/pools.py": """
+                    import threading
+
+                    _POOLS = {}
+                    _POOLS_LOCK = threading.Lock()
+
+                    def get_pool(workers):
+                        with _POOLS_LOCK:
+                            pool = _POOLS.get(workers)
+                            if pool is None:
+                                pool = object()
+                                _POOLS[workers] = pool
+                        return pool
+
+                    def drop_pool(workers):
+                        with _POOLS_LOCK:
+                            _POOLS.pop(workers, None)
+                """
+            },
+            "R8",
+        )
+        assert report.new == []
+
+    def test_unguarded_attr_mutation_next_to_guarded_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/obs/registry.py": """
+                    import threading
+
+                    class Registry:
+                        def __init__(self):
+                            self._series = {}
+                            self._lock = threading.Lock()
+
+                        def observe(self, name, value):
+                            with self._lock:
+                                self._series.setdefault(name, []).append(value)
+
+                        def reset(self, name):
+                            self._series[name] = []
+                """
+            },
+            "R8",
+        )
+        assert any(
+            finding.detail == "unguarded-mutation:attr:_series"
+            and finding.symbol == "Registry.reset"
+            for finding in report.new
+        )
+
+    def test_locked_suffix_helper_is_callee_guarded(self, tmp_path):
+        # *_locked names promise the caller holds the lock: their
+        # mutations count as guarded, and calling them under the lock
+        # keeps the whole module consistent.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/pool.py": """
+                    import threading
+
+                    class Session:
+                        def __init__(self):
+                            self._pool = None
+                            self._lock = threading.Lock()
+
+                        def drop(self):
+                            with self._lock:
+                                self._drop_locked()
+
+                        def _drop_locked(self):
+                            self._pool = None
+
+                        def replace(self, pool):
+                            with self._lock:
+                                self._pool = pool
+                """
+            },
+            "R8",
+        )
+        assert report.new == []
+
+    def test_never_guarded_attr_not_flagged(self, tmp_path):
+        # Lockset-lite: an attribute nobody guards carries no evidence
+        # of a locking convention, so nothing fires.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/notes.py": """
+                    class Notes:
+                        def __init__(self):
+                            self._entries = []
+
+                        def add(self, entry):
+                            self._entries.append(entry)
+                """
+            },
+            "R8",
+        )
+        assert report.new == []
+
+    def test_outside_concurrency_packages_exempt(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/workloads/state.py": """
+                    import threading
+
+                    _STATE = {}
+                    _STATE_LOCK = threading.Lock()
+
+                    def set_guarded(key, value):
+                        with _STATE_LOCK:
+                            _STATE[key] = value
+
+                    def set_unguarded(key, value):
+                        _STATE[key] = value
+                """
+            },
+            "R8",
+        )
+        assert report.new == []
+
+
+# ----------------------------------------------------------------------
+# R9 — token-key soundness
+# ----------------------------------------------------------------------
+
+
+class TestR9TokenKeys:
+    def test_raw_snapshot_in_key_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/cache.py": """
+                    class SessionCache:
+                        def bucket(self, snapshot, label):
+                            key = ("bucket", snapshot, label)
+                            return self._store.get(key)
+                """
+            },
+            "R9",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "tokenless-snapshot-key:snapshot"
+
+    def test_identityish_wrapper_still_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/cache.py": """
+                    class SessionCache:
+                        def bucket(self, snapshot, label):
+                            key = ("bucket", id(snapshot), label)
+                            return self._store.get(key)
+                """
+            },
+            "R9",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "tokenless-snapshot-key:snapshot"
+
+    def test_bucket_token_key_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/cache.py": """
+                    class SessionCache:
+                        def bucket(self, snapshot, label):
+                            key = ("bucket", snapshot.bucket_token(label), label)
+                            return self._store.get(key)
+                """
+            },
+            "R9",
+        )
+        assert report.new == []
+
+    def test_self_key_inside_snapshot_class_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/graph/csr.py": """
+                    class CSRSnapshot:
+                        def _runner_key(self, num_shards):
+                            return ("runner", self, num_shards)
+                """
+            },
+            "R9",
+        )
+        assert len(report.new) == 1
+        assert report.new[0].detail == "tokenless-snapshot-key:self"
+
+    def test_generation_counter_key_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/cache.py": """
+                    class SessionCache:
+                        def artifact(self, snapshot, name):
+                            key = (name, snapshot.generation)
+                            return self._store.get(key)
+                """
+            },
+            "R9",
+        )
+        assert report.new == []
+
+    def test_non_key_tuple_with_snapshot_clean(self, tmp_path):
+        # A plain value tuple (not a key context) may carry the
+        # snapshot freely.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/cache.py": """
+                    class SessionCache:
+                        def pair(self, snapshot, label):
+                            return (snapshot, label)
+                """
+            },
+            "R9",
+        )
+        assert report.new == []
+
+    def test_outside_token_key_modules_exempt(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/workloads/memo.py": """
+                    def memo_key(snapshot, label):
+                        key = ("memo", snapshot, label)
+                        return key
+                """
+            },
+            "R9",
+        )
+        assert report.new == []
+
+
+# ----------------------------------------------------------------------
+# R10 — toggle-oracle parity
+# ----------------------------------------------------------------------
+
+R10_CONFIG = """
+    from dataclasses import dataclass
+
+
+    @dataclass(frozen=True)
+    class ExecutionConfig:
+        use_fast: bool = True
+"""
+
+R10_ENGINE_BRANCHING = """
+    def run(graph, config):
+        if config.use_fast:
+            return fast(graph)
+        return reference(graph)
+"""
+
+R10_TEST_SUITE = """
+    def test_use_fast_matches_reference():
+        assert run(g, cfg(use_fast=True)) == run(g, cfg(use_fast=False))
+"""
+
+
+class TestR10ToggleParity:
+    def test_toggle_without_branch_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/config.py": R10_CONFIG,
+                "src/repro/topk/engine.py": """
+                    def run(graph, config):
+                        return reference(graph)
+                """,
+                "tests/test_engine.py": R10_TEST_SUITE,
+            },
+            "R10",
+        )
+        assert [finding.detail for finding in report.new] == [
+            "toggle-without-branch:use_fast"
+        ]
+
+    def test_toggle_without_test_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/config.py": R10_CONFIG,
+                "src/repro/topk/engine.py": R10_ENGINE_BRANCHING,
+                "tests/test_engine.py": """
+                    def test_something_else():
+                        assert True
+                """,
+            },
+            "R10",
+        )
+        assert [finding.detail for finding in report.new] == [
+            "toggle-without-test:use_fast"
+        ]
+
+    def test_branched_and_tested_toggle_clean(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/config.py": R10_CONFIG,
+                "src/repro/topk/engine.py": R10_ENGINE_BRANCHING,
+                "tests/test_engine.py": R10_TEST_SUITE,
+            },
+            "R10",
+        )
+        assert report.new == []
+
+    def test_kwarg_alias_hop_counts_as_branch(self, tmp_path):
+        # sim_shards never appears by name in a boolean context: it is
+        # renamed through `shards=config.sim_shards` into the kernel's
+        # `if shards > 1` guard.  The one-hop alias must satisfy (a).
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/config.py": """
+                    from dataclasses import dataclass
+
+
+                    @dataclass(frozen=True)
+                    class ExecutionConfig:
+                        sim_shards: int = 0
+                """,
+                "src/repro/session/match.py": """
+                    def dispatch(graph, config):
+                        return kernel(graph, shards=config.sim_shards)
+                """,
+                "src/repro/simulation/kernel.py": """
+                    def kernel(graph, shards=0):
+                        if shards > 1:
+                            return sharded(graph, shards)
+                        return serial(graph)
+                """,
+                "tests/test_kernel.py": """
+                    def test_sim_shards_matches_serial():
+                        cfg = ExecutionConfig(sim_shards=2)
+                        assert dispatch(g, cfg) == kernel(g)
+                """,
+            },
+            "R10",
+        )
+        assert report.new == []
+
+    def test_defaulting_branch_in_config_does_not_count(self, tmp_path):
+        # resolved()'s own defaulting logic branches on every field; it
+        # must not satisfy the serial-arm requirement.
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/config.py": """
+                    from dataclasses import dataclass
+
+
+                    @dataclass(frozen=True)
+                    class ExecutionConfig:
+                        use_fast: bool = True
+
+                        def resolved(self):
+                            if self.use_fast:
+                                return self
+                            return self
+                """,
+                "tests/test_config.py": """
+                    def test_use_fast():
+                        assert ExecutionConfig(use_fast=True)
+                """,
+            },
+            "R10",
+        )
+        assert [finding.detail for finding in report.new] == [
+            "toggle-without-branch:use_fast"
+        ]
+
+    def test_non_toggle_fields_exempt(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "src/repro/session/config.py": """
+                    from dataclasses import dataclass
+
+
+                    @dataclass(frozen=True)
+                    class ExecutionConfig:
+                        batch_label: str = "default"
+                """,
+            },
+            "R10",
+        )
+        assert report.new == []
